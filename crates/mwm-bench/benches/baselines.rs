@@ -1,0 +1,32 @@
+//! Criterion bench for experiment E5: dual-primal solver vs the Lattanzi
+//! filtering baseline vs one-pass streaming greedy, same workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwm_baselines::{lattanzi_filtering, streaming_greedy_matching};
+use mwm_bench::workloads;
+use mwm_core::{DualPrimalConfig, DualPrimalSolver};
+use mwm_matching::greedy_matching;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let g = workloads::scaling_graph(200, 10, 3);
+    group.bench_with_input(BenchmarkId::new("dual_primal", "n200"), &g, |b, g| {
+        let solver =
+            DualPrimalSolver::new(DualPrimalConfig { eps: 0.25, p: 2.0, seed: 1, ..Default::default() });
+        b.iter(|| solver.solve(g))
+    });
+    group.bench_with_input(BenchmarkId::new("lattanzi_filtering", "n200"), &g, |b, g| {
+        b.iter(|| lattanzi_filtering(g, 2.0, 0.25, 1))
+    });
+    group.bench_with_input(BenchmarkId::new("streaming_greedy", "n200"), &g, |b, g| {
+        b.iter(|| streaming_greedy_matching(g, 0.414))
+    });
+    group.bench_with_input(BenchmarkId::new("offline_greedy", "n200"), &g, |b, g| {
+        b.iter(|| greedy_matching(g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

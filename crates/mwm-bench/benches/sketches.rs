@@ -1,0 +1,36 @@
+//! Criterion bench for the sketch substrate: ℓ0-sampler updates, AGM sketch
+//! construction and spanning-forest recovery (the one-round primitives that
+//! every adaptive round of the solver pays for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwm_bench::workloads;
+use mwm_sketch::{sketch_spanning_forest, GraphSketcher, L0Sampler};
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketches");
+    group.sample_size(10);
+
+    group.bench_function("l0_sampler_update_10k", |b| {
+        b.iter(|| {
+            let mut s = L0Sampler::new(1 << 24, 7);
+            for i in 0..10_000u64 {
+                s.update(i * 97, 1);
+            }
+            s.sample()
+        })
+    });
+
+    for &n in &[100usize, 200] {
+        let g = workloads::scaling_graph(n, 10, 3);
+        group.bench_with_input(BenchmarkId::new("agm_sketch_build", n), &g, |b, g| {
+            b.iter(|| GraphSketcher::sketch_graph(g, 3, 42))
+        });
+        group.bench_with_input(BenchmarkId::new("spanning_forest_recovery", n), &g, |b, g| {
+            b.iter(|| sketch_spanning_forest(g, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

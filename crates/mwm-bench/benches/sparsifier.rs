@@ -1,0 +1,28 @@
+//! Criterion bench for experiment E6: sparsifier construction (offline,
+//! streaming, deferred) on dense graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwm_bench::workloads;
+use mwm_sparsify::{sparsify, streaming_sparsify, DeferredSparsifier, SparsifierConfig};
+
+fn bench_sparsifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsifier");
+    group.sample_size(10);
+    for &n in &[150usize, 300] {
+        let g = workloads::dense_graph(n, 0.3, 7);
+        let promise: Vec<f64> = vec![1.0; g.num_edges()];
+        group.bench_with_input(BenchmarkId::new("benczur_karger", n), &g, |b, g| {
+            b.iter(|| sparsify(g, &SparsifierConfig { xi: 0.2, oversample: 4.0, seed: 1 }))
+        });
+        group.bench_with_input(BenchmarkId::new("streaming_alg6", n), &g, |b, g| {
+            b.iter(|| streaming_sparsify(g, 20, 3))
+        });
+        group.bench_with_input(BenchmarkId::new("deferred_build", n), &g, |b, g| {
+            b.iter(|| DeferredSparsifier::build(g, &promise, 2.0, 0.2, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparsifiers);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Experiment runner: regenerates the tables recorded in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p mwm-bench --bin experiments -- --exp all
+//! cargo run --release -p mwm-bench --bin experiments -- --exp e3
+//! ```
+
+use mwm_bench::run_experiment;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut exp = "all".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                if i + 1 < args.len() {
+                    exp = args[i + 1].clone();
+                    i += 1;
+                } else {
+                    eprintln!("--exp requires a value (e1..e10 or all)");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--exp e1..e10|all]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let rows = run_experiment(&exp);
+    if rows.is_empty() {
+        eprintln!("no output produced for experiment {exp}");
+        std::process::exit(1);
+    }
+}

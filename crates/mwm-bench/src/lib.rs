@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every experiment of `EXPERIMENTS.md`.
+//!
+//! The paper (SPAA 2015) contains no empirical tables — its claims are
+//! theorems. Each experiment here measures one of those claims on synthetic
+//! workloads (the mapping from claims to experiments is in `DESIGN.md` §3 and
+//! `EXPERIMENTS.md`). The `experiments` binary runs them and prints aligned
+//! text tables; the Criterion benches in `benches/` time the underlying
+//! kernels.
+
+pub mod experiments;
+pub mod workloads;
+
+pub use experiments::run_experiment;

@@ -1,0 +1,105 @@
+//! Shared synthetic workloads for the experiments and benches.
+
+use mwm_graph::generators::{self, WeightModel};
+use mwm_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named workload (graph family + parameters).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short name used in tables.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+}
+
+/// The standard workload suite used by the quality experiments: one graph per
+/// family at roughly comparable size.
+pub fn standard_suite(n: usize, seed: u64) -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let avg_deg = 8usize;
+    let m = n * avg_deg / 2;
+    vec![
+        Workload {
+            name: format!("gnm-uniform(n={n})"),
+            graph: generators::gnm(n, m, WeightModel::Uniform(1.0, 10.0), &mut rng),
+        },
+        Workload {
+            name: format!("gnm-unit(n={n})"),
+            graph: generators::gnm(n, m, WeightModel::Unit, &mut rng),
+        },
+        Workload {
+            name: format!("powerlaw(n={n})"),
+            graph: generators::power_law(n, 2.5, avg_deg as f64, WeightModel::Exponential(3.0), &mut rng),
+        },
+        Workload {
+            name: format!("bipartite(n={n})"),
+            graph: generators::random_bipartite(
+                n / 2,
+                n / 2,
+                (avg_deg as f64) / (n as f64 / 2.0),
+                WeightModel::Uniform(1.0, 10.0),
+                &mut rng,
+            ),
+        },
+        Workload {
+            name: format!("geometric(n={n})"),
+            graph: generators::random_geometric(
+                n,
+                (avg_deg as f64 / (std::f64::consts::PI * n as f64)).sqrt(),
+                WeightModel::Uniform(1.0, 5.0),
+                &mut rng,
+            ),
+        },
+    ]
+}
+
+/// A single medium random graph for resource-scaling experiments.
+pub fn scaling_graph(n: usize, avg_deg: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::gnm(n, n * avg_deg / 2, WeightModel::Uniform(1.0, 10.0), &mut rng)
+}
+
+/// A dense graph for sparsifier experiments.
+pub fn dense_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::gnp(n, p, WeightModel::Uniform(1.0, 4.0), &mut rng)
+}
+
+/// A b-matching workload with random capacities in `1..=max_b`.
+pub fn b_matching_graph(n: usize, avg_deg: usize, max_b: u64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = generators::gnm(n, n * avg_deg / 2, WeightModel::Uniform(1.0, 10.0), &mut rng);
+    generators::randomize_capacities(&mut g, max_b, &mut rng);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_all_families() {
+        let suite = standard_suite(100, 1);
+        assert_eq!(suite.len(), 5);
+        for w in &suite {
+            assert_eq!(w.graph.num_vertices() % 2, 0);
+            assert!(w.graph.num_edges() > 0, "{} is empty", w.name);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        let a = scaling_graph(80, 6, 7);
+        let b = scaling_graph(80, 6, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.edges()[0].key(), b.edges()[0].key());
+    }
+
+    #[test]
+    fn b_matching_workload_has_capacities() {
+        let g = b_matching_graph(50, 6, 4, 3);
+        assert!(g.total_capacity() > 50);
+    }
+}

@@ -1,0 +1,362 @@
+//! The penalty (layered) relaxation LP5/LP10 and its dual state.
+//!
+//! Variables (Section 3): `x_i(k)` — the cost vertex `i` pays at weight level
+//! `k`; `x_i = max_k x_i(k)` — its contribution to the objective; `z_{U,ℓ}` —
+//! the cost of small odd set `U` at level `ℓ` (contributions of a set are
+//! additive across levels). An edge `(i,j) ∈ Ê_k` is *covered* when
+//!
+//! ```text
+//!   x_i(k) + x_j(k) + Σ_{ℓ≤k} Σ_{U∈O_s: i,j∈U} z_{U,ℓ}  ≥  ŵ_k .
+//! ```
+//!
+//! The point of the penalty formulation is the width bound: subject to the
+//! packing side constraints `2x_i(k) + Σ_{ℓ≤k} Σ_{U∋i} z_{U,ℓ} ≤ 3ŵ_k`, the
+//! coverage of any edge is at most `6ŵ_k` — an absolute constant multiple of
+//! the requirement, independent of `n`, `B` or `1/ε` (compare the `Ω(n)`
+//! width of LP2). [`RelaxationWidths`] measures both, for experiment E7.
+
+use mwm_graph::{Graph, VertexId, WeightLevels};
+use std::collections::HashMap;
+
+/// Dual variables of the layered penalty relaxation.
+#[derive(Clone, Debug)]
+pub struct DualState {
+    eps: f64,
+    num_levels: usize,
+    /// `x[v]` maps level `k` to `x_v(k)` (sparse: absent means 0).
+    x: Vec<HashMap<usize, f64>>,
+    /// Per level ℓ: disjoint odd sets with their `z_{U,ℓ}` values. Each entry is
+    /// `(members, value)`; members are sorted.
+    z: Vec<Vec<(Vec<VertexId>, f64)>>,
+    /// Per level ℓ: vertex → index into `z[ℓ]` (sets are disjoint within a level).
+    z_assign: Vec<HashMap<VertexId, usize>>,
+}
+
+impl DualState {
+    /// Creates the all-zero dual state for a graph with `num_levels` weight levels.
+    pub fn new(n: usize, num_levels: usize, eps: f64) -> Self {
+        DualState {
+            eps,
+            num_levels,
+            x: vec![HashMap::new(); n],
+            z: vec![Vec::new(); num_levels],
+            z_assign: vec![HashMap::new(); num_levels],
+        }
+    }
+
+    /// Accuracy parameter the state was built with.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of weight levels.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// `x_v(k)`.
+    pub fn x(&self, v: VertexId, k: usize) -> f64 {
+        self.x[v as usize].get(&k).copied().unwrap_or(0.0)
+    }
+
+    /// Sets `x_v(k)`.
+    pub fn set_x(&mut self, v: VertexId, k: usize, value: f64) {
+        if value > 0.0 {
+            self.x[v as usize].insert(k, value);
+        } else {
+            self.x[v as usize].remove(&k);
+        }
+    }
+
+    /// `x_v = max_k x_v(k)` — the objective contribution of vertex `v`.
+    pub fn x_max(&self, v: VertexId) -> f64 {
+        self.x[v as usize].values().copied().fold(0.0, f64::max)
+    }
+
+    /// Adds an odd set with value `z_{U,ℓ}` at level `ℓ`. Panics if the set
+    /// overlaps an existing set of the same level (the paper's `K(ℓ)` families
+    /// are disjoint within a level).
+    pub fn add_odd_set(&mut self, level: usize, mut members: Vec<VertexId>, value: f64) {
+        assert!(level < self.num_levels.max(1));
+        members.sort_unstable();
+        members.dedup();
+        assert!(members.len() >= 3, "odd sets have at least 3 vertices");
+        for &v in &members {
+            assert!(
+                !self.z_assign[level].contains_key(&v),
+                "odd sets within a level must be disjoint"
+            );
+        }
+        let idx = self.z[level].len();
+        for &v in &members {
+            self.z_assign[level].insert(v, idx);
+        }
+        self.z[level].push((members, value));
+    }
+
+    /// Sum of `z_{U,ℓ}` over levels `ℓ ≤ k` and sets containing **both** `i` and `j`.
+    pub fn z_pair_sum(&self, i: VertexId, j: VertexId, k: usize) -> f64 {
+        let mut total = 0.0;
+        for level in 0..=k.min(self.num_levels.saturating_sub(1)) {
+            if let (Some(&si), Some(&sj)) = (self.z_assign[level].get(&i), self.z_assign[level].get(&j)) {
+                if si == sj {
+                    total += self.z[level][si].1;
+                }
+            }
+        }
+        total
+    }
+
+    /// True if vertex `v` already belongs to an odd set at exactly level `level`.
+    pub fn has_odd_set_at(&self, level: usize, v: VertexId) -> bool {
+        level < self.z_assign.len() && self.z_assign[level].contains_key(&v)
+    }
+
+    /// Sum of `z_{U,ℓ}` over levels `ℓ ≤ k` and sets containing vertex `i`.
+    pub fn z_vertex_sum(&self, i: VertexId, k: usize) -> f64 {
+        let mut total = 0.0;
+        for level in 0..=k.min(self.num_levels.saturating_sub(1)) {
+            if let Some(&si) = self.z_assign[level].get(&i) {
+                total += self.z[level][si].1;
+            }
+        }
+        total
+    }
+
+    /// The coverage of an edge constraint: LHS of the covering row for an edge
+    /// of level `k` with endpoints `i, j`.
+    pub fn edge_coverage(&self, i: VertexId, j: VertexId, k: usize) -> f64 {
+        self.x(i, k) + self.x(j, k) + self.z_pair_sum(i, j, k)
+    }
+
+    /// The packing load of the side constraint for vertex `i` at level `k`:
+    /// `2x_i(k) + Σ_{ℓ≤k} Σ_{U∋i} z_{U,ℓ}` (must stay `≤ 3ŵ_k` for the outer
+    /// width and `≤ (24/ε + 24/ε²)·ŵ_k` for the inner width).
+    pub fn vertex_load(&self, i: VertexId, k: usize) -> f64 {
+        2.0 * self.x(i, k) + self.z_vertex_sum(i, k)
+    }
+
+    /// Objective value `Σ_i b_i·x_i + Σ_{U,ℓ} ⌊||U||_b/2⌋·z_{U,ℓ}` of LP10.
+    pub fn objective(&self, graph: &Graph) -> f64 {
+        let mut total = 0.0;
+        for v in 0..graph.num_vertices() {
+            total += graph.b(v as VertexId) as f64 * self.x_max(v as VertexId);
+        }
+        for level in &self.z {
+            for (members, value) in level {
+                let cap: u64 = members.iter().map(|&v| graph.b(v)).sum();
+                total += (cap / 2) as f64 * value;
+            }
+        }
+        total
+    }
+
+    /// Scales every variable by `factor` (used by the convex-combination update
+    /// `x ← (1-σ)x + σ·x̃` of the covering framework).
+    pub fn scale(&mut self, factor: f64) {
+        assert!(factor >= 0.0);
+        for xv in &mut self.x {
+            for val in xv.values_mut() {
+                *val *= factor;
+            }
+        }
+        for level in &mut self.z {
+            for (_, val) in level.iter_mut() {
+                *val *= factor;
+            }
+        }
+    }
+
+    /// Adds `factor` times another dual state into this one. Odd sets of the
+    /// other state are merged in; sets that would overlap existing same-level
+    /// sets have their mass folded into the existing set instead (preserving
+    /// within-level disjointness, which only strengthens coverage monotonicity).
+    pub fn add_scaled(&mut self, other: &DualState, factor: f64) {
+        for (v, xv) in other.x.iter().enumerate() {
+            for (&k, &val) in xv {
+                let cur = self.x(v as VertexId, k);
+                self.set_x(v as VertexId, k, cur + factor * val);
+            }
+        }
+        for level in 0..other.z.len().min(self.z.len()) {
+            for (members, value) in &other.z[level] {
+                let add = factor * value;
+                if add <= 0.0 {
+                    continue;
+                }
+                // If any member is already assigned at this level, fold into that set.
+                if let Some(&existing) = members.iter().find_map(|v| self.z_assign[level].get(v)) {
+                    self.z[level][existing].1 += add;
+                } else {
+                    self.add_odd_set(level, members.clone(), add);
+                }
+            }
+        }
+    }
+
+    /// The number of odd sets with nonzero value across all levels.
+    pub fn num_active_odd_sets(&self) -> usize {
+        self.z.iter().map(|lvl| lvl.iter().filter(|(_, v)| *v > 0.0).count()).sum()
+    }
+
+    /// Extracts a classical (LP11-style) dual: `x_i = max_k x_i(k)/(1-3ε)`,
+    /// `z_U = Σ_ℓ z_{U,ℓ}/(1-3ε)` — the transformation used in Section 3 to
+    /// prove condition (d1).
+    pub fn to_classical_dual(&self) -> (Vec<f64>, Vec<(Vec<VertexId>, f64)>) {
+        let scale = 1.0 / (1.0 - 3.0 * self.eps);
+        let xs: Vec<f64> = (0..self.x.len()).map(|v| self.x_max(v as VertexId) * scale).collect();
+        let mut zs: HashMap<Vec<VertexId>, f64> = HashMap::new();
+        for level in &self.z {
+            for (members, value) in level {
+                *zs.entry(members.clone()).or_insert(0.0) += value * scale;
+            }
+        }
+        (xs, zs.into_iter().collect())
+    }
+}
+
+/// Width measurements comparing the classical dual LP2 with the penalty
+/// relaxation LP4/LP5 (experiment E7).
+#[derive(Clone, Copy, Debug)]
+pub struct RelaxationWidths {
+    /// Width of the classical dual LP2: the coverage of an edge can be as large
+    /// as `max_i (b_i·x_i + Σ_U z_U)` allows — for LP2 the natural bound is the
+    /// objective scale divided by the smallest requirement, which grows with n;
+    /// we report the paper's lower bound `n_active` (number of non-isolated
+    /// vertices), since `z_V` alone can cover an edge `Θ(n)`-fold.
+    pub classical_width: f64,
+    /// Width of the penalty relaxation: coverage / requirement is at most 6
+    /// under the outer packing constraints (independent of every parameter).
+    pub penalty_width: f64,
+    /// Inner width `ρ_i = O(ε⁻²)` of the inner packing constraints.
+    pub penalty_inner_width: f64,
+}
+
+/// Computes the width comparison for a concrete graph and accuracy ε.
+pub fn relaxation_widths(graph: &Graph, eps: f64) -> RelaxationWidths {
+    let mut active = vec![false; graph.num_vertices()];
+    for e in graph.edges() {
+        active[e.u as usize] = true;
+        active[e.v as usize] = true;
+    }
+    let n_active = active.iter().filter(|&&a| a).count();
+    RelaxationWidths {
+        classical_width: n_active as f64,
+        penalty_width: 6.0,
+        penalty_inner_width: 24.0 / eps + 24.0 / (eps * eps),
+    }
+}
+
+/// Convenience: the levelled edge list of a graph together with its dual state
+/// sized to match.
+pub fn fresh_dual_state(graph: &Graph, levels: &WeightLevels) -> DualState {
+    DualState::new(graph.num_vertices(), levels.num_levels().max(1), levels.eps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwm_graph::generators::{self, WeightModel};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn coverage_accumulates_x_and_z() {
+        let mut d = DualState::new(5, 3, 0.1);
+        d.set_x(0, 1, 2.0);
+        d.set_x(1, 1, 1.0);
+        assert!((d.edge_coverage(0, 1, 1) - 3.0).abs() < 1e-12);
+        // Odd set {0,1,2} at level 0 contributes to every edge inside it at levels >= 0.
+        d.add_odd_set(0, vec![0, 1, 2], 0.5);
+        assert!((d.edge_coverage(0, 1, 1) - 3.5).abs() < 1e-12);
+        assert!((d.edge_coverage(0, 1, 0) - 0.5).abs() < 1e-12);
+        // Edge (0,3) is not inside the set: only x_0(1) = 2 covers it at level 1.
+        assert!((d.edge_coverage(0, 3, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_load_counts_z_once_per_level() {
+        let mut d = DualState::new(4, 2, 0.1);
+        d.set_x(2, 0, 1.0);
+        d.add_odd_set(0, vec![1, 2, 3], 0.4);
+        d.add_odd_set(1, vec![1, 2, 3], 0.6);
+        assert!((d.vertex_load(2, 0) - (2.0 + 0.4)).abs() < 1e-12);
+        assert!((d.vertex_load(2, 1) - (0.4 + 0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_uses_x_max_and_floor_capacity() {
+        let mut g = Graph::new(4);
+        g.set_b(0, 2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let mut d = DualState::new(4, 2, 0.1);
+        d.set_x(0, 0, 1.0);
+        d.set_x(0, 1, 3.0); // x_0 = 3, b_0 = 2 → contributes 6
+        d.add_odd_set(0, vec![1, 2, 3], 2.0); // ||U||_b = 3 → floor 1 → contributes 2
+        assert!((d.objective(&g) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_and_adding_are_linear() {
+        let mut a = DualState::new(3, 1, 0.1);
+        a.set_x(0, 0, 2.0);
+        a.add_odd_set(0, vec![0, 1, 2], 1.0);
+        let mut b = DualState::new(3, 1, 0.1);
+        b.set_x(0, 0, 4.0);
+        b.add_odd_set(0, vec![0, 1, 2], 3.0);
+        a.scale(0.5);
+        a.add_scaled(&b, 0.25);
+        assert!((a.x(0, 0) - 2.0).abs() < 1e-12);
+        assert!((a.z_pair_sum(0, 1, 0) - (0.5 + 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_odd_set_mass_is_folded() {
+        let mut a = DualState::new(5, 1, 0.1);
+        a.add_odd_set(0, vec![0, 1, 2], 1.0);
+        let mut b = DualState::new(5, 1, 0.1);
+        // Overlaps {0,1,2} on vertex 2.
+        b.add_odd_set(0, vec![2, 3, 4], 2.0);
+        a.add_scaled(&b, 1.0);
+        // The mass lands on the existing set; disjointness within the level holds.
+        assert_eq!(a.num_active_odd_sets(), 1);
+        assert!((a.z_pair_sum(0, 1, 0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_sets_in_a_level_panic_on_direct_insert() {
+        let mut d = DualState::new(5, 1, 0.1);
+        d.add_odd_set(0, vec![0, 1, 2], 1.0);
+        d.add_odd_set(0, vec![2, 3, 4], 1.0);
+    }
+
+    #[test]
+    fn classical_dual_extraction_scales_by_one_minus_three_eps() {
+        let mut d = DualState::new(3, 2, 0.1);
+        d.set_x(1, 0, 0.7);
+        d.set_x(1, 1, 0.9);
+        d.add_odd_set(0, vec![0, 1, 2], 0.5);
+        d.add_odd_set(1, vec![0, 1, 2], 0.25);
+        let (xs, zs) = d.to_classical_dual();
+        assert!((xs[1] - 0.9 / 0.7_f64.mul_add(0.0, 1.0 - 0.3)).abs() < 1e-9);
+        assert_eq!(zs.len(), 1);
+        assert!((zs[0].1 - 0.75 / (1.0 - 0.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn widths_match_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = generators::gnm(50, 200, WeightModel::Unit, &mut rng);
+        let large = generators::gnm(500, 2000, WeightModel::Unit, &mut rng);
+        let w_small = relaxation_widths(&small, 0.1);
+        let w_large = relaxation_widths(&large, 0.1);
+        // Classical width grows with n; penalty width is the constant 6.
+        assert!(w_large.classical_width > w_small.classical_width);
+        assert_eq!(w_small.penalty_width, 6.0);
+        assert_eq!(w_large.penalty_width, 6.0);
+        assert!(w_small.penalty_inner_width > 6.0);
+    }
+}

@@ -1,0 +1,518 @@
+//! The top-level dual-primal solver (Algorithms 1, 2 and 4; Theorem 15).
+//!
+//! The solve loop mirrors Algorithm 2:
+//!
+//! 1. Build the initial dual point and per-level maximal b-matchings
+//!    (`O(p)` sampling rounds, [`crate::initial`]).
+//! 2. While `λ = min_edge coverage/ŵ_k < 1-3ε` and the round budget `O(p/ε)`
+//!    is not exhausted, perform **one round of data access**: compute the
+//!    exponential multipliers of every edge from the current dual point and
+//!    build `⌈ε⁻¹ ln γ⌉` deferred sparsifiers from them (`γ = n^{1/(2p)}` is
+//!    the promise ratio the multipliers can drift by before the next round).
+//! 3. Run the offline matching substrate on the union of the stored edges
+//!    (Algorithm 2 Step 5); if its value beats the current `β`, raise `β`
+//!    (Step 6) and remember the matching.
+//! 4. Use the sparsifiers **sequentially** (Figure 1, right): reveal the
+//!    current multiplier values of each sparsifier's stored edges, invoke the
+//!    [`MicroOracle`], and either mix the returned dual candidate into the
+//!    dual point (a Theorem 5 step with the constant penalty width `ρ_o = 6`)
+//!    or record a primal certificate and raise `β`.
+//!
+//! Every data access is charged to the MapReduce simulator; every oracle call
+//! is charged to the adaptivity ledger, so the round/iteration separation the
+//! paper is about is measured, not assumed.
+
+use crate::certificate::offline_b_matching;
+use crate::initial::build_initial_solution;
+use crate::oracle::{MicroOracle, OracleDecision, SupportEdge};
+use crate::relaxation::DualState;
+use mwm_graph::{BMatching, Graph, WeightLevels};
+use mwm_lp::AdaptivityLedger;
+use mwm_mapreduce::{MapReduceConfig, MapReduceSim, ResourceTracker};
+use mwm_sparsify::DeferredSparsifier;
+
+/// Configuration of the solver.
+#[derive(Clone, Copy, Debug)]
+pub struct DualPrimalConfig {
+    /// Accuracy parameter ε ∈ (0, 1/2).
+    pub eps: f64,
+    /// Round/space trade-off exponent `p > 1` (space budget `O(n^{1+1/p})`).
+    pub p: f64,
+    /// RNG seed (sampling, sparsifiers).
+    pub seed: u64,
+    /// Override for the number of adaptive rounds (default `⌈2p/ε⌉`).
+    pub max_rounds: Option<usize>,
+    /// Override for deferred sparsifiers per round (default `⌈ε⁻¹ ln γ⌉`).
+    pub sparsifiers_per_round: Option<usize>,
+    /// Constant in the central-space budget.
+    pub space_constant: f64,
+}
+
+impl Default for DualPrimalConfig {
+    fn default() -> Self {
+        DualPrimalConfig {
+            eps: 0.2,
+            p: 2.0,
+            seed: 0xDA17,
+            max_rounds: None,
+            sparsifiers_per_round: None,
+            space_constant: 4.0,
+        }
+    }
+}
+
+/// The output of one solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// The best feasible b-matching found (integral; for `b ≡ 1` a matching).
+    pub matching: BMatching,
+    /// Its weight (original weight scale).
+    pub weight: f64,
+    /// Final dual objective bound β (rescaled weight scale).
+    pub beta: f64,
+    /// Final covering feasibility `λ = min_edge coverage/ŵ_k`.
+    pub lambda: f64,
+    /// Adaptive rounds of data access used (including the initial solution).
+    pub rounds: usize,
+    /// Oracle iterations performed (multiplier updates without data access).
+    pub oracle_iterations: usize,
+    /// Peak central space (items) held between rounds.
+    pub peak_central_space: usize,
+    /// Total edges stored across all deferred sparsifiers of the last round.
+    pub sparsifier_edges_last_round: usize,
+    /// Adaptivity ledger (rounds vs iterations vs sparsifiers vs β raises).
+    pub ledger: AdaptivityLedger,
+    /// The MapReduce resource ledger.
+    pub tracker: ResourceTracker,
+    /// Rounds used by the initial solution alone.
+    pub initial_rounds: usize,
+    /// Number of weight levels `L+1`.
+    pub num_levels: usize,
+    /// How many oracle calls ended in a primal certificate.
+    pub primal_certificates: usize,
+    /// How many oracle calls returned vertex-mass dual updates.
+    pub vertex_updates: usize,
+    /// How many oracle calls returned odd-set dual updates.
+    pub odd_set_updates: usize,
+    /// The ε the solver ran with.
+    pub eps: f64,
+    /// The p the solver ran with.
+    pub p: f64,
+}
+
+/// The dual-primal matching solver.
+#[derive(Clone, Debug, Default)]
+pub struct DualPrimalSolver {
+    config: DualPrimalConfig,
+}
+
+impl DualPrimalSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: DualPrimalConfig) -> Self {
+        assert!(config.eps > 0.0 && config.eps < 0.5, "eps must be in (0, 1/2)");
+        assert!(config.p > 1.0, "p must exceed 1");
+        DualPrimalSolver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DualPrimalConfig {
+        &self.config
+    }
+
+    /// Solves the weighted (non-bipartite) b-matching problem on `graph`.
+    pub fn solve(&self, graph: &Graph) -> SolveResult {
+        let cfg = &self.config;
+        let eps = cfg.eps;
+        let n = graph.num_vertices();
+        let levels = WeightLevels::new(graph, eps);
+        let sim_cfg = MapReduceConfig {
+            p: cfg.p,
+            space_constant: cfg.space_constant,
+            reducers: 4,
+            seed: cfg.seed,
+        };
+        let mut sim = MapReduceSim::new(graph, sim_cfg);
+        let mut ledger = AdaptivityLedger::new();
+
+        if levels.num_kept_edges() == 0 {
+            return self.empty_result(graph, &levels, sim, ledger);
+        }
+
+        // Phase 1: initial solution (Lemmas 12/20/21).
+        let init = build_initial_solution(graph, &levels, &mut sim, cfg.seed ^ 0x1357);
+        let initial_rounds = init.rounds_used;
+        let mut dual = init.dual.clone();
+        let mut best: BMatching = init.combined.clone();
+        let mut beta = init.beta0.max(1e-12);
+        {
+            // The combined initial b-matching is itself a lower bound on β*.
+            let init_weight_rescaled = rescaled_weight(&best, &levels);
+            if init_weight_rescaled > beta {
+                beta = init_weight_rescaled;
+            }
+        }
+
+        // Parameters of the main loop.
+        let gamma_param = (n.max(2) as f64).powf(1.0 / (2.0 * cfg.p)).max(1.25);
+        let t_sparsifiers = cfg
+            .sparsifiers_per_round
+            .unwrap_or_else(|| ((1.0 / eps) * gamma_param.ln()).ceil().max(1.0) as usize)
+            .max(1);
+        let max_rounds = cfg
+            .max_rounds
+            .unwrap_or_else(|| (2.0 * cfg.p / eps).ceil() as usize)
+            .max(1);
+        let rho_outer = 6.0; // constant width of the penalty relaxation (LP4/LP5).
+        let a3 = eps / 2.0; // offline solver approximation slack in Step 5/6.
+        let m_constraints = levels.num_kept_edges().max(2) as f64;
+        let oracle = MicroOracle::new(graph, &levels);
+
+        let mut lambda = compute_lambda(&dual, &levels);
+        let mut primal_certificates = 0usize;
+        let mut vertex_updates = 0usize;
+        let mut odd_set_updates = 0usize;
+        let mut sparsifier_edges_last_round = 0usize;
+
+        for round in 0..max_rounds {
+            if lambda >= 1.0 - 3.0 * eps {
+                break;
+            }
+            // ---- One round of data access: multipliers -> t deferred sparsifiers ----
+            ledger.record_round();
+            sim.tracker_mut().charge_round();
+            sim.tracker_mut().charge_stream(graph.num_edges());
+            let alpha = (m_constraints / eps).ln() / (lambda.max(1e-6) * eps);
+            let promise = edge_multipliers(graph, &levels, &dual, alpha, lambda);
+            let mut sparsifiers: Vec<DeferredSparsifier> = Vec::with_capacity(t_sparsifiers);
+            let mut stored_total = 0usize;
+            for q in 0..t_sparsifiers {
+                let seed = cfg
+                    .seed
+                    .wrapping_add(round as u64 * 1_000_003)
+                    .wrapping_add(q as u64 * 7919);
+                let d = DeferredSparsifier::build(graph, &promise, gamma_param, eps / 4.0, seed);
+                stored_total += d.num_stored();
+                ledger.record_sparsifier();
+                sparsifiers.push(d);
+            }
+            sim.tracker_mut().allocate_central(stored_total);
+            sparsifier_edges_last_round = stored_total;
+
+            // ---- Algorithm 2 Step 5: offline matching on the union of stored edges ----
+            let union_candidate = offline_on_union(graph, &sparsifiers);
+            let cand_rescaled = rescaled_weight(&union_candidate, &levels);
+            if union_candidate.weight() > best.weight() {
+                best = union_candidate;
+            }
+            // Step 6: raise beta when the offline value certifies it.
+            if cand_rescaled > beta * (1.0 - a3) / (1.0 + eps) {
+                beta = cand_rescaled * (1.0 + eps) / (1.0 - a3);
+                ledger.record_beta_raise();
+            }
+
+            // ---- Sequential use of the sparsifiers (Figure 1, right) ----
+            for d in &sparsifiers {
+                if lambda >= 1.0 - 3.0 * eps {
+                    break;
+                }
+                ledger.record_oracle_iteration();
+                let alpha = (m_constraints / eps).ln() / (lambda.max(1e-6) * eps);
+                let support = reveal_support(graph, &levels, &dual, d, alpha, lambda);
+                match oracle.decide(&support, beta) {
+                    OracleDecision::DualUpdate { update, vertex_mass, gamma } => {
+                        if gamma <= 0.0 {
+                            continue;
+                        }
+                        if vertex_mass {
+                            vertex_updates += 1;
+                        } else {
+                            odd_set_updates += 1;
+                        }
+                        let sigma = (eps / (2.0 * alpha * rho_outer)).min(1.0);
+                        dual.scale(1.0 - sigma);
+                        dual.add_scaled(&update, sigma);
+                        lambda = compute_lambda(&dual, &levels);
+                    }
+                    OracleDecision::PrimalCertificate { .. } => {
+                        primal_certificates += 1;
+                        // Lemma 14 → Lemma 13: the support holds a matching of value
+                        // ≥ (1-2ε)β, so the current β is not yet tight; raise it and
+                        // keep going (Algorithm 4, Step 8(b)).
+                        beta *= 1.0 + eps;
+                        ledger.record_beta_raise();
+                    }
+                }
+            }
+
+            // The model allows discarding the per-round sample before the next round.
+            sim.tracker_mut().release_central(stored_total);
+        }
+
+        let weight = best.weight();
+        SolveResult {
+            matching: best,
+            weight,
+            beta,
+            lambda,
+            rounds: sim.tracker().rounds(),
+            oracle_iterations: ledger.oracle_iterations(),
+            peak_central_space: sim.tracker().peak_central_space(),
+            sparsifier_edges_last_round,
+            tracker: sim.tracker().clone(),
+            initial_rounds,
+            num_levels: levels.num_levels(),
+            primal_certificates,
+            vertex_updates,
+            odd_set_updates,
+            eps,
+            p: cfg.p,
+            ledger,
+        }
+    }
+
+    fn empty_result(
+        &self,
+        _graph: &Graph,
+        levels: &WeightLevels,
+        sim: MapReduceSim<'_>,
+        ledger: AdaptivityLedger,
+    ) -> SolveResult {
+        SolveResult {
+            matching: BMatching::new(),
+            weight: 0.0,
+            beta: 0.0,
+            lambda: 1.0,
+            rounds: sim.tracker().rounds(),
+            oracle_iterations: 0,
+            peak_central_space: sim.tracker().peak_central_space(),
+            sparsifier_edges_last_round: 0,
+            tracker: sim.tracker().clone(),
+            initial_rounds: 0,
+            num_levels: levels.num_levels(),
+            primal_certificates: 0,
+            vertex_updates: 0,
+            odd_set_updates: 0,
+            eps: self.config.eps,
+            p: self.config.p,
+            ledger,
+        }
+    }
+}
+
+/// `λ = min` over levelled edges of `coverage / ŵ_k`.
+fn compute_lambda(dual: &DualState, levels: &WeightLevels) -> f64 {
+    let mut lambda = f64::INFINITY;
+    for le in levels.all_edges() {
+        let cov = dual.edge_coverage(le.edge.u, le.edge.v, le.level);
+        let ratio = cov / levels.level_weight(le.level);
+        if ratio < lambda {
+            lambda = ratio;
+        }
+    }
+    if lambda.is_finite() {
+        lambda
+    } else {
+        1.0
+    }
+}
+
+/// The exponential multipliers `u_{ijk} = exp(-α(cov/ŵ_k - λ))/ŵ_k` for every
+/// edge of the graph (0 for edges dropped by the weight discretization).
+fn edge_multipliers(
+    graph: &Graph,
+    levels: &WeightLevels,
+    dual: &DualState,
+    alpha: f64,
+    lambda: f64,
+) -> Vec<f64> {
+    let mut out = vec![0.0f64; graph.num_edges()];
+    for le in levels.all_edges() {
+        let w_k = levels.level_weight(le.level);
+        let cov = dual.edge_coverage(le.edge.u, le.edge.v, le.level);
+        let exponent = (-(alpha * (cov / w_k - lambda))).min(700.0).max(-700.0);
+        out[le.id] = exponent.exp() / w_k;
+    }
+    out
+}
+
+/// Reveals the *current* multiplier values of a sparsifier's stored edges
+/// (Definition 4: the exact values of stored entries are revealed after `D` is
+/// fixed), producing the oracle's support.
+fn reveal_support(
+    graph: &Graph,
+    levels: &WeightLevels,
+    dual: &DualState,
+    sparsifier: &DeferredSparsifier,
+    alpha: f64,
+    lambda: f64,
+) -> Vec<SupportEdge> {
+    let _ = graph;
+    sparsifier
+        .stored_edges()
+        .iter()
+        .filter_map(|pe| {
+            let level = levels.level_of_weight(pe.edge.w)?;
+            let w_k = levels.level_weight(level);
+            let cov = dual.edge_coverage(pe.edge.u, pe.edge.v, level);
+            let exponent = (-(alpha * (cov / w_k - lambda))).min(700.0).max(-700.0);
+            let us = exponent.exp() / w_k;
+            Some(SupportEdge { id: pe.id, u: pe.edge.u, v: pe.edge.v, level, us })
+        })
+        .collect()
+}
+
+/// Runs the offline b-matching substrate on the union of the edges stored by a
+/// batch of deferred sparsifiers, returning a b-matching expressed in the
+/// *original* graph's edge ids.
+fn offline_on_union(graph: &Graph, sparsifiers: &[DeferredSparsifier]) -> BMatching {
+    let mut union_ids: Vec<usize> = sparsifiers
+        .iter()
+        .flat_map(|d| d.stored_edges().iter().map(|pe| pe.id))
+        .collect();
+    union_ids.sort_unstable();
+    union_ids.dedup();
+    if union_ids.is_empty() {
+        return BMatching::new();
+    }
+    // Build the union subgraph, remembering the original edge ids.
+    let mut sub = Graph::with_capacities(graph.capacities().to_vec());
+    let mut back: Vec<usize> = Vec::with_capacity(union_ids.len());
+    for &id in &union_ids {
+        let e = graph.edge(id);
+        sub.add_edge(e.u, e.v, e.w);
+        back.push(id);
+    }
+    let local = offline_b_matching(&sub);
+    // Remap to original edge ids.
+    let mut out = BMatching::new();
+    for (local_id, _e, mult) in local.iter() {
+        let orig = back[local_id];
+        out.add(orig, graph.edge(orig), mult);
+    }
+    out
+}
+
+/// Weight of a b-matching measured in the rescaled/discretized scale used by β.
+fn rescaled_weight(bm: &BMatching, levels: &WeightLevels) -> f64 {
+    bm.iter()
+        .map(|(_, e, mult)| {
+            match levels.level_of_weight(e.w) {
+                Some(k) => levels.level_weight(k) * mult as f64,
+                None => 0.0,
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwm_graph::generators::{self, WeightModel};
+    use mwm_matching::exact_max_weight_matching;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn solver(eps: f64, p: f64, seed: u64) -> DualPrimalSolver {
+        DualPrimalSolver::new(DualPrimalConfig { eps, p, seed, ..Default::default() })
+    }
+
+    #[test]
+    fn result_is_always_a_feasible_b_matching() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = generators::gnm(40, 200, WeightModel::Uniform(1.0, 9.0), &mut rng);
+            let res = solver(0.25, 2.0, seed).solve(&g);
+            assert!(res.matching.is_valid(&g), "seed {seed}");
+            assert!(res.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn near_optimal_on_small_graphs() {
+        let mut ratios = Vec::new();
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let g = generators::gnm(14, 40, WeightModel::Uniform(1.0, 10.0), &mut rng);
+            let opt = exact_max_weight_matching(&g).weight();
+            if opt <= 0.0 {
+                continue;
+            }
+            let res = solver(0.2, 2.0, seed).solve(&g);
+            let ratio = res.weight / opt;
+            assert!(ratio >= 0.75, "seed {seed}: ratio {ratio}");
+            ratios.push(ratio);
+        }
+        let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(avg >= 0.9, "average ratio {avg}");
+    }
+
+    #[test]
+    fn rounds_are_within_the_p_over_eps_budget() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::gnm(80, 600, WeightModel::Uniform(1.0, 5.0), &mut rng);
+        let eps = 0.25;
+        let p = 2.0;
+        let res = solver(eps, p, 3).solve(&g);
+        // initial rounds + main rounds; main rounds ≤ ceil(2p/eps), initial ≤ O(p).
+        let budget = (2.0 * p / eps).ceil() as usize + 12;
+        assert!(res.rounds <= budget, "rounds {} > budget {budget}", res.rounds);
+        assert!(res.oracle_iterations >= res.ledger.rounds().saturating_sub(res.initial_rounds));
+    }
+
+    #[test]
+    fn adaptivity_ratio_exceeds_one_when_dual_work_happens() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp(60, 0.2, WeightModel::Uniform(1.0, 4.0), &mut rng);
+        let res = solver(0.2, 3.0, 5).solve(&g);
+        // Several oracle iterations happen per adaptive round whenever the main
+        // loop executes at all.
+        if res.ledger.rounds() > res.initial_rounds {
+            assert!(res.oracle_iterations > 0);
+        }
+    }
+
+    #[test]
+    fn triangle_gadget_is_solved_optimally() {
+        // The paper's p.5 gadget: optimum is the single heavy edge.
+        let g = generators::triangle_gadget(0.1, 1.0);
+        let res = solver(0.1, 2.0, 1).solve(&g);
+        assert!(res.matching.is_valid(&g));
+        assert!((res.weight - 1.0).abs() < 1e-9, "weight {}", res.weight);
+    }
+
+    #[test]
+    fn b_matching_capacities_are_respected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut g = generators::gnm(30, 150, WeightModel::Uniform(1.0, 6.0), &mut rng);
+        generators::randomize_capacities(&mut g, 3, &mut rng);
+        let res = solver(0.25, 2.0, 2).solve(&g);
+        assert!(res.matching.is_valid(&g));
+        assert!(res.weight > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_returns_empty_result() {
+        let g = Graph::new(12);
+        let res = solver(0.2, 2.0, 1).solve(&g);
+        assert_eq!(res.weight, 0.0);
+        assert!(res.matching.is_empty());
+        assert_eq!(res.lambda, 1.0);
+    }
+
+    #[test]
+    fn space_stays_within_budget_for_dense_graphs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // Dense graph: m ~ 3000 edges over 120 vertices, n^{1.5} ≈ 1315.
+        let g = generators::gnp(120, 0.45, WeightModel::Uniform(1.0, 3.0), &mut rng);
+        let res = solver(0.3, 2.0, 4).solve(&g);
+        // peak central space stays well below m (the whole point of the model);
+        // allow the polylog/constant slack of Theorem 15.
+        let n = g.num_vertices() as f64;
+        let budget = 40.0 * n.powf(1.5) * (g.total_capacity() as f64).ln().max(1.0);
+        assert!(
+            (res.peak_central_space as f64) <= budget,
+            "peak space {} exceeds budget {budget}",
+            res.peak_central_space
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Laminar families of vertex sets.
+//!
+//! Theorem 22 of the paper shows that LP2 (the dual of the exact matching LP)
+//! always has an optimal solution whose support `{U : z_U ≠ 0}` is a laminar
+//! family. The dual certificates produced by the solver are stored in this
+//! form, and the uncrossing operations of the proof (intersection/difference
+//! vs union/intersection depending on the parity of `||A∩B||_b`) are exposed
+//! for testing.
+
+use crate::graph::VertexId;
+
+/// A family of vertex sets in which every two members are either disjoint or
+/// nested. Sets are stored sorted for canonical comparison.
+#[derive(Clone, Debug, Default)]
+pub struct LaminarFamily {
+    sets: Vec<Vec<VertexId>>,
+}
+
+/// Relationship between two sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetRelation {
+    /// No common element.
+    Disjoint,
+    /// The first set is contained in the second (or equal).
+    FirstInSecond,
+    /// The second set is contained in the first.
+    SecondInFirst,
+    /// Properly crossing: common elements but neither contains the other.
+    Crossing,
+}
+
+/// Determines the relation between two sorted vertex sets.
+pub fn set_relation(a: &[VertexId], b: &[VertexId]) -> SetRelation {
+    let inter = intersection(a, b).len();
+    if inter == 0 {
+        SetRelation::Disjoint
+    } else if inter == a.len() {
+        SetRelation::FirstInSecond
+    } else if inter == b.len() {
+        SetRelation::SecondInFirst
+    } else {
+        SetRelation::Crossing
+    }
+}
+
+/// Intersection of two sorted sets.
+pub fn intersection(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Union of two sorted sets.
+pub fn union(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out: Vec<VertexId> = a.iter().chain(b.iter()).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Set difference `a \ b` of two sorted sets.
+pub fn difference(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    a.iter().copied().filter(|x| b.binary_search(x).is_err()).collect()
+}
+
+impl LaminarFamily {
+    /// Creates an empty family.
+    pub fn new() -> Self {
+        LaminarFamily { sets: Vec::new() }
+    }
+
+    /// Number of sets in the family.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The sets of the family (each sorted).
+    pub fn sets(&self) -> &[Vec<VertexId>] {
+        &self.sets
+    }
+
+    /// Attempts to insert a set; returns `false` (and does not insert) if the
+    /// set would cross an existing member.
+    pub fn try_insert(&mut self, mut set: Vec<VertexId>) -> bool {
+        set.sort_unstable();
+        set.dedup();
+        if set.is_empty() {
+            return false;
+        }
+        for existing in &self.sets {
+            if set_relation(&set, existing) == SetRelation::Crossing {
+                return false;
+            }
+        }
+        self.sets.push(set);
+        true
+    }
+
+    /// Inserts a set, panicking if it crosses an existing member.
+    pub fn insert(&mut self, set: Vec<VertexId>) {
+        assert!(self.try_insert(set), "set crosses an existing member of the laminar family");
+    }
+
+    /// True if every pair of members is nested or disjoint.
+    pub fn is_laminar(&self) -> bool {
+        for i in 0..self.sets.len() {
+            for j in (i + 1)..self.sets.len() {
+                if set_relation(&self.sets[i], &self.sets[j]) == SetRelation::Crossing {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum nesting depth of the family (1 for an antichain, 0 if empty).
+    pub fn depth(&self) -> usize {
+        let mut depth = 0usize;
+        for (i, a) in self.sets.iter().enumerate() {
+            let mut d = 1usize;
+            for (j, b) in self.sets.iter().enumerate() {
+                if i != j && set_relation(a, b) == SetRelation::FirstInSecond && a.len() < b.len() {
+                    d += 1;
+                }
+            }
+            depth = depth.max(d);
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relations() {
+        assert_eq!(set_relation(&[1, 2], &[3, 4]), SetRelation::Disjoint);
+        assert_eq!(set_relation(&[1, 2], &[1, 2, 3]), SetRelation::FirstInSecond);
+        assert_eq!(set_relation(&[1, 2, 3], &[2, 3]), SetRelation::SecondInFirst);
+        assert_eq!(set_relation(&[1, 2], &[2, 3]), SetRelation::Crossing);
+    }
+
+    #[test]
+    fn set_ops() {
+        assert_eq!(intersection(&[1, 2, 3], &[2, 3, 4]), vec![2, 3]);
+        assert_eq!(union(&[1, 3], &[2, 3]), vec![1, 2, 3]);
+        assert_eq!(difference(&[1, 2, 3], &[2]), vec![1, 3]);
+    }
+
+    #[test]
+    fn laminar_insertion() {
+        let mut fam = LaminarFamily::new();
+        assert!(fam.try_insert(vec![1, 2, 3, 4, 5]));
+        assert!(fam.try_insert(vec![1, 2]));
+        assert!(fam.try_insert(vec![3, 4]));
+        assert!(fam.try_insert(vec![6, 7]));
+        assert!(!fam.try_insert(vec![2, 3])); // crosses {1,2} and {3,4}
+        assert!(fam.is_laminar());
+        assert_eq!(fam.len(), 4);
+        assert_eq!(fam.depth(), 2);
+    }
+
+    #[test]
+    fn uncrossing_preserves_capacity_sum() {
+        // The uncrossing in Theorem 22 relies on ||A∪B||_b + ||A∩B||_b = ||A||_b + ||B||_b.
+        let a = vec![1u32, 2, 3];
+        let b = vec![2u32, 3, 4, 5];
+        let b_vals = |s: &[u32]| -> u64 { s.iter().map(|&v| (v as u64) + 1).sum() };
+        let lhs = b_vals(&union(&a, &b)) + b_vals(&intersection(&a, &b));
+        let rhs = b_vals(&a) + b_vals(&b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn empty_and_duplicate_sets() {
+        let mut fam = LaminarFamily::new();
+        assert!(!fam.try_insert(vec![]));
+        assert!(fam.try_insert(vec![5, 5, 6])); // dedupes to {5,6}
+        assert_eq!(fam.sets()[0], vec![5, 6]);
+    }
+}

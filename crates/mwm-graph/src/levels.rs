@@ -1,0 +1,231 @@
+//! Weight discretization into levels `ŵ_k = (1+ε)^k` (Definitions 2–3).
+//!
+//! The paper rescales all weights by `B / W*` and then snaps each edge weight
+//! `w_ij` to the largest power `ŵ_k = (1+ε)^k` with `(W*/B)·ŵ_k ≤ w_ij`, i.e.
+//! each edge belongs to exactly one weight class `Ê_k`. Edges whose rescaled
+//! weight falls below 1 (i.e. below `W*/B`) are dropped — they cannot matter
+//! for a `(1-ε)` approximation because even taking all of them is dominated by
+//! a single heaviest edge (Observation 1).
+
+use crate::graph::{Edge, EdgeId, Graph};
+
+/// An edge annotated with its weight class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelledEdge {
+    /// Id of the edge in the original graph.
+    pub id: EdgeId,
+    /// The edge itself (original weight).
+    pub edge: Edge,
+    /// Weight level `k` such that `ŵ_ij = (1+ε)^k` (after rescaling).
+    pub level: usize,
+}
+
+/// The weight-level decomposition of a graph (Definition 3).
+#[derive(Clone, Debug)]
+pub struct WeightLevels {
+    eps: f64,
+    /// Rescale factor `B / W*` applied before discretization.
+    scale: f64,
+    /// Edges of each level `Ê_k`, `k = 0..=max_level`.
+    levels: Vec<Vec<LevelledEdge>>,
+    /// Number of edges dropped because their rescaled weight was below 1.
+    dropped: usize,
+    /// Total number of vertices of the underlying graph.
+    n: usize,
+}
+
+impl WeightLevels {
+    /// Builds the decomposition for accuracy parameter `eps ∈ (0, 1)`.
+    pub fn new(graph: &Graph, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        let n = graph.num_vertices();
+        let w_star = graph.max_weight().unwrap_or(0.0);
+        if w_star <= 0.0 {
+            return WeightLevels { eps, scale: 1.0, levels: Vec::new(), dropped: 0, n };
+        }
+        let b_total = graph.total_capacity().max(1) as f64;
+        let scale = b_total / w_star;
+        let log1e = (1.0 + eps).ln();
+        let mut levels: Vec<Vec<LevelledEdge>> = Vec::new();
+        let mut dropped = 0usize;
+        for (id, edge) in graph.edge_iter() {
+            let scaled = edge.w * scale;
+            if scaled < 1.0 {
+                dropped += 1;
+                continue;
+            }
+            // Level k is the largest k with (1+eps)^k <= scaled (floor of log).
+            let k = (scaled.ln() / log1e).floor().max(0.0) as usize;
+            if levels.len() <= k {
+                levels.resize_with(k + 1, Vec::new);
+            }
+            levels[k].push(LevelledEdge { id, edge, level: k });
+        }
+        WeightLevels { eps, scale, levels, dropped, n }
+    }
+
+    /// The accuracy parameter used for discretization.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The rescale factor `B / W*`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of vertices of the underlying graph.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels `L + 1` (possibly zero for an empty graph).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Index `L` of the heaviest non-empty level; `None` if no levels exist.
+    pub fn max_level(&self) -> Option<usize> {
+        if self.levels.is_empty() {
+            None
+        } else {
+            Some(self.levels.len() - 1)
+        }
+    }
+
+    /// Number of edges dropped during rescaling.
+    pub fn dropped_edges(&self) -> usize {
+        self.dropped
+    }
+
+    /// The discretized (rescaled) weight `ŵ_k = (1+ε)^k` of level `k`.
+    pub fn level_weight(&self, k: usize) -> f64 {
+        (1.0 + self.eps).powi(k as i32)
+    }
+
+    /// The discretized weight converted back to the original weight scale.
+    pub fn level_weight_original(&self, k: usize) -> f64 {
+        self.level_weight(k) / self.scale
+    }
+
+    /// Edges of level `k` (`Ê_k`); empty slice if the level does not exist.
+    pub fn level_edges(&self, k: usize) -> &[LevelledEdge] {
+        self.levels.get(k).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterator over `(level, edges)` pairs for non-empty levels.
+    pub fn iter_levels(&self) -> impl Iterator<Item = (usize, &[LevelledEdge])> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// All levelled edges across all levels (`Ê = ∪_k Ê_k`).
+    pub fn all_edges(&self) -> impl Iterator<Item = &LevelledEdge> {
+        self.levels.iter().flatten()
+    }
+
+    /// Total number of kept (levelled) edges.
+    pub fn num_kept_edges(&self) -> usize {
+        self.levels.iter().map(|v| v.len()).sum()
+    }
+
+    /// The level an original-scale weight `w` would map to, or `None` if dropped.
+    pub fn level_of_weight(&self, w: f64) -> Option<usize> {
+        let scaled = w * self.scale;
+        if scaled < 1.0 {
+            return None;
+        }
+        Some((scaled.ln() / (1.0 + self.eps).ln()).floor().max(0.0) as usize)
+    }
+
+    /// Sum over kept edges of the discretized weight; a lower bound on the total
+    /// rescaled weight and within `(1+ε)` of it.
+    pub fn discretized_total_weight(&self) -> f64 {
+        self.iter_levels()
+            .map(|(k, es)| self.level_weight(k) * es.len() as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 4.0);
+        g.add_edge(3, 4, 8.0);
+        g.add_edge(4, 5, 16.0);
+        g
+    }
+
+    #[test]
+    fn levels_cover_all_heavy_edges() {
+        let g = sample_graph();
+        let levels = WeightLevels::new(&g, 0.25);
+        // B = 6, W* = 16 → scale = 6/16; the two lightest edges rescale below 1 and are dropped.
+        assert_eq!(levels.dropped_edges(), 2);
+        assert_eq!(levels.num_kept_edges(), 3);
+        assert!(levels.num_levels() >= 1);
+    }
+
+    #[test]
+    fn discretized_weight_within_one_plus_eps() {
+        let g = sample_graph();
+        let eps = 0.2;
+        let levels = WeightLevels::new(&g, eps);
+        for le in levels.all_edges() {
+            let scaled = le.edge.w * levels.scale();
+            let disc = levels.level_weight(le.level);
+            assert!(disc <= scaled + 1e-9, "discretized weight must not exceed the scaled weight");
+            assert!(scaled <= disc * (1.0 + eps) + 1e-9, "discretization loses at most (1+eps)");
+        }
+    }
+
+    #[test]
+    fn level_of_weight_matches_assignment() {
+        let g = sample_graph();
+        let levels = WeightLevels::new(&g, 0.3);
+        for le in levels.all_edges() {
+            assert_eq!(levels.level_of_weight(le.edge.w), Some(le.level));
+        }
+    }
+
+    #[test]
+    fn max_level_holds_heaviest_edge() {
+        let g = sample_graph();
+        let levels = WeightLevels::new(&g, 0.1);
+        let top = levels.max_level().unwrap();
+        assert!(levels
+            .level_edges(top)
+            .iter()
+            .any(|le| (le.edge.w - 16.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(4);
+        let levels = WeightLevels::new(&g, 0.2);
+        assert_eq!(levels.num_levels(), 0);
+        assert_eq!(levels.max_level(), None);
+        assert_eq!(levels.num_kept_edges(), 0);
+    }
+
+    #[test]
+    fn level_count_is_logarithmic_in_b() {
+        // L = O(ln(B)/eps): with uniform weights everything lands in a few levels.
+        let mut g = Graph::new(100);
+        for i in 0..99u32 {
+            g.add_edge(i, i + 1, 5.0);
+        }
+        let levels = WeightLevels::new(&g, 0.5);
+        let bound = ((g.total_capacity() as f64).ln() / 0.5).ceil() as usize + 2;
+        assert!(levels.num_levels() <= bound);
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph substrate for the dual-primal matching reproduction.
+//!
+//! This crate provides the data model every other crate builds on:
+//!
+//! * [`Graph`]: a weighted undirected multigraph with per-vertex capacities `b_i`
+//!   (the b-matching capacities of LP1 in the paper).
+//! * [`generators`]: synthetic workload generators (Erdős–Rényi, power-law,
+//!   geometric, bipartite, the paper's triangle gadget, ...).
+//! * [`levels`]: the weight discretization of Definitions 2–3 (`ŵ_k = (1+ε)^k`).
+//! * [`matching`]: (b-)matching containers with feasibility checks and weights.
+//! * [`laminar`]: laminar families of odd sets (Theorem 22).
+//! * [`union_find`]: a union-find used by sketches, sparsifiers and connectivity.
+//! * [`odd_sets`]: odd-set utilities used by the relaxations of Section 3.
+
+pub mod generators;
+pub mod graph;
+pub mod laminar;
+pub mod levels;
+pub mod matching;
+pub mod odd_sets;
+pub mod union_find;
+
+pub use graph::{Edge, EdgeId, Graph, VertexId};
+pub use laminar::LaminarFamily;
+pub use levels::{WeightLevels, LevelledEdge};
+pub use matching::{BMatching, Matching};
+pub use union_find::UnionFind;

@@ -1,0 +1,216 @@
+//! Odd-set utilities for the matching relaxations of Section 3.
+//!
+//! An *odd set* is a vertex set `U` with `||U||_b = Σ_{i∈U} b_i` odd. The
+//! exact LP for non-bipartite matching (LP1) has one constraint per odd set;
+//! the `(1-ε)`-approximate relaxations only need the *small* odd sets
+//! `O_s = {U : ||U||_b ≤ 4/ε}`. This module provides representation,
+//! feasibility predicates and violation checks used by the MicroOracle and the
+//! certificates.
+
+use crate::graph::{Graph, VertexId};
+use crate::matching::BMatching;
+
+/// An odd set together with its capacity `||U||_b`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OddSet {
+    /// Sorted member vertices.
+    pub vertices: Vec<VertexId>,
+    /// `||U||_b` (odd by construction).
+    pub capacity: u64,
+}
+
+impl OddSet {
+    /// Builds an odd set; returns `None` if `||U||_b` is even or the set has
+    /// fewer than 3 vertices (singletons are covered by the degree constraints).
+    pub fn new(graph: &Graph, mut vertices: Vec<VertexId>) -> Option<Self> {
+        vertices.sort_unstable();
+        vertices.dedup();
+        if vertices.len() < 3 {
+            return None;
+        }
+        let capacity = graph.set_capacity(&vertices);
+        if capacity % 2 == 0 {
+            return None;
+        }
+        Some(OddSet { vertices, capacity })
+    }
+
+    /// The right-hand side `⌊||U||_b / 2⌋` of the odd-set constraint.
+    pub fn rhs(&self) -> u64 {
+        self.capacity / 2
+    }
+
+    /// True if `v` is a member.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if the set has no members (never true for a constructed odd set).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Total multiplicity of `bm` edges with both endpoints inside the set.
+    pub fn internal_load(&self, bm: &BMatching) -> u64 {
+        bm.iter()
+            .filter(|(_, e, _)| self.contains(e.u) && self.contains(e.v))
+            .map(|(_, _, m)| m)
+            .sum()
+    }
+
+    /// True if the odd-set constraint `Σ_{(i,j)⊆U} y_ij ≤ ⌊||U||_b/2⌋` holds for `bm`.
+    pub fn is_satisfied_by(&self, bm: &BMatching) -> bool {
+        self.internal_load(bm) <= self.rhs()
+    }
+
+    /// Violation amount (0 if satisfied).
+    pub fn violation(&self, bm: &BMatching) -> u64 {
+        self.internal_load(bm).saturating_sub(self.rhs())
+    }
+}
+
+/// Enumerates every small odd set of size at most `max_vertices` in a graph,
+/// restricted to sets that induce at least one edge (others can never be
+/// violated). Exponential in `max_vertices`; intended for tests and for tiny
+/// instances such as the paper's triangle gadget.
+pub fn enumerate_small_odd_sets(graph: &Graph, max_vertices: usize) -> Vec<OddSet> {
+    let n = graph.num_vertices();
+    let mut out = Vec::new();
+    if n == 0 || max_vertices < 3 {
+        return out;
+    }
+    // Only consider vertices that have at least one incident edge.
+    let mut active = vec![false; n];
+    for e in graph.edges() {
+        active[e.u as usize] = true;
+        active[e.v as usize] = true;
+    }
+    let verts: Vec<VertexId> = (0..n as u32).filter(|&v| active[v as usize]).collect();
+    let k = verts.len();
+    if k == 0 {
+        return out;
+    }
+    // Recursive enumeration of subsets of size 3..=max_vertices.
+    let mut current: Vec<VertexId> = Vec::new();
+    fn recurse(
+        graph: &Graph,
+        verts: &[VertexId],
+        start: usize,
+        max: usize,
+        current: &mut Vec<VertexId>,
+        out: &mut Vec<OddSet>,
+    ) {
+        if current.len() >= 3 {
+            if let Some(os) = OddSet::new(graph, current.clone()) {
+                // Keep only sets inducing at least one edge.
+                let induces_edge = graph
+                    .edges()
+                    .iter()
+                    .any(|e| os.contains(e.u) && os.contains(e.v));
+                if induces_edge {
+                    out.push(os);
+                }
+            }
+        }
+        if current.len() == max {
+            return;
+        }
+        for i in start..verts.len() {
+            current.push(verts[i]);
+            recurse(graph, verts, i + 1, max, current, out);
+            current.pop();
+        }
+    }
+    recurse(graph, &verts, 0, max_vertices.min(k), &mut current, &mut out);
+    out
+}
+
+/// Finds every small odd set violated by a (possibly infeasible) b-matching.
+pub fn violated_small_odd_sets(graph: &Graph, bm: &BMatching, max_vertices: usize) -> Vec<OddSet> {
+    enumerate_small_odd_sets(graph, max_vertices)
+        .into_iter()
+        .filter(|os| !os.is_satisfied_by(bm))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g
+    }
+
+    #[test]
+    fn odd_set_construction() {
+        let g = triangle();
+        let os = OddSet::new(&g, vec![0, 1, 2]).unwrap();
+        assert_eq!(os.capacity, 3);
+        assert_eq!(os.rhs(), 1);
+        assert!(os.contains(1));
+        assert!(!os.contains(5));
+        assert_eq!(os.len(), 3);
+
+        // Even capacity set is rejected.
+        let mut g2 = triangle();
+        g2.set_b(0, 2);
+        assert!(OddSet::new(&g2, vec![0, 1, 2]).is_none());
+        // Too-small sets are rejected.
+        assert!(OddSet::new(&g, vec![0, 1]).is_none());
+    }
+
+    #[test]
+    fn constraint_checks() {
+        let g = triangle();
+        let os = OddSet::new(&g, vec![0, 1, 2]).unwrap();
+        let mut bm = BMatching::new();
+        bm.add(0, g.edge(0), 1);
+        assert!(os.is_satisfied_by(&bm));
+        bm.add(1, g.edge(1), 1);
+        assert!(!os.is_satisfied_by(&bm));
+        assert_eq!(os.violation(&bm), 1);
+    }
+
+    #[test]
+    fn enumeration_finds_triangle() {
+        let g = triangle();
+        let sets = enumerate_small_odd_sets(&g, 3);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].vertices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn enumeration_respects_size_limit() {
+        let mut g = Graph::new(5);
+        for i in 0..5u32 {
+            g.add_edge(i, (i + 1) % 5, 1.0);
+        }
+        let sets3 = enumerate_small_odd_sets(&g, 3);
+        let sets5 = enumerate_small_odd_sets(&g, 5);
+        assert!(sets5.len() > sets3.len());
+        assert!(sets3.iter().all(|s| s.len() <= 3));
+        assert!(sets5.iter().all(|s| s.len() <= 5));
+    }
+
+    #[test]
+    fn violated_sets_on_fractional_overload() {
+        let g = triangle();
+        let mut bm = BMatching::new();
+        bm.add(0, g.edge(0), 1);
+        bm.add(1, g.edge(1), 1);
+        bm.add(2, g.edge(2), 1);
+        let violated = violated_small_odd_sets(&g, &bm, 3);
+        assert_eq!(violated.len(), 1);
+        assert_eq!(violated[0].violation(&bm), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Fractional covering / packing machinery (the Plotkin–Shmoys–Tardos style
+//! multiplicative-weights framework the paper builds on) and the dual-primal
+//! bookkeeping of Section 2.
+//!
+//! * [`covering`] — the fractional *covering* solver of Theorem 5 with the
+//!   relaxed oracle of Corollary 6: phases, exponential multipliers
+//!   `u_ℓ = exp(-α (Ax)_ℓ / c_ℓ)/c_ℓ`, convex-combination updates, early
+//!   stopping at `λ ≥ 1-3ε`, and infeasibility certificates.
+//! * [`packing`] — the fractional *packing* solver of Theorem 7 with the
+//!   relaxed oracle of Corollary 8 (used by the inner loop of Theorem 4).
+//! * [`explicit`] — explicit sparse-matrix instances over box-with-budget
+//!   polytopes, with built-in exact linear-maximization oracles; these are the
+//!   workloads of experiment E10 and the unit tests of the solvers.
+//! * [`width`] — width parameters `ρ = max_{x∈P} max_ℓ (Ax)_ℓ / c_ℓ` of
+//!   explicit instances (experiment E7 compares the width of the standard
+//!   matching dual LP2 against the penalty relaxations LP4/LP5).
+//! * [`dual_primal`] — the adaptivity ledger of the dual-primal framework:
+//!   how many *rounds of data access* versus *oracle iterations* an execution
+//!   used (Figure 1 / Corollary 2), shared by the solver and the baselines.
+
+pub mod covering;
+pub mod dual_primal;
+pub mod explicit;
+pub mod packing;
+pub mod width;
+
+pub use covering::{
+    solve_covering, CoveringInstance, CoveringOutcome, CoveringParams, CoveringSolution,
+    OracleCandidate,
+};
+pub use dual_primal::AdaptivityLedger;
+pub use explicit::{BoxBudgetPolytope, ExplicitCovering, ExplicitPacking};
+pub use packing::{solve_packing, PackingInstance, PackingOutcome, PackingParams, PackingSolution};
+pub use width::{covering_width, packing_width};

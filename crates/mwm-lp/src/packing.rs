@@ -1,0 +1,224 @@
+//! The fractional packing framework (Theorem 7, Corollary 8).
+//!
+//! Mirror image of the covering solver: we look for `x ∈ P_p` with
+//! `A_p x ≤ d`. The algorithm maintains `x`, tracks the load ratios
+//! `(A_p x)_r / d_r`, and queries an oracle for (approximate) minimizers of
+//! `zᵀA_p x̃` under the exponential multipliers
+//! `z_r = exp(α'·(A_p x)_r / d_r)/d_r`. The paper uses this machinery inside
+//! Theorem 4 (system `Modified-Sparse` / `Inner`) with `δ = ε/16`, which is
+//! why the default tolerance accepts `λ_p ≤ 1 + 6δ`.
+
+/// A candidate returned by a packing oracle.
+#[derive(Clone, Debug)]
+pub struct PackingCandidate<T> {
+    /// Nonzero entries of `A_p x̃` as `(constraint index, value)` pairs.
+    pub load: Vec<(usize, f64)>,
+    /// Caller-defined payload describing `x̃`.
+    pub payload: T,
+}
+
+/// A problem instance consumed by [`solve_packing`].
+pub trait PackingInstance {
+    /// Payload type attached to oracle candidates.
+    type Payload;
+
+    /// Number of packing constraints `M'`.
+    fn num_constraints(&self) -> usize;
+
+    /// Right-hand side `d_r > 0`.
+    fn rhs(&self, r: usize) -> f64;
+
+    /// Width bound `ρ' ≥ max_{x∈P_p} max_r (A_p x)_r / d_r`.
+    fn width(&self) -> f64;
+
+    /// The relaxed oracle of Corollary 8: return a candidate with
+    /// `zᵀA_p x̃ ≤ (1+δ/2)·zᵀd`, or `None` if even the best `x̃` exceeds it
+    /// (the packing problem is then infeasible for the caller's purposes).
+    fn oracle(&mut self, z: &[f64], delta: f64) -> Option<PackingCandidate<Self::Payload>>;
+}
+
+/// Parameters of the packing solver.
+#[derive(Clone, Copy, Debug)]
+pub struct PackingParams {
+    /// Target accuracy δ: the solver stops when `λ_p ≤ 1 + 6δ`.
+    pub delta: f64,
+    /// Hard cap on oracle invocations.
+    pub max_iterations: usize,
+}
+
+impl Default for PackingParams {
+    fn default() -> Self {
+        PackingParams { delta: 0.1, max_iterations: 100_000 }
+    }
+}
+
+/// Why the packing solver stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PackingOutcome {
+    /// `λ_p ≤ 1 + 6δ`: the maintained point satisfies the packing constraints
+    /// up to the promised slack.
+    Feasible,
+    /// The oracle refused to produce a candidate.
+    OracleFailed,
+    /// Iteration cap reached.
+    IterationLimit,
+}
+
+/// The result of a packing run.
+#[derive(Clone, Debug)]
+pub struct PackingSolution<T> {
+    /// Termination reason.
+    pub outcome: PackingOutcome,
+    /// Final `λ_p = max_r (A_p x)_r / d_r`.
+    pub lambda: f64,
+    /// Final load ratios per constraint.
+    pub load_ratio: Vec<f64>,
+    /// The convex combination defining `x` (same convention as the covering solver).
+    pub steps: Vec<(f64, T)>,
+    /// Number of successful oracle invocations.
+    pub iterations: usize,
+}
+
+/// Runs the fractional packing framework starting from a point with load
+/// `initial_load = A_p x₀` (Theorem 7 requires `A_p x₀ ≤ δ₀·d` for some finite
+/// `δ₀`, e.g. `x₀ = 0`).
+pub fn solve_packing<I: PackingInstance>(
+    instance: &mut I,
+    initial_load: Vec<f64>,
+    initial_payload: I::Payload,
+    params: &PackingParams,
+) -> PackingSolution<I::Payload>
+where
+    I::Payload: Clone,
+{
+    let m = instance.num_constraints();
+    assert_eq!(initial_load.len(), m);
+    let delta = params.delta;
+    assert!(delta > 0.0 && delta < 0.5);
+    let rho = instance.width().max(1.0);
+
+    let mut ratio: Vec<f64> = (0..m)
+        .map(|r| {
+            let d = instance.rhs(r);
+            assert!(d > 0.0, "packing RHS must be positive");
+            initial_load[r] / d
+        })
+        .collect();
+    let mut steps: Vec<(f64, I::Payload)> = vec![(1.0, initial_payload)];
+    let mut iterations = 0usize;
+
+    let lambda_of = |ratio: &[f64]| ratio.iter().copied().fold(0.0f64, f64::max);
+    let mut lambda = lambda_of(&ratio);
+
+    loop {
+        if lambda <= 1.0 + 6.0 * delta {
+            return PackingSolution {
+                outcome: PackingOutcome::Feasible,
+                lambda,
+                load_ratio: ratio,
+                steps,
+                iterations,
+            };
+        }
+        if iterations >= params.max_iterations {
+            return PackingSolution {
+                outcome: PackingOutcome::IterationLimit,
+                lambda,
+                load_ratio: ratio,
+                steps,
+                iterations,
+            };
+        }
+        let lambda_t = lambda.max(1e-9);
+        let alpha = (2.0 / (lambda_t * delta)) * ((m.max(2) as f64) / delta).ln();
+        // Multipliers normalised so the largest exponent is 0.
+        let z: Vec<f64> = (0..m)
+            .map(|r| ((alpha * (ratio[r] - lambda)).min(700.0)).exp() / instance.rhs(r))
+            .collect();
+        match instance.oracle(&z, delta) {
+            None => {
+                return PackingSolution {
+                    outcome: PackingOutcome::OracleFailed,
+                    lambda,
+                    load_ratio: ratio,
+                    steps,
+                    iterations,
+                };
+            }
+            Some(cand) => {
+                iterations += 1;
+                let sigma = (delta / (4.0 * alpha * rho)).min(1.0);
+                for r in ratio.iter_mut() {
+                    *r *= 1.0 - sigma;
+                }
+                for &(r, v) in &cand.load {
+                    ratio[r] += sigma * v / instance.rhs(r);
+                }
+                for (w, _) in steps.iter_mut() {
+                    *w *= 1.0 - sigma;
+                }
+                steps.push((sigma, cand.payload));
+                lambda = lambda_of(&ratio);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::{BoxBudgetPolytope, ExplicitPacking};
+
+    #[test]
+    fn zero_start_is_immediately_feasible() {
+        let rows = vec![vec![(0, 1.0)], vec![(1, 1.0)]];
+        let mut inst = ExplicitPacking::new(
+            rows,
+            vec![1.0, 1.0],
+            BoxBudgetPolytope { upper: vec![1.0, 1.0], cost: vec![1.0, 1.0], budget: 2.0 },
+            vec![0.0, 0.0],
+        );
+        let sol = solve_packing(&mut inst, vec![0.0, 0.0], vec![], &PackingParams::default());
+        assert_eq!(sol.outcome, PackingOutcome::Feasible);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn overloaded_start_is_rebalanced() {
+        // One constraint over two variables; start from a point overloading it by 3x.
+        let rows = vec![vec![(0, 1.0), (1, 1.0)]];
+        let mut inst = ExplicitPacking::new(
+            rows,
+            vec![2.0],
+            BoxBudgetPolytope { upper: vec![1.0, 1.0], cost: vec![1.0, 1.0], budget: 2.0 },
+            // Rewards low: the oracle happily returns sparse answers, diluting the load.
+            vec![0.1, 0.1],
+        );
+        let sol = solve_packing(
+            &mut inst,
+            vec![6.0],
+            vec![(0, 3.0), (1, 3.0)],
+            &PackingParams { delta: 0.1, max_iterations: 50_000 },
+        );
+        assert_eq!(sol.outcome, PackingOutcome::Feasible);
+        assert!(sol.lambda <= 1.0 + 6.0 * 0.1 + 1e-9);
+        assert!(sol.iterations > 0);
+        let total: f64 = sol.steps.iter().map(|(w, _)| w).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_ratio_tracks_constraints() {
+        let rows = vec![vec![(0, 2.0)], vec![(0, 1.0)]];
+        let mut inst = ExplicitPacking::new(
+            rows,
+            vec![4.0, 4.0],
+            BoxBudgetPolytope { upper: vec![1.0], cost: vec![1.0], budget: 1.0 },
+            vec![0.0],
+        );
+        let sol = solve_packing(&mut inst, vec![2.0, 1.0], vec![(0, 1.0)], &PackingParams::default());
+        assert_eq!(sol.outcome, PackingOutcome::Feasible);
+        assert!((sol.load_ratio[0] - 0.5).abs() < 1e-9);
+        assert!((sol.load_ratio[1] - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Width parameters of explicit instances.
+//!
+//! The *width* `ρ = max_{x∈P} max_ℓ (Ax)_ℓ / c_ℓ` governs both the step size
+//! and the iteration count `O(ρ·ε⁻²·log M)` of the multiplicative-weights
+//! frameworks (Theorems 5 and 7). Section 1 of the paper argues that the
+//! standard matching dual LP2 has width `Ω(n)` while the penalty relaxations
+//! LP4/LP5 have *constant* width — experiment E7 measures exactly this; the
+//! helpers here compute widths of the explicit synthetic instances.
+
+use crate::explicit::{ExplicitCovering, ExplicitPacking};
+
+/// Width of an explicit covering instance over its box-with-budget polytope:
+/// the row-wise maximum of `(Ax)_ℓ/c_ℓ` where each variable is pushed to the
+/// largest value the box and budget allow *individually* and then summed — an
+/// upper bound on the true width, which is what the solvers need.
+pub fn covering_width(inst: &ExplicitCovering) -> f64 {
+    let mut width: f64 = 0.0;
+    for (l, row) in inst.rows.iter().enumerate() {
+        let mut numer = 0.0;
+        for &(j, a) in row {
+            numer += a * inst.polytope.max_single(j);
+        }
+        width = width.max(numer / inst.c[l]);
+    }
+    width.max(1.0)
+}
+
+/// Width of an explicit packing instance (same upper-bound construction).
+pub fn packing_width(inst: &ExplicitPacking) -> f64 {
+    let mut width: f64 = 0.0;
+    for (r, row) in inst.rows.iter().enumerate() {
+        let mut numer = 0.0;
+        for &(j, a) in row {
+            numer += a * inst.polytope.max_single(j);
+        }
+        width = width.max(numer / inst.d[r]);
+    }
+    width.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::BoxBudgetPolytope;
+
+    #[test]
+    fn width_scales_with_box_upper_bounds() {
+        let make = |upper: f64| {
+            ExplicitCovering::new(
+                vec![vec![(0, 1.0), (1, 1.0)]],
+                vec![1.0],
+                BoxBudgetPolytope { upper: vec![upper, upper], cost: vec![1.0, 1.0], budget: 1e9 },
+            )
+        };
+        let narrow = covering_width(&make(1.0));
+        let wide = covering_width(&make(10.0));
+        assert!((narrow - 2.0).abs() < 1e-12);
+        assert!((wide - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_caps_the_width() {
+        let inst = ExplicitCovering::new(
+            vec![vec![(0, 1.0)]],
+            vec![1.0],
+            BoxBudgetPolytope { upper: vec![100.0], cost: vec![1.0], budget: 5.0 },
+        );
+        assert!((covering_width(&inst) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_width_positive() {
+        let inst = ExplicitPacking::new(
+            vec![vec![(0, 2.0)]],
+            vec![1.0],
+            BoxBudgetPolytope { upper: vec![3.0], cost: vec![1.0], budget: 10.0 },
+            vec![1.0],
+        );
+        assert!((packing_width(&inst) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_is_at_least_one() {
+        let inst = ExplicitCovering::new(
+            vec![vec![(0, 0.001)]],
+            vec![1.0],
+            BoxBudgetPolytope { upper: vec![1.0], cost: vec![1.0], budget: 1.0 },
+        );
+        assert!(covering_width(&inst) >= 1.0);
+    }
+}

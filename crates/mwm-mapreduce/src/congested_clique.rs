@@ -1,0 +1,124 @@
+//! Congested-clique accounting.
+//!
+//! Section 1 of the paper observes that the sketch-based algorithm also runs
+//! in the congested-clique model: every vertex sketches its own neighbourhood
+//! (`O(n^{1/p})`-size messages), and the algorithm uses `O(p/ε)` rounds. The
+//! simulator here does not execute message passing literally; it charges, per
+//! round, the number of machine-words each vertex sends, so experiment E9 can
+//! report the maximum per-vertex message volume per round.
+
+use mwm_graph::VertexId;
+
+/// Per-round, per-vertex message accounting for the congested-clique reading.
+#[derive(Clone, Debug, Default)]
+pub struct CongestedCliqueSim {
+    n: usize,
+    /// messages[round][vertex] = words sent by that vertex in that round.
+    rounds: Vec<Vec<usize>>,
+}
+
+impl CongestedCliqueSim {
+    /// Creates an accounting structure for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        CongestedCliqueSim { n, rounds: Vec::new() }
+    }
+
+    /// Starts a new communication round.
+    pub fn begin_round(&mut self) {
+        self.rounds.push(vec![0; self.n]);
+    }
+
+    /// Charges `words` sent by `vertex` in the current round.
+    pub fn charge(&mut self, vertex: VertexId, words: usize) {
+        let round = self
+            .rounds
+            .last_mut()
+            .expect("begin_round must be called before charging messages");
+        round[vertex as usize] += words;
+    }
+
+    /// Charges the same `words` for every vertex (e.g. every vertex ships one
+    /// sketch of its neighbourhood).
+    pub fn charge_all(&mut self, words: usize) {
+        let round = self
+            .rounds
+            .last_mut()
+            .expect("begin_round must be called before charging messages");
+        for w in round.iter_mut() {
+            *w += words;
+        }
+    }
+
+    /// Number of rounds so far.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The maximum words sent by any single vertex in any single round — the
+    /// quantity the congested-clique model bounds (`O(n^{1/p} · polylog)`).
+    pub fn max_message_per_vertex_round(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total communication volume across all rounds and vertices.
+    pub fn total_volume(&self) -> usize {
+        self.rounds.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Checks the per-vertex message bound `constant · n^{1/p} · (log n)^c` of
+    /// the paper's congested-clique corollary (we fold the polylog into the
+    /// caller-chosen `polylog` factor).
+    pub fn within_message_budget(&self, p: f64, constant: f64, polylog: f64) -> bool {
+        let n = self.n.max(2) as f64;
+        (self.max_message_per_vertex_round() as f64) <= constant * n.powf(1.0 / p) * polylog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_vertex_maximum_is_tracked() {
+        let mut sim = CongestedCliqueSim::new(4);
+        sim.begin_round();
+        sim.charge(0, 10);
+        sim.charge(1, 5);
+        sim.begin_round();
+        sim.charge(0, 3);
+        sim.charge(3, 12);
+        assert_eq!(sim.num_rounds(), 2);
+        assert_eq!(sim.max_message_per_vertex_round(), 12);
+        assert_eq!(sim.total_volume(), 30);
+    }
+
+    #[test]
+    fn charge_all_hits_every_vertex() {
+        let mut sim = CongestedCliqueSim::new(3);
+        sim.begin_round();
+        sim.charge_all(7);
+        assert_eq!(sim.total_volume(), 21);
+        assert_eq!(sim.max_message_per_vertex_round(), 7);
+    }
+
+    #[test]
+    fn message_budget_check() {
+        let mut sim = CongestedCliqueSim::new(256);
+        sim.begin_round();
+        sim.charge_all(16); // n^{1/2} = 16
+        assert!(sim.within_message_budget(2.0, 1.0, 1.0));
+        sim.charge(5, 10_000);
+        assert!(!sim.within_message_budget(2.0, 1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn charging_without_round_panics() {
+        let mut sim = CongestedCliqueSim::new(2);
+        sim.charge(0, 1);
+    }
+}

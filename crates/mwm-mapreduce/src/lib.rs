@@ -1,0 +1,28 @@
+//! Resource-constrained execution substrates.
+//!
+//! The paper's model charges an algorithm for (a) the number of *rounds* of
+//! access to the read-only edge list (MapReduce rounds / streaming passes /
+//! rounds of adaptive sketching), (b) the *central space* it keeps between
+//! rounds (which must be `O(n^{1+1/p})`, sublinear in `m`), and (c) in the
+//! congested-clique reading, the per-vertex message volume. Nothing here needs
+//! real cluster hardware — the simulators execute the computation locally while
+//! *accounting* for those resources exactly, which is what experiments
+//! E1/E4/E5/E9 report.
+//!
+//! * [`resources`] — the [`ResourceTracker`] ledger shared by all simulators.
+//! * [`mapreduce`] — a generic map→shuffle→reduce round executor (with
+//!   parallel reducers) plus the edge-sampling and sketching primitives the
+//!   matching algorithms actually use, each charged as one round.
+//! * [`streaming`] — a semi-streaming pass simulator.
+//! * [`congested_clique`] — per-vertex message accounting (Section 1's
+//!   `O(n^{1/p})`-message-per-vertex corollary).
+
+pub mod congested_clique;
+pub mod mapreduce;
+pub mod resources;
+pub mod streaming;
+
+pub use congested_clique::CongestedCliqueSim;
+pub use mapreduce::{MapReduceConfig, MapReduceSim};
+pub use resources::ResourceTracker;
+pub use streaming::StreamingSim;

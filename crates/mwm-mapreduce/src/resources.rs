@@ -1,0 +1,186 @@
+//! The resource ledger: rounds, central space, shuffle volume, messages.
+
+use std::fmt;
+
+/// Tracks every resource the paper's model charges for.
+#[derive(Clone, Debug, Default)]
+pub struct ResourceTracker {
+    rounds: usize,
+    /// Current central (between-round) space in items (edges / sketch cells / words).
+    current_central_space: usize,
+    /// Peak central space seen so far.
+    peak_central_space: usize,
+    /// Total number of key-value pairs shuffled across all rounds.
+    shuffle_volume: usize,
+    /// Peak memory of any single reducer within a round.
+    peak_machine_space: usize,
+    /// Total input items streamed (for streaming passes).
+    items_streamed: usize,
+}
+
+impl ResourceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one round of data access (MapReduce round / streaming pass /
+    /// round of adaptive sketching).
+    pub fn charge_round(&mut self) {
+        self.rounds += 1;
+    }
+
+    /// Adds `items` to the central space held between rounds.
+    pub fn allocate_central(&mut self, items: usize) {
+        self.current_central_space += items;
+        self.peak_central_space = self.peak_central_space.max(self.current_central_space);
+    }
+
+    /// Releases `items` of central space.
+    pub fn release_central(&mut self, items: usize) {
+        self.current_central_space = self.current_central_space.saturating_sub(items);
+    }
+
+    /// Charges `pairs` key-value pairs of shuffle traffic.
+    pub fn charge_shuffle(&mut self, pairs: usize) {
+        self.shuffle_volume += pairs;
+    }
+
+    /// Records the memory used by one reducer/machine within a round.
+    pub fn observe_machine_space(&mut self, items: usize) {
+        self.peak_machine_space = self.peak_machine_space.max(items);
+    }
+
+    /// Charges `items` of streamed input (one per edge per pass, typically).
+    pub fn charge_stream(&mut self, items: usize) {
+        self.items_streamed += items;
+    }
+
+    /// Number of rounds charged so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Current central space.
+    pub fn current_central_space(&self) -> usize {
+        self.current_central_space
+    }
+
+    /// Peak central space.
+    pub fn peak_central_space(&self) -> usize {
+        self.peak_central_space
+    }
+
+    /// Total shuffle volume.
+    pub fn shuffle_volume(&self) -> usize {
+        self.shuffle_volume
+    }
+
+    /// Peak per-machine space.
+    pub fn peak_machine_space(&self) -> usize {
+        self.peak_machine_space
+    }
+
+    /// Total streamed items.
+    pub fn items_streamed(&self) -> usize {
+        self.items_streamed
+    }
+
+    /// Merges another tracker (e.g. a sub-phase) into this one. Rounds and
+    /// volumes add; peaks take the maximum; current space adds.
+    pub fn merge(&mut self, other: &ResourceTracker) {
+        self.rounds += other.rounds;
+        self.current_central_space += other.current_central_space;
+        self.peak_central_space = self
+            .peak_central_space
+            .max(self.current_central_space)
+            .max(other.peak_central_space);
+        self.shuffle_volume += other.shuffle_volume;
+        self.peak_machine_space = self.peak_machine_space.max(other.peak_machine_space);
+        self.items_streamed += other.items_streamed;
+    }
+
+    /// Checks the paper's central-space budget `C · n^{1+1/p} · (log B + 1)`
+    /// (Theorem 15); returns whether the peak stayed within it.
+    pub fn within_space_budget(&self, n: usize, p: f64, log_b: f64, constant: f64) -> bool {
+        let budget = constant * (n as f64).powf(1.0 + 1.0 / p) * (log_b + 1.0);
+        (self.peak_central_space as f64) <= budget
+    }
+}
+
+impl fmt::Display for ResourceTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} peak_central={} peak_machine={} shuffle={} streamed={}",
+            self.rounds,
+            self.peak_central_space,
+            self.peak_machine_space,
+            self.shuffle_volume,
+            self.items_streamed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_track_allocations() {
+        let mut t = ResourceTracker::new();
+        t.allocate_central(100);
+        t.allocate_central(50);
+        t.release_central(120);
+        t.allocate_central(10);
+        assert_eq!(t.peak_central_space(), 150);
+        assert_eq!(t.current_central_space(), 40);
+    }
+
+    #[test]
+    fn rounds_and_volumes_accumulate() {
+        let mut t = ResourceTracker::new();
+        t.charge_round();
+        t.charge_round();
+        t.charge_shuffle(500);
+        t.charge_stream(1000);
+        t.observe_machine_space(42);
+        t.observe_machine_space(17);
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.shuffle_volume(), 500);
+        assert_eq!(t.items_streamed(), 1000);
+        assert_eq!(t.peak_machine_space(), 42);
+    }
+
+    #[test]
+    fn merge_adds_rounds_and_maxes_peaks() {
+        let mut a = ResourceTracker::new();
+        a.charge_round();
+        a.allocate_central(10);
+        let mut b = ResourceTracker::new();
+        b.charge_round();
+        b.allocate_central(100);
+        b.release_central(100);
+        a.merge(&b);
+        assert_eq!(a.rounds(), 2);
+        assert_eq!(a.peak_central_space(), 100);
+    }
+
+    #[test]
+    fn space_budget_check() {
+        let mut t = ResourceTracker::new();
+        t.allocate_central(1000);
+        // n=100, p=2 → n^{1.5} = 1000; with constant 2 and log_b 0 the budget is 2000.
+        assert!(t.within_space_budget(100, 2.0, 0.0, 2.0));
+        t.allocate_central(10_000);
+        assert!(!t.within_space_budget(100, 2.0, 0.0, 2.0));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut t = ResourceTracker::new();
+        t.charge_round();
+        let s = format!("{t}");
+        assert!(s.contains("rounds=1"));
+    }
+}

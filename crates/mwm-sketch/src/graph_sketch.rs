@@ -1,0 +1,242 @@
+//! AGM graph sketches: per-vertex ℓ0-samplers over the oriented edge-incidence
+//! vector (Ahn–Guha–McGregor, referenced as [3, 4] in the paper).
+//!
+//! For every vertex `v` we sketch the vector `a_v ∈ {-1, 0, +1}^{n choose 2}`
+//! with `a_v[(i,j)] = +1` if `v = i`, `-1` if `v = j` (for `i < j`) for every
+//! edge `{i,j}` incident to `v`. Because the sketches are linear, summing the
+//! sketches of all vertices of a set `S` yields a sketch of the edge boundary
+//! `∂S`: every internal edge contributes `+1 - 1 = 0` and cancels. Sampling a
+//! nonzero coordinate of the merged sketch therefore samples an edge crossing
+//! the cut `(S, V∖S)` — exactly the primitive promised in footnote 1 of the
+//! paper ("the sketch is computed first, and subsequently an adversary
+//! provides a cut; we then sample an edge across that cut").
+
+use crate::l0::L0Sampler;
+use mwm_graph::{Graph, VertexId};
+
+/// An edge recovered from a sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeSample {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+}
+
+/// Encodes the pair `(u, v)` with `u < v` into an index in `[0, n·(n-1)/2)`.
+#[inline]
+pub fn encode_pair(n: u64, u: u64, v: u64) -> u64 {
+    debug_assert!(u < v && v < n);
+    // Row-major upper triangle: offset(u) + (v - u - 1), offset(u) = u*n - u*(u+1)/2.
+    u * n - u * (u + 1) / 2 + (v - u - 1)
+}
+
+/// Inverse of [`encode_pair`].
+#[inline]
+pub fn decode_pair(n: u64, mut code: u64) -> (u64, u64) {
+    let mut u = 0u64;
+    loop {
+        let row = n - u - 1;
+        if code < row {
+            return (u, u + 1 + code);
+        }
+        code -= row;
+        u += 1;
+    }
+}
+
+/// The sketch of one vertex: a single mergeable ℓ0-sampler over edge slots.
+#[derive(Clone, Debug)]
+pub struct VertexSketch {
+    n: u64,
+    sampler: L0Sampler,
+}
+
+impl VertexSketch {
+    /// Creates an empty sketch for a graph on `n` vertices with a shared seed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let n = n as u64;
+        let domain = (n * (n - 1) / 2).max(1);
+        VertexSketch { n, sampler: L0Sampler::new(domain, seed) }
+    }
+
+    /// Records that edge `{a, b}` is incident to the sketched vertex `owner`.
+    pub fn add_edge(&mut self, owner: VertexId, a: VertexId, b: VertexId) {
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        debug_assert!(owner == a || owner == b);
+        let idx = encode_pair(self.n, u as u64, v as u64);
+        let sign = if owner == u { 1 } else { -1 };
+        self.sampler.update(idx, sign);
+    }
+
+    /// Removes a previously recorded edge (used when peeling recovered forests).
+    pub fn remove_edge(&mut self, owner: VertexId, a: VertexId, b: VertexId) {
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        let idx = encode_pair(self.n, u as u64, v as u64);
+        let sign = if owner == u { -1 } else { 1 };
+        self.sampler.update(idx, sign);
+    }
+
+    /// Merges another vertex sketch into this one (sketch of the union of the
+    /// two incidence vectors — internal edges cancel).
+    pub fn merge(&mut self, other: &VertexSketch) {
+        assert_eq!(self.n, other.n);
+        self.sampler.merge(&other.sampler);
+    }
+
+    /// Samples an edge crossing the boundary of the set of vertices whose
+    /// sketches have been merged into this one.
+    pub fn sample_boundary_edge(&self) -> Option<EdgeSample> {
+        self.sampler.sample().map(|(idx, _)| {
+            let (u, v) = decode_pair(self.n, idx);
+            EdgeSample { u: u as VertexId, v: v as VertexId }
+        })
+    }
+
+    /// Space in sketch cells (for resource accounting).
+    pub fn num_cells(&self) -> usize {
+        self.sampler.num_cells()
+    }
+}
+
+/// Builds per-vertex sketches of a whole graph in "one pass": the `t`-th
+/// independent copy uses seed `seed + t` so that several rounds of Borůvka
+/// peeling each get fresh randomness (as required by the AGM analysis).
+#[derive(Clone, Debug)]
+pub struct GraphSketcher {
+    n: usize,
+    /// `copies × n` sketches, row-major by copy.
+    sketches: Vec<VertexSketch>,
+    copies: usize,
+}
+
+impl GraphSketcher {
+    /// Sketches `graph` with the given number of independent copies.
+    pub fn sketch_graph(graph: &Graph, copies: usize, seed: u64) -> Self {
+        let n = graph.num_vertices();
+        let mut sketches = Vec::with_capacity(copies * n);
+        for c in 0..copies {
+            for _ in 0..n {
+                sketches.push(VertexSketch::new(n, seed.wrapping_add(c as u64)));
+            }
+            for e in graph.edges() {
+                let base = c * n;
+                sketches[base + e.u as usize].add_edge(e.u, e.u, e.v);
+                sketches[base + e.v as usize].add_edge(e.v, e.u, e.v);
+            }
+        }
+        GraphSketcher { n, sketches, copies }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of independent copies.
+    pub fn num_copies(&self) -> usize {
+        self.copies
+    }
+
+    /// The sketch of vertex `v` in copy `c`.
+    pub fn vertex_sketch(&self, c: usize, v: VertexId) -> &VertexSketch {
+        &self.sketches[c * self.n + v as usize]
+    }
+
+    /// Merges the copy-`c` sketches of all vertices of `set` and samples an
+    /// edge crossing the cut `(set, V∖set)`.
+    pub fn sample_cut_edge(&self, c: usize, set: &[VertexId]) -> Option<EdgeSample> {
+        let mut it = set.iter();
+        let first = *it.next()?;
+        let mut merged = self.vertex_sketch(c, first).clone();
+        for &v in it {
+            merged.merge(self.vertex_sketch(c, v));
+        }
+        merged.sample_boundary_edge()
+    }
+
+    /// Total number of sketch cells (space accounting).
+    pub fn total_cells(&self) -> usize {
+        self.sketches.iter().map(|s| s.num_cells()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwm_graph::generators::{self, WeightModel};
+    use rand::prelude::*;
+
+    #[test]
+    fn pair_encoding_round_trips() {
+        let n = 37u64;
+        let mut code_seen = std::collections::HashSet::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let c = encode_pair(n, u, v);
+                assert!(code_seen.insert(c), "codes must be unique");
+                assert_eq!(decode_pair(n, c), (u, v));
+            }
+        }
+        assert_eq!(code_seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn single_vertex_boundary_is_its_incident_edges() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let sk = GraphSketcher::sketch_graph(&g, 1, 42);
+        let e = sk.sample_cut_edge(0, &[0]).expect("vertex 0 has incident edges");
+        assert!(e.u == 0 || e.v == 0);
+        // Vertex with no incident edges yields nothing... vertex 3 has one edge though.
+        let e34 = sk.sample_cut_edge(0, &[3]).unwrap();
+        assert_eq!((e34.u, e34.v), (3, 4));
+    }
+
+    #[test]
+    fn internal_edges_cancel_in_merged_sketch() {
+        // Component {0,1,2} fully internal except one edge to vertex 3.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let sk = GraphSketcher::sketch_graph(&g, 1, 7);
+        let e = sk.sample_cut_edge(0, &[0, 1, 2]).expect("one boundary edge exists");
+        assert_eq!((e.u, e.v), (2, 3));
+    }
+
+    #[test]
+    fn saturated_component_has_empty_boundary() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let sk = GraphSketcher::sketch_graph(&g, 1, 13);
+        assert!(sk.sample_cut_edge(0, &[0, 1, 2]).is_none());
+        assert!(sk.sample_cut_edge(0, &[3, 4]).is_none());
+    }
+
+    #[test]
+    fn sampled_cut_edges_are_real_edges_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnm(40, 120, WeightModel::Unit, &mut rng);
+        let edge_set: std::collections::HashSet<(u32, u32)> =
+            g.edges().iter().map(|e| e.key()).collect();
+        let sk = GraphSketcher::sketch_graph(&g, 2, 777);
+        for trial in 0..20 {
+            let size = rng.gen_range(1..20);
+            let mut set: Vec<VertexId> = (0..40u32).collect();
+            set.shuffle(&mut rng);
+            set.truncate(size);
+            set.sort_unstable();
+            if let Some(e) = sk.sample_cut_edge(trial % 2, &set) {
+                assert!(edge_set.contains(&(e.u, e.v)), "sampled a non-edge {e:?}");
+                let in_set = |x: u32| set.binary_search(&x).is_ok();
+                assert!(in_set(e.u) != in_set(e.v), "sampled edge does not cross the cut");
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! ℓ0-sampling sketches.
+//!
+//! An ℓ0-sampler over a domain `[N]` supports linear updates `f[i] += Δ` and,
+//! at query time, returns a (near-)uniformly random index from the support of
+//! `f`, or reports that `f = 0`. The classic construction subsamples the
+//! domain at geometric rates (`2^{-j}` for level `j`) and keeps a 1-sparse
+//! recovery sketch per level; at query time some level contains exactly one
+//! surviving nonzero coordinate with constant probability, which is then
+//! decoded exactly. We repeat the construction a few times to drive the
+//! failure probability down.
+//!
+//! Linearity (mergability) is what makes the AGM graph sketches of
+//! [`crate::graph_sketch`] work: the ℓ0-sampler of a sum of vectors is the sum
+//! of the samplers.
+
+use crate::hashing::PairwiseHash;
+use crate::one_sparse::{Decode, OneSparse};
+
+/// Number of independent repetitions inside one sampler.
+const DEFAULT_REPS: usize = 6;
+
+/// A mergeable ℓ0-sampler over the domain `[0, domain)`.
+#[derive(Clone, Debug)]
+pub struct L0Sampler {
+    domain: u64,
+    levels: usize,
+    reps: usize,
+    seed: u64,
+    /// `reps × levels` one-sparse sketches, row-major by repetition.
+    cells: Vec<OneSparse>,
+}
+
+impl L0Sampler {
+    /// Creates an empty sampler. `seed` must be shared by all samplers that
+    /// will later be merged (they must make identical subsampling decisions).
+    pub fn new(domain: u64, seed: u64) -> Self {
+        Self::with_reps(domain, seed, DEFAULT_REPS)
+    }
+
+    /// Creates a sampler with an explicit number of repetitions.
+    pub fn with_reps(domain: u64, seed: u64, reps: usize) -> Self {
+        assert!(domain >= 1);
+        assert!(reps >= 1);
+        let levels = (64 - (domain.max(2) - 1).leading_zeros()) as usize + 2;
+        let mut cells = Vec::with_capacity(reps * levels);
+        for rep in 0..reps {
+            // Fingerprint base shared per (seed, rep) so merging works.
+            let base = PairwiseHash::new(seed, 1_000 + rep as u64).hash(0x5eed);
+            for _ in 0..levels {
+                cells.push(OneSparse::new(base));
+            }
+        }
+        L0Sampler { domain, levels, reps, seed, cells }
+    }
+
+    /// The domain size of the sampler.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Space usage in number of one-sparse cells (for the resource accounting).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[inline]
+    fn level_hash(&self, rep: usize) -> PairwiseHash {
+        PairwiseHash::new(self.seed, 2_000 + rep as u64)
+    }
+
+    /// Applies the linear update `f[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        assert!(index < self.domain, "index out of sampler domain");
+        if delta == 0 {
+            return;
+        }
+        for rep in 0..self.reps {
+            let h = self.level_hash(rep);
+            // Item participates in levels 0..=level(index).
+            let max_level = (h.level(index) as usize).min(self.levels - 1);
+            for lvl in 0..=max_level {
+                self.cells[rep * self.levels + lvl].update(index, delta);
+            }
+        }
+    }
+
+    /// Merges another sampler into this one. Both must share domain and seed.
+    pub fn merge(&mut self, other: &L0Sampler) {
+        assert_eq!(self.domain, other.domain, "domain mismatch");
+        assert_eq!(self.seed, other.seed, "seed mismatch: sketches are not mergeable");
+        assert_eq!(self.reps, other.reps);
+        assert_eq!(self.levels, other.levels);
+        for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Attempts to sample a nonzero coordinate. Returns `Some((index, value))`
+    /// on success and `None` if the vector appears to be zero *or* every level
+    /// failed to isolate a single coordinate (small constant probability).
+    pub fn sample(&self) -> Option<(u64, i64)> {
+        for rep in 0..self.reps {
+            // Prefer the deepest level that still decodes; shallower levels are
+            // crowded, deeper ones are likely empty.
+            for lvl in (0..self.levels).rev() {
+                match self.cells[rep * self.levels + lvl].decode() {
+                    Decode::One(idx, val) => return Some((idx, val)),
+                    Decode::Zero | Decode::Many => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// True if every cell is identically zero (the sketched vector is surely 0).
+    pub fn is_zero(&self) -> bool {
+        self.cells.iter().all(|c| c.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn empty_sampler_returns_none() {
+        let s = L0Sampler::new(1 << 20, 7);
+        assert!(s.sample().is_none());
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn singleton_recovered_exactly() {
+        let mut s = L0Sampler::new(1 << 20, 7);
+        s.update(123_456, 9);
+        assert_eq!(s.sample(), Some((123_456, 9)));
+    }
+
+    #[test]
+    fn sample_returns_a_true_support_element() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let domain = 1u64 << 24;
+        let mut s = L0Sampler::new(domain, 99);
+        let mut support = std::collections::HashMap::new();
+        for _ in 0..500 {
+            let idx = rng.gen_range(0..domain);
+            let val = rng.gen_range(1..10i64);
+            *support.entry(idx).or_insert(0i64) += val;
+            s.update(idx, val);
+        }
+        support.retain(|_, v| *v != 0);
+        let (idx, val) = s.sample().expect("sampler should succeed on a 500-sparse vector");
+        assert_eq!(support.get(&idx), Some(&val));
+    }
+
+    #[test]
+    fn deletions_shrink_support() {
+        let mut s = L0Sampler::new(1 << 16, 3);
+        for i in 0..50u64 {
+            s.update(i * 7, 1);
+        }
+        for i in 1..50u64 {
+            s.update(i * 7, -1);
+        }
+        // Only index 0 remains.
+        assert_eq!(s.sample(), Some((0, 1)));
+    }
+
+    #[test]
+    fn merge_acts_like_sum_of_streams() {
+        let seed = 5;
+        let domain = 1 << 18;
+        let mut a = L0Sampler::new(domain, seed);
+        let mut b = L0Sampler::new(domain, seed);
+        a.update(10, 1);
+        a.update(20, 2);
+        b.update(10, -1);
+        b.update(30, 5);
+        a.merge(&b);
+        // Support of the sum is {20, 30}.
+        let got = a.sample().expect("non-empty support");
+        assert!(got == (20, 2) || got == (30, 5), "got {got:?}");
+    }
+
+    #[test]
+    fn sampling_is_not_too_skewed() {
+        // Over many independent seeds, each support element should be chosen a
+        // nontrivial fraction of the time (near-uniformity, loosely checked).
+        let support: Vec<u64> = vec![111, 2_222, 33_333, 444_444];
+        let mut counts = std::collections::HashMap::new();
+        for seed in 0..200u64 {
+            let mut s = L0Sampler::new(1 << 20, seed);
+            for &i in &support {
+                s.update(i, 1);
+            }
+            if let Some((idx, _)) = s.sample() {
+                *counts.entry(idx).or_insert(0usize) += 1;
+            }
+        }
+        for &i in &support {
+            let c = counts.get(&i).copied().unwrap_or(0);
+            assert!(c > 10, "element {i} sampled only {c} times out of 200");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn merging_mismatched_seeds_panics() {
+        let mut a = L0Sampler::new(100, 1);
+        let b = L0Sampler::new(100, 2);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,31 @@
+//! Linear sketches for graph streams.
+//!
+//! The paper's algorithms are implemented through *linear sketches*: inner
+//! products of the input (an oriented vertex-edge adjacency matrix) with
+//! pseudorandom matrices (footnote 1 of the paper). The crucial properties are
+//!
+//! * **linearity** — the sketch of a sum of vectors is the sum of the sketches,
+//!   so per-vertex sketches can be merged to obtain the sketch of the edge
+//!   boundary of any vertex set (internal edges cancel), and
+//! * **one-round computability** — all sketches are computed in a single pass /
+//!   single MapReduce round and only *post-processed* adaptively.
+//!
+//! Modules:
+//! * [`hashing`]: seeded pairwise-independent hash functions.
+//! * [`one_sparse`]: exact 1-sparse vector recovery with fingerprint verification.
+//! * [`l0`]: ℓ0-samplers (sample a uniformly random nonzero coordinate).
+//! * [`graph_sketch`]: AGM per-vertex edge-incidence sketches and edge sampling
+//!   across arbitrary cuts.
+//! * [`spanning_forest`]: Borůvka-style spanning forest and k-connectivity
+//!   recovery from sketches (used by sparsification and the initial solution).
+
+pub mod graph_sketch;
+pub mod hashing;
+pub mod l0;
+pub mod one_sparse;
+pub mod spanning_forest;
+
+pub use graph_sketch::{EdgeSample, GraphSketcher, VertexSketch};
+pub use l0::L0Sampler;
+pub use one_sparse::OneSparse;
+pub use spanning_forest::{sketch_connected_components, sketch_spanning_forest, SketchForestResult};

@@ -1,0 +1,184 @@
+//! Exact recovery of 1-sparse vectors with fingerprint verification.
+//!
+//! The building block of an ℓ0-sampler: a sketch of a vector `f ∈ Z^N` using
+//! three counters — `Σ f_i`, `Σ i·f_i`, and the fingerprint `Σ f_i · r^i`
+//! (mod `2^61-1`) for a random `r`. If the vector is exactly 1-sparse the
+//! unique nonzero index is `Σ i·f_i / Σ f_i` and the fingerprint confirms it
+//! with high probability; otherwise the fingerprint mismatch detects the
+//! collision. The sketch is linear: adding two sketches yields the sketch of
+//! the sum of the vectors.
+
+use crate::hashing::{mul_mod, pow_mod, FP_PRIME};
+
+/// A linear sketch able to detect and decode 1-sparse integer vectors.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OneSparse {
+    /// `Σ f_i`
+    sum: i64,
+    /// `Σ i·f_i` (as i128 to avoid overflow for large indices times counts)
+    weighted: i128,
+    /// `Σ f_i · r^i mod p`, stored in `[0, p)`.
+    fingerprint: u64,
+    /// The fingerprint base `r` (identical across sketches that may be merged).
+    r: u64,
+}
+
+/// Decoding result for a [`OneSparse`] sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decode {
+    /// The sketched vector is (almost surely) the zero vector.
+    Zero,
+    /// The vector is 1-sparse: `(index, value)`.
+    One(u64, i64),
+    /// More than one nonzero coordinate (or fingerprint mismatch).
+    Many,
+}
+
+impl OneSparse {
+    /// Creates an empty sketch with fingerprint base `r` (must be in `[2, p)`;
+    /// derive it from a seed so that merging partners agree).
+    pub fn new(r: u64) -> Self {
+        let r = 2 + (r % (FP_PRIME - 2));
+        OneSparse { sum: 0, weighted: 0, fingerprint: 0, r }
+    }
+
+    /// Applies the update `f[index] += delta`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.sum += delta;
+        self.weighted += index as i128 * delta as i128;
+        let term = mul_mod(delta.rem_euclid(FP_PRIME as i64) as u64, pow_mod(self.r, index));
+        self.fingerprint = (self.fingerprint + term) % FP_PRIME;
+    }
+
+    /// Merges another sketch into this one (vectors add). Panics if the
+    /// fingerprint bases differ — such sketches are not mergeable.
+    pub fn merge(&mut self, other: &OneSparse) {
+        assert_eq!(self.r, other.r, "cannot merge one-sparse sketches with different bases");
+        self.sum += other.sum;
+        self.weighted += other.weighted;
+        self.fingerprint = (self.fingerprint + other.fingerprint) % FP_PRIME;
+    }
+
+    /// Negates the sketched vector (useful to subtract previously recovered edges).
+    pub fn negate(&mut self) {
+        self.sum = -self.sum;
+        self.weighted = -self.weighted;
+        self.fingerprint = (FP_PRIME - self.fingerprint) % FP_PRIME;
+    }
+
+    /// Attempts to decode the sketched vector.
+    pub fn decode(&self) -> Decode {
+        if self.sum == 0 && self.weighted == 0 && self.fingerprint == 0 {
+            return Decode::Zero;
+        }
+        if self.sum == 0 {
+            return Decode::Many;
+        }
+        if self.weighted % self.sum as i128 != 0 {
+            return Decode::Many;
+        }
+        let idx = self.weighted / self.sum as i128;
+        if idx < 0 || idx > u64::MAX as i128 {
+            return Decode::Many;
+        }
+        let idx = idx as u64;
+        // Verify: fingerprint of a 1-sparse vector {idx: sum}.
+        let expect = mul_mod(self.sum.rem_euclid(FP_PRIME as i64) as u64, pow_mod(self.r, idx));
+        if expect == self.fingerprint {
+            Decode::One(idx, self.sum)
+        } else {
+            Decode::Many
+        }
+    }
+
+    /// True if the sketch is entirely zero.
+    pub fn is_zero(&self) -> bool {
+        self.sum == 0 && self.weighted == 0 && self.fingerprint == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_decodes_as_zero() {
+        let s = OneSparse::new(12345);
+        assert_eq!(s.decode(), Decode::Zero);
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn single_update_recovered() {
+        let mut s = OneSparse::new(777);
+        s.update(42, 3);
+        assert_eq!(s.decode(), Decode::One(42, 3));
+    }
+
+    #[test]
+    fn negative_value_recovered() {
+        let mut s = OneSparse::new(777);
+        s.update(10, -5);
+        assert_eq!(s.decode(), Decode::One(10, -5));
+    }
+
+    #[test]
+    fn two_items_detected_as_many() {
+        let mut s = OneSparse::new(999);
+        s.update(3, 1);
+        s.update(9, 1);
+        assert_eq!(s.decode(), Decode::Many);
+    }
+
+    #[test]
+    fn cancellation_returns_to_zero() {
+        let mut s = OneSparse::new(31337);
+        s.update(5, 7);
+        s.update(5, -7);
+        assert_eq!(s.decode(), Decode::Zero);
+    }
+
+    #[test]
+    fn merge_is_linear() {
+        let mut a = OneSparse::new(55);
+        let mut b = OneSparse::new(55);
+        a.update(100, 2);
+        b.update(100, -2);
+        b.update(200, 4);
+        a.merge(&b);
+        assert_eq!(a.decode(), Decode::One(200, 4));
+    }
+
+    #[test]
+    fn negate_cancels_with_original() {
+        let mut a = OneSparse::new(11);
+        a.update(77, 9);
+        let mut neg = a;
+        neg.negate();
+        a.merge(&neg);
+        assert_eq!(a.decode(), Decode::Zero);
+    }
+
+    #[test]
+    fn many_then_reduce_to_one() {
+        let mut s = OneSparse::new(2024);
+        s.update(1, 1);
+        s.update(2, 1);
+        s.update(3, 1);
+        assert_eq!(s.decode(), Decode::Many);
+        s.update(1, -1);
+        s.update(3, -1);
+        assert_eq!(s.decode(), Decode::One(2, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn merging_different_bases_panics() {
+        let mut a = OneSparse::new(1);
+        let b = OneSparse::new(2);
+        a.merge(&b);
+    }
+}

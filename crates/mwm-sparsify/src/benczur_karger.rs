@@ -1,0 +1,205 @@
+//! Offline weighted cut sparsification by importance sampling
+//! (Benczúr–Karger / Fung et al., as used in the proof of Lemma 17).
+//!
+//! Each edge is sampled with probability inversely proportional to a
+//! connectivity estimate of its endpoints (its Nagamochi–Ibaraki forest
+//! index), computed separately for every geometric weight class
+//! `[2^ℓ, 2^{ℓ+1})`, and kept edges are reweighted by `w_e / p_e` so that
+//! every cut is preserved in expectation. The union of per-class sparsifiers
+//! is a sparsifier of the union (the "sum of sparsifiers" observation in the
+//! proof of Lemma 17).
+
+use crate::connectivity::forest_decomposition_of_edges;
+use mwm_graph::{Edge, EdgeId, Graph};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Tuning knobs of the sparsifier.
+#[derive(Clone, Copy, Debug)]
+pub struct SparsifierConfig {
+    /// Target cut accuracy `ξ` (relative error of every cut).
+    pub xi: f64,
+    /// Oversampling constant `C` in the probability `min(1, C·ln n / (ξ²·k_e))`.
+    pub oversample: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SparsifierConfig {
+    fn default() -> Self {
+        SparsifierConfig { xi: 0.1, oversample: 6.0, seed: 0xC0FFEE }
+    }
+}
+
+/// A sparsified graph: a subset of the original edges with new weights, plus
+/// bookkeeping about which original edge each kept edge came from.
+#[derive(Clone, Debug)]
+pub struct SparsifiedGraph {
+    /// Number of vertices (same vertex set as the original graph).
+    pub n: usize,
+    /// Kept edges: `(original_edge_id, endpoints/original weight, sparsifier weight)`.
+    pub edges: Vec<(EdgeId, Edge, f64)>,
+}
+
+impl SparsifiedGraph {
+    /// Number of kept edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Materializes the sparsifier as a [`Graph`] carrying the *sparsifier* weights.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for &(_, e, w) in &self.edges {
+            g.add_edge(e.u, e.v, w);
+        }
+        g
+    }
+
+    /// Materializes the subgraph of kept edges carrying their *original* weights.
+    pub fn to_support_graph(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for &(_, e, _) in &self.edges {
+            g.add_edge(e.u, e.v, e.w);
+        }
+        g
+    }
+
+    /// Value of a cut in the sparsifier (using sparsifier weights).
+    pub fn cut_value(&self, in_u: &[bool]) -> f64 {
+        self.edges
+            .iter()
+            .filter(|(_, e, _)| in_u[e.u as usize] != in_u[e.v as usize])
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+
+    /// Ids of the original edges retained by the sparsifier.
+    pub fn kept_edge_ids(&self) -> Vec<EdgeId> {
+        self.edges.iter().map(|&(id, _, _)| id).collect()
+    }
+}
+
+/// Builds a `(1±ξ)` cut sparsifier of `graph`.
+pub fn sparsify(graph: &Graph, config: &SparsifierConfig) -> SparsifiedGraph {
+    sparsify_with_probability_floor(graph, config, |_| 0.0)
+}
+
+/// Builds a sparsifier while forcing the sampling probability of edge `e` to be
+/// at least `floor(e)`. The deferred construction of Lemma 17 uses this to
+/// oversample by the promise ratio `χ²`.
+pub fn sparsify_with_probability_floor(
+    graph: &Graph,
+    config: &SparsifierConfig,
+    floor: impl Fn(EdgeId) -> f64,
+) -> SparsifiedGraph {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    if m == 0 {
+        return SparsifiedGraph { n, edges: Vec::new() };
+    }
+    let ln_n = (n.max(2) as f64).ln();
+    let base_rate = config.oversample * ln_n / (config.xi * config.xi);
+
+    // Group edges into geometric weight classes [2^l, 2^{l+1}).
+    let mut classes: std::collections::BTreeMap<i32, Vec<(EdgeId, Edge)>> =
+        std::collections::BTreeMap::new();
+    for (id, e) in graph.edge_iter() {
+        let class = e.w.log2().floor() as i32;
+        classes.entry(class).or_default().push((id, e));
+    }
+
+    let mut kept = Vec::new();
+    for (_, class_edges) in classes {
+        // Connectivity estimates within the class (unweighted).
+        let triples: Vec<(usize, u32, u32)> =
+            class_edges.iter().map(|&(id, e)| (id, e.u, e.v)).collect();
+        let ks = forest_decomposition_of_edges(n, &triples);
+        for (pos, &(id, e)) in class_edges.iter().enumerate() {
+            let k_e = ks[pos].max(1) as f64;
+            let p = (base_rate / k_e).min(1.0).max(floor(id).min(1.0));
+            if p >= 1.0 || rng.gen_bool(p) {
+                kept.push((id, e, e.w / p));
+            }
+        }
+    }
+    SparsifiedGraph { n, edges: kept }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::cut_quality_report;
+    use mwm_graph::generators::{self, WeightModel};
+
+    #[test]
+    fn sparse_graph_is_kept_entirely() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::path(50, WeightModel::Uniform(1.0, 4.0), &mut rng);
+        let s = sparsify(&g, &SparsifierConfig::default());
+        // Trees have connectivity 1 per edge; probability is 1 → nothing dropped.
+        assert_eq!(s.num_edges(), g.num_edges());
+        for &(_, e, w) in &s.edges {
+            assert!((w - e.w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dense_graph_is_compressed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::complete(120, WeightModel::Unit, &mut rng);
+        let s = sparsify(&g, &SparsifierConfig { xi: 0.5, oversample: 0.5, seed: 9 });
+        assert!(
+            s.num_edges() < g.num_edges() * 2 / 3,
+            "K_120 should compress: kept {} of {}",
+            s.num_edges(),
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn degree_cuts_preserved_on_dense_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp(100, 0.4, WeightModel::Unit, &mut rng);
+        let s = sparsify(&g, &SparsifierConfig { xi: 0.15, oversample: 8.0, seed: 3 });
+        let report = cut_quality_report(&g, &s, 50, 11);
+        assert!(
+            report.max_relative_error < 0.35,
+            "cut error too large: {:?}",
+            report
+        );
+    }
+
+    #[test]
+    fn probability_floor_forces_inclusion() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::complete(60, WeightModel::Unit, &mut rng);
+        let all = sparsify_with_probability_floor(
+            &g,
+            &SparsifierConfig { xi: 0.3, oversample: 1.0, seed: 5 },
+            |_| 1.0,
+        );
+        assert_eq!(all.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn expected_total_weight_is_preserved() {
+        // Reweighting by 1/p keeps the total weight right in expectation; check
+        // it is within a loose factor on one draw.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnp(90, 0.5, WeightModel::Unit, &mut rng);
+        let s = sparsify(&g, &SparsifierConfig { xi: 0.2, oversample: 6.0, seed: 17 });
+        let total_s: f64 = s.edges.iter().map(|&(_, _, w)| w).sum();
+        let total_g = g.total_weight();
+        assert!((total_s - total_g).abs() / total_g < 0.25, "{total_s} vs {total_g}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(10);
+        let s = sparsify(&g, &SparsifierConfig::default());
+        assert_eq!(s.num_edges(), 0);
+        assert_eq!(s.to_graph().num_vertices(), 10);
+    }
+}

@@ -1,0 +1,254 @@
+//! Deferred cut sparsifiers (Definition 4, Lemma 17).
+//!
+//! The problem: we must *decide which edges to store* knowing only promise
+//! values `ς_e` with `ς_e/χ ≤ u_e ≤ ς_e·χ`, and only afterwards are the true
+//! weights `u_e` of the stored edges revealed. The paper's observation is that
+//! running the standard importance-sampling construction on the `ς` values and
+//! inflating every sampling probability by `χ²` guarantees that each edge is
+//! stored with at least the probability the *true* weights would have demanded;
+//! revealing the weights then yields a genuine `(1±ξ)` sparsifier of the
+//! `u`-weighted graph.
+//!
+//! In the dual-primal algorithm the `u_e` are the exponential multipliers of
+//! the covering solver: they change by a factor at most `(1+ε)` per oracle
+//! call, so over `ε^{-1} ln γ` calls they stay within `γ` of the value at
+//! sampling time — the sampling round sets `ς_e` to the current multiplier and
+//! `χ = γ`, and the `ln γ` deferred sparsifiers of one round are *refined*
+//! sequentially (Figure 1, right) without touching the input again.
+
+use crate::benczur_karger::{sparsify_with_probability_floor, SparsifiedGraph, SparsifierConfig};
+use mwm_graph::{Edge, EdgeId, Graph};
+
+/// An edge stored by the deferred structure together with its inflated
+/// sampling probability.
+#[derive(Clone, Copy, Debug)]
+pub struct PromisedEdge {
+    /// Original edge id.
+    pub id: EdgeId,
+    /// Endpoints and original problem weight (NOT the multiplier).
+    pub edge: Edge,
+    /// Promise value `ς_e` used at sampling time.
+    pub promise: f64,
+    /// Probability with which the edge was stored (after `χ²` inflation).
+    pub probability: f64,
+}
+
+/// The data structure `D` of Definition 4: a set of stored edge indices chosen
+/// from promise values, which can later be turned into a weighted sparsifier
+/// once the exact multiplier values of the stored edges are revealed.
+#[derive(Clone, Debug)]
+pub struct DeferredSparsifier {
+    n: usize,
+    stored: Vec<PromisedEdge>,
+    chi: f64,
+    xi: f64,
+}
+
+impl DeferredSparsifier {
+    /// Builds the deferred structure.
+    ///
+    /// * `graph` — the underlying graph (supplies endpoints; its weights are
+    ///   the matching weights, not the multipliers).
+    /// * `promise` — `ς_e` per edge id (must be positive for edges that may
+    ///   carry a nonzero multiplier; edges with `ς_e = 0` are never stored).
+    /// * `chi` — the promise ratio `χ ≥ 1`.
+    /// * `xi` — target cut accuracy of the final sparsifier.
+    /// * `seed` — sampling randomness.
+    pub fn build(graph: &Graph, promise: &[f64], chi: f64, xi: f64, seed: u64) -> Self {
+        assert_eq!(promise.len(), graph.num_edges());
+        assert!(chi >= 1.0 && xi > 0.0);
+        // Build a promise-weighted view of the graph; edges with zero promise are
+        // dropped entirely (they may not carry weight later per the promise).
+        let mut promise_graph = Graph::with_capacities(graph.capacities().to_vec());
+        let mut back_map = Vec::new();
+        for (id, e) in graph.edge_iter() {
+            if promise[id] > 0.0 {
+                promise_graph.add_edge(e.u, e.v, promise[id]);
+                back_map.push(id);
+            }
+        }
+        // Oversample by chi^2: the probability computed from promise values is
+        // inflated so it dominates the probability the true weights would need.
+        let config = SparsifierConfig { xi, oversample: 6.0 * chi * chi, seed };
+        let sampled = sparsify_with_probability_floor(&promise_graph, &config, |_| 0.0);
+        let base_rate = 6.0 * chi * chi * (graph.num_vertices().max(2) as f64).ln() / (xi * xi);
+        let stored = sampled
+            .edges
+            .iter()
+            .map(|&(local_id, e, sparsifier_weight)| {
+                let id = back_map[local_id];
+                // Recover the probability from the reweighting: w' = w / p.
+                let p = if sparsifier_weight > 0.0 { (e.w / sparsifier_weight).min(1.0) } else { 1.0 };
+                // Guard against degenerate rounding.
+                let p = if p <= 0.0 { (base_rate).min(1.0) } else { p };
+                PromisedEdge { id, edge: graph.edge(id), promise: e.w, probability: p }
+            })
+            .collect();
+        DeferredSparsifier { n: graph.num_vertices(), stored, chi, xi }
+    }
+
+    /// Number of stored edge indices (`n˜_s` of Definition 4).
+    pub fn num_stored(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// The stored edges.
+    pub fn stored_edges(&self) -> &[PromisedEdge] {
+        &self.stored
+    }
+
+    /// The promise ratio χ the structure was built with.
+    pub fn chi(&self) -> f64 {
+        self.chi
+    }
+
+    /// The cut accuracy ξ the structure was built with.
+    pub fn xi(&self) -> f64 {
+        self.xi
+    }
+
+    /// Reveals the true multiplier values and produces the weighted sparsifier
+    /// `u^s`: stored edge `e` receives value `u_e / p_e`, all other edges 0.
+    ///
+    /// `reveal(id)` must return the *current* multiplier `u_e` of edge `id`; it
+    /// is only invoked for stored edges (that is the whole point of deferral).
+    pub fn reveal(&self, mut reveal: impl FnMut(EdgeId) -> f64) -> SparsifiedGraph {
+        let edges = self
+            .stored
+            .iter()
+            .filter_map(|pe| {
+                let u = reveal(pe.id);
+                if u <= 0.0 {
+                    None
+                } else {
+                    Some((pe.id, Edge::new(pe.edge.u, pe.edge.v, u), u / pe.probability))
+                }
+            })
+            .collect();
+        SparsifiedGraph { n: self.n, edges }
+    }
+
+    /// Checks the promise `ς/χ ≤ u ≤ ς·χ` for the stored edges against the
+    /// revealed values; returns the ids of violating edges (diagnostics).
+    pub fn promise_violations(&self, mut reveal: impl FnMut(EdgeId) -> f64) -> Vec<EdgeId> {
+        self.stored
+            .iter()
+            .filter_map(|pe| {
+                let u = reveal(pe.id);
+                if u <= 0.0 {
+                    return None;
+                }
+                let lo = pe.promise / self.chi - 1e-12;
+                let hi = pe.promise * self.chi + 1e-12;
+                if u < lo || u > hi {
+                    Some(pe.id)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::cut_quality_report;
+    use mwm_graph::generators::{self, WeightModel};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// Builds a multiplier-weighted graph to compare cuts against.
+    fn multiplier_graph(g: &Graph, u: &[f64]) -> Graph {
+        let mut mg = Graph::new(g.num_vertices());
+        for (id, e) in g.edge_iter() {
+            if u[id] > 0.0 {
+                mg.add_edge(e.u, e.v, u[id]);
+            }
+        }
+        mg
+    }
+
+    #[test]
+    fn exact_promise_behaves_like_plain_sparsifier() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnp(70, 0.4, WeightModel::Unit, &mut rng);
+        let u: Vec<f64> = (0..g.num_edges()).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let d = DeferredSparsifier::build(&g, &u, 1.0, 0.2, 7);
+        let s = d.reveal(|id| u[id]);
+        let mg = multiplier_graph(&g, &u);
+        let report = cut_quality_report(&mg, &s, 30, 3);
+        assert!(report.max_relative_error < 0.45, "report {report:?}");
+        assert!(d.promise_violations(|id| u[id]).is_empty());
+    }
+
+    #[test]
+    fn perturbed_weights_within_chi_still_good() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::gnp(70, 0.4, WeightModel::Unit, &mut rng);
+        let promise: Vec<f64> = (0..g.num_edges()).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let chi = 1.5;
+        // True multipliers drift within the promise band.
+        let actual: Vec<f64> = promise
+            .iter()
+            .map(|&s| s * rng.gen_range(1.0 / chi..chi))
+            .collect();
+        let d = DeferredSparsifier::build(&g, &promise, chi, 0.2, 11);
+        assert!(d.promise_violations(|id| actual[id]).is_empty());
+        let s = d.reveal(|id| actual[id]);
+        let mg = multiplier_graph(&g, &actual);
+        let report = cut_quality_report(&mg, &s, 30, 5);
+        assert!(report.max_relative_error < 0.5, "report {report:?}");
+    }
+
+    #[test]
+    fn zero_promise_edges_never_stored() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnm(40, 200, WeightModel::Unit, &mut rng);
+        let mut promise = vec![0.0; g.num_edges()];
+        for id in 0..g.num_edges() / 2 {
+            promise[id] = 1.0;
+        }
+        let d = DeferredSparsifier::build(&g, &promise, 2.0, 0.3, 13);
+        for pe in d.stored_edges() {
+            assert!(pe.id < g.num_edges() / 2, "edge with zero promise was stored");
+        }
+    }
+
+    #[test]
+    fn larger_chi_stores_more_edges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::complete(80, WeightModel::Unit, &mut rng);
+        let promise: Vec<f64> = vec![1.0; g.num_edges()];
+        let small = DeferredSparsifier::build(&g, &promise, 1.0, 0.3, 17);
+        let large = DeferredSparsifier::build(&g, &promise, 3.0, 0.3, 17);
+        assert!(
+            large.num_stored() >= small.num_stored(),
+            "chi=3 stored {} < chi=1 stored {}",
+            large.num_stored(),
+            small.num_stored()
+        );
+    }
+
+    #[test]
+    fn reveal_drops_zeroed_multipliers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnm(30, 100, WeightModel::Unit, &mut rng);
+        let promise = vec![1.0; g.num_edges()];
+        let d = DeferredSparsifier::build(&g, &promise, 2.0, 0.3, 19);
+        let s = d.reveal(|_| 0.0);
+        assert_eq!(s.num_edges(), 0);
+    }
+
+    #[test]
+    fn violations_detected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::gnm(20, 60, WeightModel::Unit, &mut rng);
+        let promise = vec![1.0; g.num_edges()];
+        let d = DeferredSparsifier::build(&g, &promise, 1.2, 0.3, 23);
+        if d.num_stored() > 0 {
+            let bad = d.promise_violations(|_| 100.0);
+            assert_eq!(bad.len(), d.num_stored());
+        }
+    }
+}

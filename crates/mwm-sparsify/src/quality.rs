@@ -1,0 +1,101 @@
+//! Measurement utilities for sparsifier quality (experiment E6).
+//!
+//! A sparsifier promises `(1±ξ)` preservation of *every* cut; checking all
+//! `2^n` cuts is impossible, so the report measures (a) all `n` degree cuts —
+//! the cuts actually used by Lemma 18's `Switch` argument — and (b) a batch of
+//! uniformly random cuts.
+
+use crate::benczur_karger::SparsifiedGraph;
+use mwm_graph::Graph;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Summary of the observed cut approximation quality.
+#[derive(Clone, Debug)]
+pub struct CutQualityReport {
+    /// Number of cuts evaluated.
+    pub cuts_checked: usize,
+    /// Maximum relative error `|cut_H - cut_G| / cut_G` over non-empty cuts.
+    pub max_relative_error: f64,
+    /// Mean relative error.
+    pub mean_relative_error: f64,
+    /// Compression ratio `|E_H| / |E_G|`.
+    pub compression: f64,
+}
+
+/// Compares `sparsifier` against `graph` on all degree cuts plus `num_random`
+/// random cuts drawn with the given seed.
+pub fn cut_quality_report(
+    graph: &Graph,
+    sparsifier: &SparsifiedGraph,
+    num_random: usize,
+    seed: u64,
+) -> CutQualityReport {
+    let n = graph.num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut errors: Vec<f64> = Vec::new();
+
+    let mut eval = |in_u: &[bool]| {
+        let orig = graph.cut_value(in_u);
+        if orig <= 0.0 {
+            return;
+        }
+        let sp = sparsifier.cut_value(in_u);
+        errors.push((sp - orig).abs() / orig);
+    };
+
+    // Degree cuts.
+    for v in 0..n {
+        let mut in_u = vec![false; n];
+        in_u[v] = true;
+        eval(&in_u);
+    }
+    // Random cuts.
+    for _ in 0..num_random {
+        let in_u: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        eval(&in_u);
+    }
+
+    let cuts_checked = errors.len();
+    let max_relative_error = errors.iter().copied().fold(0.0f64, f64::max);
+    let mean_relative_error = if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    };
+    let compression = if graph.num_edges() == 0 {
+        0.0
+    } else {
+        sparsifier.num_edges() as f64 / graph.num_edges() as f64
+    };
+    CutQualityReport { cuts_checked, max_relative_error, mean_relative_error, compression }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benczur_karger::{sparsify, SparsifierConfig};
+    use mwm_graph::generators::{self, WeightModel};
+
+    #[test]
+    fn identity_sparsifier_has_zero_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnm(30, 100, WeightModel::Uniform(1.0, 3.0), &mut rng);
+        // xi huge + oversample huge → probability 1 for every edge.
+        let s = sparsify(&g, &SparsifierConfig { xi: 0.01, oversample: 1e9, seed: 2 });
+        let report = cut_quality_report(&g, &s, 20, 3);
+        assert!(report.max_relative_error < 1e-9);
+        assert!((report.compression - 1.0).abs() < 1e-9);
+        assert!(report.cuts_checked > 0);
+    }
+
+    #[test]
+    fn report_detects_bad_sparsifier() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::gnp(40, 0.5, WeightModel::Unit, &mut rng);
+        // An empty "sparsifier" is maximally wrong.
+        let s = SparsifiedGraph { n: g.num_vertices(), edges: Vec::new() };
+        let report = cut_quality_report(&g, &s, 10, 4);
+        assert!((report.max_relative_error - 1.0).abs() < 1e-9);
+    }
+}

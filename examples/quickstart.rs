@@ -1,0 +1,48 @@
+//! Quickstart: solve a weighted non-bipartite matching instance under
+//! MapReduce-style resource constraints and certify the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dual_primal_matching::prelude::*;
+use dual_primal_matching::solver::certify_solution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic workload: 300 vertices, ~1500 weighted edges.
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generators::gnm(300, 1500, generators::WeightModel::Uniform(1.0, 10.0), &mut rng);
+    println!("input: {graph}");
+
+    // 2. Configure the solver: accuracy eps = 0.2, round/space exponent p = 2
+    //    (central space budget ~ n^{1.5}).
+    let config = DualPrimalConfig { eps: 0.2, p: 2.0, seed: 42, ..Default::default() };
+    let solver = DualPrimalSolver::new(config);
+
+    // 3. Solve.
+    let result = solver.solve(&graph);
+    println!("matching weight      : {:.2}", result.weight);
+    println!("matched edges        : {}", result.matching.num_edges());
+    println!("adaptive rounds      : {}", result.rounds);
+    println!("oracle iterations    : {}", result.oracle_iterations);
+    println!("peak central space   : {} items (m = {})", result.peak_central_space, graph.num_edges());
+    println!("final dual bound beta: {:.2}", result.beta);
+    println!("covering lambda      : {:.3}", result.lambda);
+
+    // 4. Certify: feasibility plus an approximation ratio against a certified bound.
+    let cert = certify_solution(&graph, &result);
+    assert!(cert.feasible, "solver must return a feasible matching");
+    match (cert.exact_optimum, cert.ratio_vs_exact) {
+        (Some(opt), Some(ratio)) => {
+            println!("exact optimum        : {opt:.2}  (ratio {ratio:.3})");
+        }
+        _ => {
+            println!(
+                "certified upper bound: {:.2}  (ratio lower bound {:.3})",
+                cert.upper_bound, cert.ratio_vs_upper_bound
+            );
+        }
+    }
+}

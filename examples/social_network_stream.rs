@@ -1,0 +1,54 @@
+//! The motivating scenario of the paper's introduction: a MapReduce-scale
+//! "social network" graph (heavy-tailed degrees) on which we want the actual
+//! edges of a near-maximum weighted matching, not just an estimate — without
+//! ever holding all edges in central memory.
+//!
+//! The example compares, under identical resource accounting,
+//! * the dual-primal `(1-ε)` solver of the paper,
+//! * the Lattanzi et al. SPAA'11 filtering baseline (O(1)-approximation), and
+//! * the classical one-pass streaming greedy.
+//!
+//! ```text
+//! cargo run --release --example social_network_stream
+//! ```
+
+use dual_primal_matching::baselines::{lattanzi_filtering, streaming_greedy_matching};
+use dual_primal_matching::graph::generators::{self, WeightModel};
+use dual_primal_matching::matching::bounds;
+use dual_primal_matching::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    // Chung-Lu power-law graph: 800 "users", average degree 10, exponent 2.5,
+    // exponential edge weights (interaction strengths).
+    let graph = generators::power_law(800, 2.5, 10.0, WeightModel::Exponential(5.0), &mut rng);
+    let upper = bounds::matching_weight_upper_bound(&graph);
+    println!("social graph: {graph}");
+    println!("certified optimum upper bound: {upper:.1}\n");
+
+    // Dual-primal (the paper).
+    let dp = DualPrimalSolver::new(DualPrimalConfig { eps: 0.2, p: 2.0, seed: 9, ..Default::default() })
+        .solve(&graph);
+    println!("dual-primal (eps=0.2, p=2):");
+    println!("  weight {:.1}  (>= {:.2} of the upper bound)", dp.weight, dp.weight / upper);
+    println!("  rounds {}  peak central space {} (m = {})", dp.rounds, dp.peak_central_space, graph.num_edges());
+
+    // Lattanzi filtering baseline.
+    let latt = lattanzi_filtering(&graph, 2.0, 0.2, 9);
+    println!("\nlattanzi filtering (p=2):");
+    println!("  weight {:.1}  (>= {:.2} of the upper bound)", latt.weight, latt.weight / upper);
+    println!("  rounds {}  peak central space {}", latt.rounds, latt.peak_central_space);
+
+    // One-pass streaming greedy baseline.
+    let sg = streaming_greedy_matching(&graph, 0.414);
+    println!("\none-pass streaming greedy:");
+    println!("  weight {:.1}  (>= {:.2} of the upper bound)", sg.weight, sg.weight / upper);
+    println!("  passes {}  memory {} edges", sg.passes, sg.peak_memory_edges);
+
+    println!(
+        "\nsummary: dual-primal recovers {:.1}% of the filtering baseline's gap to the bound",
+        100.0 * (dp.weight - latt.weight).max(0.0) / (upper - latt.weight).max(1e-9)
+    );
+}

@@ -1,0 +1,40 @@
+//! # dual-primal-matching
+//!
+//! Umbrella crate for the reproduction of *Ahn & Guha, "Access to Data and
+//! Number of Iterations: Dual Primal Algorithms for Maximum Matching under
+//! Resource Constraints" (SPAA 2015)*.
+//!
+//! It re-exports the workspace crates under stable module names so that the
+//! examples, integration tests and downstream users can depend on a single
+//! package:
+//!
+//! * [`graph`] — graphs, generators, weight levels, matchings ([`mwm_graph`]).
+//! * [`sketch`] — ℓ0-samplers and AGM graph sketches ([`mwm_sketch`]).
+//! * [`sparsify`] — cut sparsifiers and deferred sparsifiers ([`mwm_sparsify`]).
+//! * [`lp`] — fractional covering/packing and the dual-primal engine ([`mwm_lp`]).
+//! * [`matching`] — offline matching substrates ([`mwm_matching`]).
+//! * [`mapreduce`] — MapReduce / streaming / congested-clique simulators ([`mwm_mapreduce`]).
+//! * [`solver`] — the paper's contribution: the resource-constrained
+//!   `(1-ε)`-approximate weighted b-matching solver ([`mwm_core`]).
+//! * [`baselines`] — Lattanzi-et-al filtering and streaming greedy baselines
+//!   ([`mwm_baselines`]).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! system inventory and the experiment index.
+
+pub use mwm_baselines as baselines;
+pub use mwm_core as solver;
+pub use mwm_graph as graph;
+pub use mwm_lp as lp;
+pub use mwm_mapreduce as mapreduce;
+pub use mwm_matching as matching;
+pub use mwm_sketch as sketch;
+pub use mwm_sparsify as sparsify;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use mwm_baselines::{lattanzi_filtering, streaming_greedy_matching};
+    pub use mwm_core::{DualPrimalConfig, DualPrimalSolver};
+    pub use mwm_graph::{generators, BMatching, Edge, Graph, Matching, WeightLevels};
+    pub use mwm_mapreduce::ResourceTracker;
+}

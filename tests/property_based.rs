@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use dual_primal_matching::graph::generators::{self, WeightModel};
+use dual_primal_matching::graph::{Graph, UnionFind, WeightLevels};
+use dual_primal_matching::matching::{bounds, greedy_matching, improve_matching, maximal_b_matching};
+use dual_primal_matching::prelude::*;
+use dual_primal_matching::sketch::L0Sampler;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random graph from a proptest-chosen seed and size.
+fn graph_from(seed: u64, n: usize, m: usize, max_w: f64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::gnm(n.max(2), m, WeightModel::Uniform(1.0, max_w.max(1.5)), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The solver always returns a feasible matching whose weight does not
+    /// exceed any certified upper bound.
+    #[test]
+    fn solver_output_is_feasible_and_bounded(seed in 0u64..500, n in 10usize..60, deg in 2usize..8) {
+        let g = graph_from(seed, n, n * deg / 2, 10.0);
+        let res = DualPrimalSolver::new(DualPrimalConfig { eps: 0.25, p: 2.0, seed, ..Default::default() })
+            .solve(&g);
+        prop_assert!(res.matching.is_valid(&g));
+        let ub = bounds::matching_weight_upper_bound(&g);
+        prop_assert!(res.weight <= ub + 1e-6, "weight {} exceeds upper bound {}", res.weight, ub);
+        if g.num_edges() > 0 {
+            prop_assert!(res.weight > 0.0);
+        }
+    }
+
+    /// Weight-level discretization never overestimates a weight and loses at
+    /// most a (1+eps) factor, for every kept edge.
+    #[test]
+    fn weight_levels_sandwich(seed in 0u64..500, n in 4usize..40, eps in 0.05f64..0.45) {
+        let g = graph_from(seed, n, n * 3, 50.0);
+        let levels = WeightLevels::new(&g, eps);
+        for le in levels.all_edges() {
+            let scaled = le.edge.w * levels.scale();
+            let disc = levels.level_weight(le.level);
+            prop_assert!(disc <= scaled * (1.0 + 1e-9));
+            prop_assert!(scaled <= disc * (1.0 + eps) * (1.0 + 1e-9));
+        }
+        prop_assert!(levels.num_kept_edges() + levels.dropped_edges() == g.num_edges());
+    }
+
+    /// Local search never produces an invalid matching and never loses weight
+    /// relative to its greedy starting point.
+    #[test]
+    fn local_search_monotone(seed in 0u64..500, n in 6usize..50, deg in 2usize..8) {
+        let g = graph_from(seed, n, n * deg / 2, 9.0);
+        let greedy = greedy_matching(&g);
+        let before = greedy.weight();
+        let improved = improve_matching(&g, greedy);
+        prop_assert!(improved.is_valid(g.num_vertices()));
+        prop_assert!(improved.weight() + 1e-9 >= before);
+    }
+
+    /// Maximal b-matchings are feasible and maximal: every edge has a saturated endpoint.
+    #[test]
+    fn maximal_b_matching_is_maximal(seed in 0u64..500, n in 4usize..40, max_b in 1u64..5) {
+        let mut g = graph_from(seed, n, n * 3, 5.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        generators::randomize_capacities(&mut g, max_b, &mut rng);
+        let bm = maximal_b_matching(&g);
+        prop_assert!(bm.is_valid(&g));
+        let loads = bm.vertex_loads(g.num_vertices());
+        for e in g.edges() {
+            prop_assert!(
+                loads[e.u as usize] >= g.b(e.u) || loads[e.v as usize] >= g.b(e.v),
+                "edge ({}, {}) could still be added", e.u, e.v
+            );
+        }
+    }
+
+    /// The union-find partition refines exactly the connectivity of the union
+    /// operations applied (no spurious merges, no missed merges).
+    #[test]
+    fn union_find_matches_reference(pairs in proptest::collection::vec((0usize..30, 0usize..30), 0..60)) {
+        let mut uf = UnionFind::new(30);
+        // Reference: adjacency + BFS.
+        let mut adj = vec![Vec::new(); 30];
+        for &(a, b) in &pairs {
+            uf.union(a, b);
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        // BFS labels.
+        let mut label = vec![usize::MAX; 30];
+        let mut next = 0;
+        for s in 0..30 {
+            if label[s] != usize::MAX { continue; }
+            let mut stack = vec![s];
+            label[s] = next;
+            while let Some(v) = stack.pop() {
+                for &w in &adj[v] {
+                    if label[w] == usize::MAX {
+                        label[w] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        for a in 0..30 {
+            for b in 0..30 {
+                prop_assert_eq!(uf.connected(a, b), label[a] == label[b]);
+            }
+        }
+    }
+
+    /// L0 samplers only ever return true support elements with their exact values.
+    #[test]
+    fn l0_sampler_returns_support(seed in 0u64..200, updates in proptest::collection::vec((0u64..1000, -3i64..4), 1..80)) {
+        let mut sampler = L0Sampler::new(1024, seed);
+        let mut reference = std::collections::HashMap::new();
+        for &(idx, delta) in &updates {
+            if delta == 0 { continue; }
+            sampler.update(idx, delta);
+            *reference.entry(idx).or_insert(0i64) += delta;
+        }
+        reference.retain(|_, v| *v != 0);
+        match sampler.sample() {
+            Some((idx, val)) => {
+                prop_assert_eq!(reference.get(&idx), Some(&val));
+            }
+            None => {
+                // Allowed to fail only with small probability, but must not fail when
+                // the vector is actually zero... if reference is empty, None is correct.
+                // When non-empty we tolerate failure only if the support is large
+                // (constant failure probability); for tiny supports the sampler is
+                // essentially exact, so flag only those.
+                if reference.len() == 1 {
+                    prop_assert!(false, "sampler missed a 1-sparse vector");
+                }
+            }
+        }
+    }
+}
