@@ -13,8 +13,62 @@
 //! approximation for weighted matching, which is exactly the gap the
 //! dual-primal algorithm closes.
 
+use mwm_core::{MatchingSolver, MwmError, ResourceBudget, SolveReport};
 use mwm_graph::{Graph, Matching, WeightLevels};
 use mwm_mapreduce::{MapReduceConfig, MapReduceSim, ResourceTracker};
+
+/// The filtering algorithm behind the engine API: an `O(p)`-round,
+/// `O(n^{1+1/p})`-space, `O(1)`-approximation [`MatchingSolver`].
+///
+/// Construct with [`LattanziFiltering::new`], which validates the parameters;
+/// [`Default`] uses the paper's comparison setting (`p = 2`, `eps = 0.2`).
+#[derive(Clone, Copy, Debug)]
+pub struct LattanziFiltering {
+    p: f64,
+    eps: f64,
+    seed: u64,
+}
+
+impl LattanziFiltering {
+    /// Creates a filtering solver, validating `p > 1` and `eps ∈ (0, 1)`.
+    pub fn new(p: f64, eps: f64, seed: u64) -> Result<Self, MwmError> {
+        if !p.is_finite() || p <= 1.0 {
+            return Err(MwmError::InvalidConfig {
+                param: "p",
+                value: format!("{p}"),
+                requirement: "must exceed 1",
+            });
+        }
+        if !eps.is_finite() || eps <= 0.0 || eps >= 1.0 {
+            return Err(MwmError::InvalidConfig {
+                param: "eps",
+                value: format!("{eps}"),
+                requirement: "must lie in (0, 1)",
+            });
+        }
+        Ok(LattanziFiltering { p, eps, seed })
+    }
+}
+
+impl Default for LattanziFiltering {
+    fn default() -> Self {
+        LattanziFiltering { p: 2.0, eps: 0.2, seed: 0x1A77 }
+    }
+}
+
+impl MatchingSolver for LattanziFiltering {
+    fn name(&self) -> &str {
+        "lattanzi-filtering"
+    }
+
+    fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
+        let res = lattanzi_filtering(graph, self.p, self.eps, self.seed);
+        budget.check_tracker(&res.tracker)?;
+        Ok(SolveReport::new(self.name(), res.matching.to_b_matching(), res.tracker)
+            .with_stat("p", self.p)
+            .with_stat("eps", self.eps))
+    }
+}
 
 /// Result of a filtering run.
 #[derive(Clone, Debug)]
@@ -33,6 +87,10 @@ pub struct LattanziResult {
 
 /// Runs weighted filtering with exponent `p` and accuracy `eps` for the weight
 /// classes (`eps` only controls the class granularity, not the quality bound).
+///
+/// # Panics
+/// If `p ≤ 1`. [`LattanziFiltering::new`] validates the parameter and returns
+/// a typed error instead.
 pub fn lattanzi_filtering(graph: &Graph, p: f64, eps: f64, seed: u64) -> LattanziResult {
     assert!(p > 1.0);
     let n = graph.num_vertices();

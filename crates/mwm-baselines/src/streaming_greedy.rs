@@ -8,8 +8,53 @@
 //! optimum (and much better in practice) — the classical baseline whose gap to
 //! `(1-ε)` the paper addresses.
 
+use mwm_core::{MatchingSolver, MwmError, ResourceBudget, SolveReport};
 use mwm_graph::{EdgeId, Graph, Matching};
 use mwm_mapreduce::{ResourceTracker, StreamingSim};
+
+/// The one-pass replacement algorithm behind the engine API: 1 pass, `O(n)`
+/// memory, constant-approximation [`MatchingSolver`].
+///
+/// Construct with [`StreamingGreedy::new`], which validates the improvement
+/// factor; [`Default`] uses the classical `γ = √2 - 1 ≈ 0.414`.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingGreedy {
+    gamma_improve: f64,
+}
+
+impl StreamingGreedy {
+    /// Creates a streaming solver, validating `gamma_improve ≥ 0` and finite.
+    pub fn new(gamma_improve: f64) -> Result<Self, MwmError> {
+        if !gamma_improve.is_finite() || gamma_improve < 0.0 {
+            return Err(MwmError::InvalidConfig {
+                param: "gamma_improve",
+                value: format!("{gamma_improve}"),
+                requirement: "must be non-negative and finite",
+            });
+        }
+        Ok(StreamingGreedy { gamma_improve })
+    }
+}
+
+impl Default for StreamingGreedy {
+    fn default() -> Self {
+        StreamingGreedy { gamma_improve: 0.414 }
+    }
+}
+
+impl MatchingSolver for StreamingGreedy {
+    fn name(&self) -> &str {
+        "streaming-greedy"
+    }
+
+    fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
+        let res = streaming_greedy_matching(graph, self.gamma_improve);
+        budget.check_tracker(&res.tracker)?;
+        Ok(SolveReport::new(self.name(), res.matching.to_b_matching(), res.tracker)
+            .with_stat("gamma_improve", self.gamma_improve)
+            .with_stat("passes", res.passes as f64))
+    }
+}
 
 /// Result of a streaming-greedy run.
 #[derive(Clone, Debug)]
@@ -27,6 +72,10 @@ pub struct StreamingGreedyResult {
 }
 
 /// Runs the one-pass replacement algorithm with improvement factor `gamma_improve`.
+///
+/// # Panics
+/// If `gamma_improve < 0`. [`StreamingGreedy::new`] validates the parameter
+/// and returns a typed error instead.
 pub fn streaming_greedy_matching(graph: &Graph, gamma_improve: f64) -> StreamingGreedyResult {
     assert!(gamma_improve >= 0.0);
     let n = graph.num_vertices();
@@ -66,7 +115,7 @@ pub fn streaming_greedy_matching(graph: &Graph, gamma_improve: f64) -> Streaming
     sim.declare_memory(in_matching.len());
 
     let mut matching = Matching::new();
-    for (&id, _) in &in_matching {
+    for &id in in_matching.keys() {
         matching.push(id, graph.edge(id));
     }
     let weight = matching.weight();

@@ -15,11 +15,12 @@ fn bench_solver(c: &mut Criterion) {
                 p: 2.0,
                 seed: 1,
                 ..Default::default()
-            });
+            })
+            .expect("bench config is valid");
             group.bench_with_input(
                 BenchmarkId::new(w.name.clone(), format!("eps{eps}")),
                 &w.graph,
-                |b, g| b.iter(|| solver.solve(g)),
+                |b, g| b.iter(|| solver.solve_detailed(g)),
             );
         }
     }

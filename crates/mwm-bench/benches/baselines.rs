@@ -12,9 +12,14 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
     let g = workloads::scaling_graph(200, 10, 3);
     group.bench_with_input(BenchmarkId::new("dual_primal", "n200"), &g, |b, g| {
-        let solver =
-            DualPrimalSolver::new(DualPrimalConfig { eps: 0.25, p: 2.0, seed: 1, ..Default::default() });
-        b.iter(|| solver.solve(g))
+        let solver = DualPrimalSolver::new(DualPrimalConfig {
+            eps: 0.25,
+            p: 2.0,
+            seed: 1,
+            ..Default::default()
+        })
+        .expect("bench config is valid");
+        b.iter(|| solver.solve_detailed(g))
     });
     group.bench_with_input(BenchmarkId::new("lattanzi_filtering", "n200"), &g, |b, g| {
         b.iter(|| lattanzi_filtering(g, 2.0, 0.25, 1))

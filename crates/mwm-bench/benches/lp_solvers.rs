@@ -33,8 +33,11 @@ fn bench_lp(c: &mut Criterion) {
     group.sample_size(10);
     for &(vars, cons) in &[(20usize, 10usize), (60, 30)] {
         let (rows, rhs) = random_covering(vars, cons, 3);
-        let polytope =
-            BoxBudgetPolytope { upper: vec![1.0; vars], cost: vec![1.0; vars], budget: vars as f64 };
+        let polytope = BoxBudgetPolytope {
+            upper: vec![1.0; vars],
+            cost: vec![1.0; vars],
+            budget: vars as f64,
+        };
         group.bench_with_input(
             BenchmarkId::new("covering", format!("{vars}v_{cons}c")),
             &(rows.clone(), rhs.clone(), polytope.clone()),

@@ -17,8 +17,9 @@ fn bench_resources(c: &mut Criterion) {
                 p: 2.0,
                 seed: 2,
                 ..Default::default()
-            });
-            b.iter(|| solver.solve(g))
+            })
+            .expect("bench config is valid");
+            b.iter(|| solver.solve_detailed(g))
         });
     }
     for &p in &[2.0f64, 3.0, 4.0] {
@@ -29,8 +30,9 @@ fn bench_resources(c: &mut Criterion) {
                 p,
                 seed: 2,
                 ..Default::default()
-            });
-            b.iter(|| solver.solve(g))
+            })
+            .expect("bench config is valid");
+            b.iter(|| solver.solve_detailed(g))
         });
     }
     group.finish();

@@ -5,8 +5,12 @@
 //! cargo run --release -p mwm-bench --bin experiments -- --exp all
 //! cargo run --release -p mwm-bench --bin experiments -- --exp e3
 //! ```
+//!
+//! Exit codes: 0 on success, 1 when an experiment fails, 2 on bad arguments
+//! or an unknown experiment id.
 
 use mwm_bench::run_experiment;
+use mwm_core::MwmError;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,9 +38,22 @@ fn main() {
         }
         i += 1;
     }
-    let rows = run_experiment(&exp);
-    if rows.is_empty() {
-        eprintln!("no output produced for experiment {exp}");
-        std::process::exit(1);
+    match run_experiment(&exp) {
+        Ok(reports) => {
+            for report in &reports {
+                for line in report.render() {
+                    println!("{line}");
+                }
+                println!();
+            }
+        }
+        Err(err @ MwmError::UnknownExperiment { .. }) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+        Err(err) => {
+            eprintln!("experiment {exp} failed: {err}");
+            std::process::exit(1);
+        }
     }
 }

@@ -1,13 +1,20 @@
 //! The experiment implementations E1–E10 (see `EXPERIMENTS.md`).
 //!
-//! Every function prints an aligned text table to stdout and returns the rows
-//! as strings so integration tests can assert on their shape without parsing
-//! stdout. Sizes are chosen so the full suite (`--exp all`) completes in a few
-//! minutes on a laptop in release mode.
+//! Every experiment returns a structured [`ExperimentReport`] (id, title,
+//! columns, raw cells) instead of pre-formatted strings, so integration tests
+//! assert on values and the CLI renders the aligned tables. All experiments
+//! drive the solvers through the engine API ([`MatchingSolver`]) and are
+//! fallible: configuration or solve errors propagate as [`MwmError`] instead
+//! of panicking. Sizes are chosen so the full suite (`--exp all`) completes
+//! in a few minutes on a laptop in release mode.
 
+use crate::report::ExperimentReport;
 use crate::workloads;
-use mwm_baselines::{lattanzi_filtering, streaming_greedy_matching};
-use mwm_core::{certify_solution, relaxation_widths, DualPrimalConfig, DualPrimalSolver};
+use mwm_baselines::{LattanziFiltering, StreamingGreedy};
+use mwm_core::{
+    certify_b_matching, relaxation_widths, DualPrimalConfig, DualPrimalSolver, MatchingSolver,
+    MwmError, ResourceBudget, SolveReport,
+};
 use mwm_graph::generators;
 use mwm_graph::Graph;
 use mwm_lp::{
@@ -19,131 +26,144 @@ use mwm_sparsify::{cut_quality_report, DeferredSparsifier};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-/// Runs one experiment by id (`"e1"` … `"e10"` or `"all"`); returns the table rows.
-pub fn run_experiment(id: &str) -> Vec<String> {
+/// All experiment ids, in run order.
+pub const EXPERIMENT_IDS: [&str; 10] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// Runs one experiment by id (`"e1"` … `"e10"`), or every experiment for
+/// `"all"`. Unknown ids are [`MwmError::UnknownExperiment`].
+pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
     match id {
-        "e1" => e1_adaptivity(),
-        "e2" => e2_triangle_gadget(),
-        "e3" => e3_approximation(),
-        "e4" => e4_resources(),
-        "e5" => e5_baselines(),
-        "e6" => e6_sparsifier(),
-        "e7" => e7_width(),
-        "e8" => e8_b_matching(),
-        "e9" => e9_congested_clique(),
-        "e10" => e10_lp_substrate(),
+        "e1" => Ok(vec![e1_adaptivity()?]),
+        "e2" => Ok(vec![e2_triangle_gadget()?]),
+        "e3" => Ok(vec![e3_approximation()?]),
+        "e4" => Ok(vec![e4_resources()?]),
+        "e5" => Ok(vec![e5_baselines()?]),
+        "e6" => Ok(vec![e6_sparsifier()?]),
+        "e7" => Ok(vec![e7_width()?]),
+        "e8" => Ok(vec![e8_b_matching()?]),
+        "e9" => Ok(vec![e9_congested_clique()?]),
+        "e10" => Ok(vec![e10_lp_substrate()?]),
         "all" => {
-            let mut all = Vec::new();
-            for e in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"] {
-                all.extend(run_experiment(e));
+            let mut all = Vec::with_capacity(EXPERIMENT_IDS.len());
+            for e in EXPERIMENT_IDS {
+                all.extend(run_experiment(e)?);
             }
-            all
+            Ok(all)
         }
-        other => vec![format!("unknown experiment id: {other}")],
+        other => Err(MwmError::UnknownExperiment {
+            id: other.to_string(),
+            available: EXPERIMENT_IDS
+                .iter()
+                .map(|s| s.to_string())
+                .chain(["all".to_string()])
+                .collect(),
+        }),
     }
 }
 
-fn emit(rows: Vec<String>) -> Vec<String> {
-    for r in &rows {
-        println!("{r}");
-    }
-    rows
-}
-
-fn solver(eps: f64, p: f64, seed: u64) -> DualPrimalSolver {
+/// A validated dual-primal solver for the experiments' parameter grid.
+fn dual_primal(eps: f64, p: f64, seed: u64) -> Result<DualPrimalSolver, MwmError> {
     DualPrimalSolver::new(DualPrimalConfig { eps, p, seed, ..Default::default() })
 }
 
+/// Solves through the engine API with no budget (experiments measure, they
+/// don't constrain).
+fn solve_dp(g: &Graph, eps: f64, p: f64, seed: u64) -> Result<SolveReport, MwmError> {
+    dual_primal(eps, p, seed)?.solve(g, &ResourceBudget::unlimited())
+}
+
+/// A named solver-specific statistic that the dual-primal report always
+/// carries; missing stats indicate a report from the wrong solver.
+fn stat(report: &SolveReport, name: &str) -> Result<f64, MwmError> {
+    report.stat(name).ok_or_else(|| MwmError::InvalidInput {
+        reason: format!("report from {} lacks stat {name:?}", report.solver),
+    })
+}
+
 /// E1 — Figure 1: rounds of data access vs oracle iterations.
-pub fn e1_adaptivity() -> Vec<String> {
-    let mut rows = vec![
-        "== E1: adaptivity (rounds of data access vs oracle iterations; Figure 1) ==".to_string(),
-        format!(
-            "{:<24} {:>5} {:>5} {:>8} {:>12} {:>12} {:>10}",
-            "workload", "eps", "p", "rounds", "oracle_iter", "iters/round", "sparsifiers"
-        ),
-    ];
+pub fn e1_adaptivity() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e1",
+        "adaptivity (rounds of data access vs oracle iterations; Figure 1)",
+        vec!["workload", "eps", "p", "rounds", "oracle_iter", "iters/round", "sparsifiers"],
+    );
     for &(n, eps, p) in &[(200usize, 0.2, 2.0), (200, 0.3, 2.0), (400, 0.2, 3.0)] {
         let g = workloads::scaling_graph(n, 8, 42);
-        let res = solver(eps, p, 1).solve(&g);
-        rows.push(format!(
-            "{:<24} {:>5.2} {:>5.1} {:>8} {:>12} {:>12.2} {:>10}",
+        let res = solve_dp(&g, eps, p, 1)?;
+        rep.push_row(vec![
             format!("gnm(n={n})"),
-            eps,
-            p,
-            res.rounds,
-            res.oracle_iterations,
-            res.ledger.adaptivity_ratio(),
-            res.ledger.sparsifiers_built(),
-        ));
+            format!("{eps:.2}"),
+            format!("{p:.1}"),
+            format!("{}", res.rounds()),
+            format!("{}", res.oracle_iterations),
+            format!("{:.2}", stat(&res, "adaptivity_ratio")?),
+            format!("{}", stat(&res, "sparsifiers_built")? as usize),
+        ]);
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E2 — the p.5 triangle gadget: bipartite relaxation gap vs integral optimum.
-pub fn e2_triangle_gadget() -> Vec<String> {
-    let mut rows = vec![
-        "== E2: triangle gadget (p.5): bipartite relaxation vs integral optimum ==".to_string(),
-        format!(
-            "{:<8} {:>12} {:>12} {:>12} {:>12}",
-            "eps", "integral", "bipartite_lp", "solver", "solver_ratio"
-        ),
-    ];
+pub fn e2_triangle_gadget() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e2",
+        "triangle gadget (p.5): bipartite relaxation vs integral optimum",
+        vec!["eps", "integral", "bipartite_lp", "solver", "solver_ratio"],
+    );
     for &eps in &[0.05, 0.1, 0.2] {
         let g = generators::triangle_gadget(eps, 1.0);
         // Integral optimum (exact DP): the heavy edge for eps < 0.1, a light edge beyond.
         let integral = mwm_matching::exact_max_weight_matching(&g).weight();
-        // Bipartite (odd-set-free) fractional optimum: 1/2 on every edge = 1 + 5eps·... :
-        // (1 + 10eps + 10eps)/2 = 1/2 + 10eps... compute exactly from the gadget weights.
+        // Bipartite (odd-set-free) fractional optimum: 1/2 on every edge.
         let bipartite_lp: f64 = g.edges().iter().map(|e| e.w).sum::<f64>() / 2.0;
-        let res = solver(eps.min(0.3).max(0.05), 2.0, 3).solve(&g);
-        rows.push(format!(
-            "{:<8.2} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
-            eps,
-            integral,
-            bipartite_lp,
-            res.weight,
-            res.weight / integral
-        ));
+        let res = solve_dp(&g, eps.clamp(0.05, 0.3), 2.0, 3)?;
+        rep.push_row(vec![
+            format!("{eps:.2}"),
+            format!("{integral:.4}"),
+            format!("{bipartite_lp:.4}"),
+            format!("{:.4}", res.weight),
+            format!("{:.4}", res.weight / integral),
+        ]);
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E3 — Theorem 15: approximation quality across graph families.
-pub fn e3_approximation() -> Vec<String> {
-    let mut rows = vec![
-        "== E3: approximation quality (Theorem 15) ==".to_string(),
-        format!(
-            "{:<24} {:>6} {:>12} {:>12} {:>12} {:>10}",
-            "workload", "eps", "solver_w", "bound", "ratio", "kind"
-        ),
-    ];
+pub fn e3_approximation() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e3",
+        "approximation quality (Theorem 15)",
+        vec!["workload", "eps", "solver_w", "bound", "ratio", "kind"],
+    );
     for w in workloads::standard_suite(160, 11) {
         for &eps in &[0.1, 0.2] {
-            let res = solver(eps, 2.0, 5).solve(&w.graph);
-            let cert = certify_solution(&w.graph, &res);
+            let res = solve_dp(&w.graph, eps, 2.0, 5)?;
+            let cert = certify_b_matching(&w.graph, &res.matching);
             let (bound, ratio, kind) = match (cert.exact_optimum, cert.ratio_vs_exact) {
                 (Some(opt), Some(r)) => (opt, r, "exact"),
                 _ => (cert.upper_bound, cert.ratio_vs_upper_bound, "upper-bound"),
             };
-            rows.push(format!(
-                "{:<24} {:>6.2} {:>12.2} {:>12.2} {:>12.3} {:>10}",
-                w.name, eps, res.weight, bound, ratio, kind
-            ));
+            rep.push_row(vec![
+                w.name.clone(),
+                format!("{eps:.2}"),
+                format!("{:.2}", res.weight),
+                format!("{bound:.2}"),
+                format!("{ratio:.3}"),
+                kind.to_string(),
+            ]);
         }
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E4 — Theorem 15 resources: rounds and central space vs n, p, eps.
-pub fn e4_resources() -> Vec<String> {
-    let mut rows = vec![
-        "== E4: resources (rounds O(p/eps), space O(n^{1+1/p} log B)) ==".to_string(),
-        format!(
-            "{:<10} {:>5} {:>5} {:>8} {:>8} {:>14} {:>14} {:>8}",
-            "n", "eps", "p", "m", "rounds", "peak_space", "space_budget", "within"
-        ),
-    ];
+pub fn e4_resources() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e4",
+        "resources (rounds O(p/eps), space O(n^{1+1/p} log B))",
+        vec!["n", "eps", "p", "m", "rounds", "peak_space", "space_budget", "within"],
+    );
     for &(n, eps, p) in &[
         (200usize, 0.2, 2.0),
         (400, 0.2, 2.0),
@@ -154,56 +174,58 @@ pub fn e4_resources() -> Vec<String> {
         (400, 0.2, 4.0),
     ] {
         let g = workloads::scaling_graph(n, 10, 7);
-        let res = solver(eps, p, 2).solve(&g);
-        let budget = 40.0
-            * (n as f64).powf(1.0 + 1.0 / p)
-            * (g.total_capacity().max(2) as f64).ln();
-        rows.push(format!(
-            "{:<10} {:>5.2} {:>5.1} {:>8} {:>8} {:>14} {:>14.0} {:>8}",
-            n,
-            eps,
-            p,
-            g.num_edges(),
-            res.rounds,
-            res.peak_central_space,
-            budget,
-            (res.peak_central_space as f64) <= budget
-        ));
+        let res = solve_dp(&g, eps, p, 2)?;
+        let budget =
+            40.0 * (n as f64).powf(1.0 + 1.0 / p) * (g.total_capacity().max(2) as f64).ln();
+        rep.push_row(vec![
+            format!("{n}"),
+            format!("{eps:.2}"),
+            format!("{p:.1}"),
+            format!("{}", g.num_edges()),
+            format!("{}", res.rounds()),
+            format!("{}", res.peak_central_space()),
+            format!("{budget:.0}"),
+            format!("{}", (res.peak_central_space() as f64) <= budget),
+        ]);
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E5 — comparison against the Lattanzi et al. filtering baseline and
-/// one-pass streaming greedy.
-pub fn e5_baselines() -> Vec<String> {
-    let mut rows = vec![
-        "== E5: dual-primal (1-eps) vs Lattanzi filtering vs streaming greedy ==".to_string(),
-        format!(
-            "{:<24} {:>14} {:>10} {:>14} {:>10} {:>14} {:>10}",
-            "workload", "dp_weight", "dp_rounds", "latt_weight", "latt_rounds", "greedy1p_w", "passes"
-        ),
+/// one-pass streaming greedy, all driven through the engine API.
+pub fn e5_baselines() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e5",
+        "dual-primal (1-eps) vs Lattanzi filtering vs streaming greedy",
+        vec!["workload", "solver", "weight", "rounds", "peak_space"],
+    );
+    let solvers: Vec<Box<dyn MatchingSolver>> = vec![
+        Box::new(dual_primal(0.2, 2.0, 9)?),
+        Box::new(LattanziFiltering::new(2.0, 0.2, 9)?),
+        Box::new(StreamingGreedy::new(0.414)?),
     ];
     for w in workloads::standard_suite(200, 23) {
-        let dp = solver(0.2, 2.0, 9).solve(&w.graph);
-        let latt = lattanzi_filtering(&w.graph, 2.0, 0.2, 9);
-        let sg = streaming_greedy_matching(&w.graph, 0.414);
-        rows.push(format!(
-            "{:<24} {:>14.2} {:>10} {:>14.2} {:>10} {:>14.2} {:>10}",
-            w.name, dp.weight, dp.rounds, latt.weight, latt.rounds, sg.weight, sg.passes
-        ));
+        for solver in &solvers {
+            let res = solver.solve(&w.graph, &ResourceBudget::unlimited())?;
+            rep.push_row(vec![
+                w.name.clone(),
+                res.solver.clone(),
+                format!("{:.2}", res.weight),
+                format!("{}", res.rounds()),
+                format!("{}", res.peak_central_space()),
+            ]);
+        }
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E6 — Lemma 17: deferred sparsifier size and cut quality.
-pub fn e6_sparsifier() -> Vec<String> {
-    let mut rows = vec![
-        "== E6: deferred sparsifier size & cut quality (Lemma 17 / Algorithm 6) ==".to_string(),
-        format!(
-            "{:<10} {:>8} {:>6} {:>6} {:>10} {:>12} {:>12}",
-            "n", "m", "chi", "xi", "stored", "max_cut_err", "mean_cut_err"
-        ),
-    ];
+pub fn e6_sparsifier() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e6",
+        "deferred sparsifier size & cut quality (Lemma 17 / Algorithm 6)",
+        vec!["n", "m", "chi", "xi", "stored", "max_cut_err", "mean_cut_err"],
+    );
     let mut rng = StdRng::seed_from_u64(31);
     for &(n, dens) in &[(300usize, 0.5), (500, 0.5)] {
         let g = workloads::dense_graph(n, dens, 13);
@@ -223,119 +245,104 @@ pub fn e6_sparsifier() -> Vec<String> {
                         mg.add_edge(e.u, e.v, actual[id]);
                     }
                 }
-                let rep = cut_quality_report(&mg, &sp, 40, 3);
-                rows.push(format!(
-                    "{:<10} {:>8} {:>6.1} {:>6.2} {:>10} {:>12.3} {:>12.3}",
-                    n,
-                    g.num_edges(),
-                    chi,
-                    xi,
-                    d.num_stored(),
-                    rep.max_relative_error,
-                    rep.mean_relative_error
-                ));
+                let quality = cut_quality_report(&mg, &sp, 40, 3);
+                rep.push_row(vec![
+                    format!("{n}"),
+                    format!("{}", g.num_edges()),
+                    format!("{chi:.1}"),
+                    format!("{xi:.2}"),
+                    format!("{}", d.num_stored()),
+                    format!("{:.3}", quality.max_relative_error),
+                    format!("{:.3}", quality.mean_relative_error),
+                ]);
             }
         }
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E7 — width of the classical dual LP2 vs the penalty relaxations LP4/LP5.
-pub fn e7_width() -> Vec<String> {
-    let mut rows = vec![
-        "== E7: width of LP2 (grows with n) vs penalty relaxation LP4/LP5 (constant) ==".to_string(),
-        format!(
-            "{:<12} {:>8} {:>16} {:>16} {:>18}",
-            "n", "m", "classical_width", "penalty_width", "penalty_inner"
-        ),
-    ];
+pub fn e7_width() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e7",
+        "width of LP2 (grows with n) vs penalty relaxation LP4/LP5 (constant)",
+        vec!["n", "m", "classical_width", "penalty_width", "penalty_inner"],
+    );
     for &n in &[100usize, 200, 400, 800] {
         let g = workloads::scaling_graph(n, 8, 3);
         let w = relaxation_widths(&g, 0.2);
-        rows.push(format!(
-            "{:<12} {:>8} {:>16.0} {:>16.0} {:>18.0}",
-            n, g.num_edges(), w.classical_width, w.penalty_width, w.penalty_inner_width
-        ));
+        rep.push_row(vec![
+            format!("{n}"),
+            format!("{}", g.num_edges()),
+            format!("{:.0}", w.classical_width),
+            format!("{:.0}", w.penalty_width),
+            format!("{:.0}", w.penalty_inner_width),
+        ]);
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E8 — b-matching generalisation: quality and space vs B.
-pub fn e8_b_matching() -> Vec<String> {
-    let mut rows = vec![
-        "== E8: b-matching (capacities > 1) ==".to_string(),
-        format!(
-            "{:<10} {:>8} {:>8} {:>14} {:>14} {:>12} {:>10}",
-            "n", "max_b", "B", "solver_w", "upper_bound", "ratio_lb", "rounds"
-        ),
-    ];
+pub fn e8_b_matching() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e8",
+        "b-matching (capacities > 1)",
+        vec!["n", "max_b", "B", "solver_w", "upper_bound", "ratio_lb", "rounds"],
+    );
     for &max_b in &[1u64, 3, 8] {
         let g = workloads::b_matching_graph(150, 8, max_b, 17);
-        let res = solver(0.2, 2.0, 3).solve(&g);
+        let res = solve_dp(&g, 0.2, 2.0, 3)?;
         let ub = bounds::b_matching_weight_upper_bound(&g);
-        rows.push(format!(
-            "{:<10} {:>8} {:>8} {:>14.2} {:>14.2} {:>12.3} {:>10}",
-            150,
-            max_b,
-            g.total_capacity(),
-            res.weight,
-            ub,
-            res.weight / ub,
-            res.rounds
-        ));
+        rep.push_row(vec![
+            "150".to_string(),
+            format!("{max_b}"),
+            format!("{}", g.total_capacity()),
+            format!("{:.2}", res.weight),
+            format!("{ub:.2}"),
+            format!("{:.3}", res.weight / ub),
+            format!("{}", res.rounds()),
+        ]);
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E9 — congested-clique corollary: per-vertex message volume per round.
-pub fn e9_congested_clique() -> Vec<String> {
-    let mut rows = vec![
-        "== E9: congested clique (per-vertex message size O(n^{1/p} polylog)) ==".to_string(),
-        format!(
-            "{:<10} {:>5} {:>8} {:>18} {:>16} {:>8}",
-            "n", "p", "rounds", "max_msg/vtx/round", "budget", "within"
-        ),
-    ];
+pub fn e9_congested_clique() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e9",
+        "congested clique (per-vertex message size O(n^{1/p} polylog))",
+        vec!["n", "p", "rounds", "max_msg/vtx/round", "budget", "within"],
+    );
     for &(n, p) in &[(128usize, 2.0), (256, 2.0), (256, 4.0)] {
-        let g = workloads::scaling_graph(n, 8, 29);
         // Per round every vertex ships one sketch of its neighbourhood: the sketch
         // has O(n^{1/p}) cells by construction (copies scaled accordingly).
         let copies = ((n as f64).powf(1.0 / p).ceil() as usize).max(1);
         let mut cc = CongestedCliqueSim::new(n);
         let rounds = ((2.0 * p) / 0.2).ceil() as usize;
-        let sketch_cells = {
-            // Cells per vertex sketch copy (log-sized); measure one.
-            use mwm_sketch::VertexSketch;
-            VertexSketch::new(n, 1).num_cells()
-        };
         for _ in 0..rounds {
             cc.begin_round();
-            cc.charge_all(copies * sketch_cells / sketch_cells.max(1));
+            cc.charge_all(copies);
         }
         let budget = 4.0 * (n as f64).powf(1.0 / p) * (n as f64).ln();
-        let _ = g;
-        rows.push(format!(
-            "{:<10} {:>5.1} {:>8} {:>18} {:>16.0} {:>8}",
-            n,
-            p,
-            cc.num_rounds(),
-            cc.max_message_per_vertex_round(),
-            budget,
-            cc.within_message_budget(p, 4.0, (n as f64).ln())
-        ));
+        rep.push_row(vec![
+            format!("{n}"),
+            format!("{p:.1}"),
+            format!("{}", cc.num_rounds()),
+            format!("{}", cc.max_message_per_vertex_round()),
+            format!("{budget:.0}"),
+            format!("{}", cc.within_message_budget(p, 4.0, (n as f64).ln())),
+        ]);
     }
-    emit(rows)
+    Ok(rep)
 }
 
 /// E10 — LP substrate sanity: covering solver accuracy and iteration scaling.
-pub fn e10_lp_substrate() -> Vec<String> {
-    let mut rows = vec![
-        "== E10: covering solver substrate (Theorem 5) ==".to_string(),
-        format!(
-            "{:<26} {:>6} {:>10} {:>12} {:>12}",
-            "instance", "eps", "outcome", "lambda", "iterations"
-        ),
-    ];
+pub fn e10_lp_substrate() -> Result<ExperimentReport, MwmError> {
+    let mut rep = ExperimentReport::new(
+        "e10",
+        "covering solver substrate (Theorem 5)",
+        vec!["instance", "eps", "outcome", "lambda", "iterations"],
+    );
     let mut rng = StdRng::seed_from_u64(41);
     for &(vars, cons) in &[(20usize, 10usize), (50, 25)] {
         // Random feasible covering instance: A random 0/1-ish, c scaled so that the
@@ -354,10 +361,8 @@ pub fn e10_lp_substrate() -> Vec<String> {
                 r
             })
             .collect();
-        let c: Vec<f64> = rows_a
-            .iter()
-            .map(|r| 0.5 * r.iter().map(|&(_, a)| a).sum::<f64>())
-            .collect();
+        let c: Vec<f64> =
+            rows_a.iter().map(|r| 0.5 * r.iter().map(|&(_, a)| a).sum::<f64>()).collect();
         let polytope = BoxBudgetPolytope {
             upper: vec![1.0; vars],
             cost: vec![1.0; vars],
@@ -372,21 +377,21 @@ pub fn e10_lp_substrate() -> Vec<String> {
                 Vec::new(),
                 &CoveringParams { eps, max_iterations: 2_000_000 },
             );
-            rows.push(format!(
-                "{:<26} {:>6.2} {:>10} {:>12.4} {:>12}",
+            rep.push_row(vec![
                 format!("random({vars}v,{cons}c)"),
-                eps,
+                format!("{eps:.2}"),
                 match sol.outcome {
                     CoveringOutcome::Feasible => "feasible",
                     CoveringOutcome::Infeasible => "infeasible",
                     CoveringOutcome::IterationLimit => "limit",
-                },
-                sol.lambda,
-                sol.iterations
-            ));
+                }
+                .to_string(),
+                format!("{:.4}", sol.lambda),
+                format!("{}", sol.iterations),
+            ]);
         }
     }
-    emit(rows)
+    Ok(rep)
 }
 
 #[cfg(test)]
@@ -395,26 +400,36 @@ mod tests {
 
     #[test]
     fn experiment_ids_dispatch() {
-        let rows = run_experiment("e7");
-        assert!(rows.len() >= 3);
-        assert!(rows[0].contains("E7"));
-        let unknown = run_experiment("e99");
-        assert!(unknown[0].contains("unknown"));
+        let reports = run_experiment("e7").unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].id, "e7");
+        assert!(reports[0].rows.len() >= 2);
+        let err = run_experiment("e99").unwrap_err();
+        assert!(matches!(err, MwmError::UnknownExperiment { .. }));
     }
 
     #[test]
-    fn triangle_gadget_rows_have_expected_shape() {
-        let rows = e2_triangle_gadget();
-        // Header + 3 eps values.
-        assert_eq!(rows.len(), 5);
+    fn triangle_gadget_report_has_expected_shape() {
+        let rep = e2_triangle_gadget().unwrap();
+        assert_eq!(rep.rows.len(), 3);
+        assert_eq!(rep.columns.len(), 5);
+        // For tiny eps the solver matches the integral optimum exactly.
+        assert_eq!(rep.cell(0, "solver_ratio"), Some("1.0000"));
     }
 
     #[test]
     fn width_experiment_shows_constant_penalty_width() {
-        let rows = e7_width();
-        for row in rows.iter().skip(2) {
-            // The penalty width column is always exactly 6.
-            assert!(row.contains(" 6 "), "row missing constant width: {row}");
+        let rep = e7_width().unwrap();
+        for row in 0..rep.rows.len() {
+            assert_eq!(rep.cell(row, "penalty_width"), Some("6"), "row {row}");
         }
+    }
+
+    #[test]
+    fn e5_covers_all_three_solvers_per_workload() {
+        let rep = e5_baselines().unwrap();
+        assert_eq!(rep.rows.len() % 3, 0);
+        let solvers: Vec<_> = (0..3).filter_map(|r| rep.cell(r, "solver")).collect();
+        assert_eq!(solvers, vec!["dual-primal", "lattanzi-filtering", "streaming-greedy"]);
     }
 }

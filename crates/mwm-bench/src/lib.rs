@@ -3,11 +3,15 @@
 //! The paper (SPAA 2015) contains no empirical tables — its claims are
 //! theorems. Each experiment here measures one of those claims on synthetic
 //! workloads (the mapping from claims to experiments is in `DESIGN.md` §3 and
-//! `EXPERIMENTS.md`). The `experiments` binary runs them and prints aligned
-//! text tables; the Criterion benches in `benches/` time the underlying
-//! kernels.
+//! `EXPERIMENTS.md`). Experiments drive the solvers through the engine API
+//! (`mwm_core::MatchingSolver`) and return structured
+//! [`ExperimentReport`] values; the `experiments` binary renders them as
+//! aligned text tables and the Criterion benches in `benches/` time the
+//! underlying kernels.
 
 pub mod experiments;
+pub mod report;
 pub mod workloads;
 
-pub use experiments::run_experiment;
+pub use experiments::{run_experiment, EXPERIMENT_IDS};
+pub use report::ExperimentReport;

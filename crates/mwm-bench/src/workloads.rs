@@ -31,7 +31,13 @@ pub fn standard_suite(n: usize, seed: u64) -> Vec<Workload> {
         },
         Workload {
             name: format!("powerlaw(n={n})"),
-            graph: generators::power_law(n, 2.5, avg_deg as f64, WeightModel::Exponential(3.0), &mut rng),
+            graph: generators::power_law(
+                n,
+                2.5,
+                avg_deg as f64,
+                WeightModel::Exponential(3.0),
+                &mut rng,
+            ),
         },
         Workload {
             name: format!("bipartite(n={n})"),

@@ -1,0 +1,153 @@
+//! Resource budgets for solver runs.
+//!
+//! The paper's model charges algorithms for rounds of data access, central
+//! space held between rounds, and oracle iterations. [`ResourceBudget`]
+//! expresses caller-side limits on those resources: a solver receiving a
+//! budget must stay within it or return [`MwmError::BudgetExceeded`].
+//! `ResourceBudget::unlimited()` (the [`Default`]) imposes nothing.
+
+use crate::error::MwmError;
+use mwm_mapreduce::ResourceTracker;
+
+/// Caller-imposed limits on the resources of one solve.
+///
+/// All limits are optional; an absent limit is unconstrained. Budgets are
+/// plain values — build them with the `with_*` combinators:
+///
+/// ```
+/// use mwm_core::ResourceBudget;
+/// let budget = ResourceBudget::unlimited()
+///     .with_max_rounds(40)
+///     .with_max_central_space(100_000);
+/// assert_eq!(budget.max_rounds(), Some(40));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceBudget {
+    max_rounds: Option<usize>,
+    max_central_space: Option<usize>,
+    max_oracle_iterations: Option<usize>,
+}
+
+impl ResourceBudget {
+    /// A budget with no limits (the default).
+    pub const fn unlimited() -> Self {
+        ResourceBudget { max_rounds: None, max_central_space: None, max_oracle_iterations: None }
+    }
+
+    /// Caps the rounds of data access (MapReduce rounds / streaming passes).
+    pub const fn with_max_rounds(mut self, limit: usize) -> Self {
+        self.max_rounds = Some(limit);
+        self
+    }
+
+    /// Caps the peak central space held between rounds, in items.
+    pub const fn with_max_central_space(mut self, limit: usize) -> Self {
+        self.max_central_space = Some(limit);
+        self
+    }
+
+    /// Caps the oracle iterations (multiplier updates without data access).
+    pub const fn with_max_oracle_iterations(mut self, limit: usize) -> Self {
+        self.max_oracle_iterations = Some(limit);
+        self
+    }
+
+    /// The round limit, if any.
+    pub const fn max_rounds(&self) -> Option<usize> {
+        self.max_rounds
+    }
+
+    /// The central-space limit, if any.
+    pub const fn max_central_space(&self) -> Option<usize> {
+        self.max_central_space
+    }
+
+    /// The oracle-iteration limit, if any.
+    pub const fn max_oracle_iterations(&self) -> Option<usize> {
+        self.max_oracle_iterations
+    }
+
+    /// True if no limit is set.
+    pub const fn is_unlimited(&self) -> bool {
+        self.max_rounds.is_none()
+            && self.max_central_space.is_none()
+            && self.max_oracle_iterations.is_none()
+    }
+
+    /// Verifies a finished run's resource ledger against the budget.
+    pub fn check_tracker(&self, tracker: &ResourceTracker) -> Result<(), MwmError> {
+        if let Some(limit) = self.max_rounds {
+            if tracker.rounds() > limit {
+                return Err(MwmError::BudgetExceeded {
+                    resource: "rounds",
+                    used: tracker.rounds(),
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.max_central_space {
+            if tracker.peak_central_space() > limit {
+                return Err(MwmError::BudgetExceeded {
+                    resource: "central space",
+                    used: tracker.peak_central_space(),
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies an oracle-iteration count against the budget.
+    pub fn check_oracle_iterations(&self, used: usize) -> Result<(), MwmError> {
+        match self.max_oracle_iterations {
+            Some(limit) if used > limit => {
+                Err(MwmError::BudgetExceeded { resource: "oracle iterations", used, limit })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_accepts_anything() {
+        let mut t = ResourceTracker::new();
+        t.charge_round();
+        t.allocate_central(1_000_000);
+        let b = ResourceBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.check_tracker(&t).is_ok());
+        assert!(b.check_oracle_iterations(usize::MAX).is_ok());
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let mut t = ResourceTracker::new();
+        t.charge_round();
+        t.charge_round();
+        let b = ResourceBudget::unlimited().with_max_rounds(1);
+        match b.check_tracker(&t) {
+            Err(MwmError::BudgetExceeded { resource: "rounds", used: 2, limit: 1 }) => {}
+            other => panic!("expected rounds violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn space_limit_is_enforced_on_the_peak() {
+        let mut t = ResourceTracker::new();
+        t.allocate_central(500);
+        t.release_central(500);
+        let b = ResourceBudget::unlimited().with_max_central_space(100);
+        assert!(b.check_tracker(&t).is_err(), "peak, not current, space is charged");
+    }
+
+    #[test]
+    fn oracle_iteration_limit_is_enforced() {
+        let b = ResourceBudget::unlimited().with_max_oracle_iterations(10);
+        assert!(b.check_oracle_iterations(10).is_ok());
+        assert!(b.check_oracle_iterations(11).is_err());
+    }
+}

@@ -51,12 +51,10 @@ pub fn build_initial_solution(
     let eps = levels.eps();
 
     // Remaining (unfiltered) edges per level and the growing maximal b-matchings.
-    let mut remaining: Vec<Vec<usize>> = (0..num_levels)
-        .map(|k| levels.level_edges(k).iter().map(|le| le.id).collect())
-        .collect();
-    let mut residual: Vec<Vec<u64>> = (0..num_levels)
-        .map(|_| (0..n).map(|v| graph.b(v as VertexId)).collect())
-        .collect();
+    let mut remaining: Vec<Vec<usize>> =
+        (0..num_levels).map(|k| levels.level_edges(k).iter().map(|le| le.id).collect()).collect();
+    let mut residual: Vec<Vec<u64>> =
+        (0..num_levels).map(|_| (0..n).map(|v| graph.b(v as VertexId)).collect()).collect();
     let mut matchings: Vec<BMatching> = (0..num_levels).map(|_| BMatching::new()).collect();
 
     let per_round_budget = sim.space_budget().max(64.0) as usize;
@@ -88,11 +86,7 @@ pub fn build_initial_solution(
                 remaining[k].clone()
             } else {
                 let p = budget_per_level as f64 / remaining[k].len() as f64;
-                remaining[k]
-                    .iter()
-                    .copied()
-                    .filter(|_| rng.gen_bool(p.min(1.0)))
-                    .collect()
+                remaining[k].iter().copied().filter(|_| rng.gen_bool(p.min(1.0))).collect()
             };
             sampled_total += sample.len();
             // Extend the maximal b-matching greedily on the sample (Lemma 20:
@@ -121,21 +115,20 @@ pub fn build_initial_solution(
     // Lemma 21: build the dual point from saturation.
     let r = eps / 256.0;
     let mut dual = DualState::new(n, num_levels.max(1), eps);
-    for k in 0..num_levels {
+    for (k, matching) in matchings.iter().enumerate().take(num_levels) {
         if levels.level_edges(k).is_empty() {
             continue;
         }
         let w_k = levels.level_weight(k);
-        let loads = matchings[k].vertex_loads(n);
-        for v in 0..n {
-            if loads[v] >= graph.b(v as VertexId) && graph.b(v as VertexId) > 0 {
+        let loads = matching.vertex_loads(n);
+        for (v, &load) in loads.iter().enumerate() {
+            if load >= graph.b(v as VertexId) && graph.b(v as VertexId) > 0 {
                 dual.set_x(v as VertexId, k, r * w_k);
             }
         }
     }
-    let beta0: f64 = (0..n)
-        .map(|v| graph.b(v as VertexId) as f64 * dual.x_max(v as VertexId))
-        .sum();
+    let beta0: f64 =
+        (0..n).map(|v| graph.b(v as VertexId) as f64 * dual.x_max(v as VertexId)).sum();
 
     // Combined feasible b-matching: merge per-level matchings, heaviest level first.
     let mut combined = BMatching::new();
@@ -152,11 +145,7 @@ pub fn build_initial_solution(
         }
     }
 
-    let per_level = matchings
-        .into_iter()
-        .enumerate()
-        .filter(|(_, m)| !m.is_empty())
-        .collect();
+    let per_level = matchings.into_iter().enumerate().filter(|(_, m)| !m.is_empty()).collect();
     InitialSolution { dual, beta0, per_level, combined, rounds_used }
 }
 
@@ -213,10 +202,7 @@ mod tests {
         assert!(init.beta0 > 0.0);
         // beta0 <= beta^b/4 <= (3/2) beta_hat / 4 is hard to check exactly; use the
         // loose sanity bound beta0 <= total rescaled weight.
-        let total: f64 = levels
-            .all_edges()
-            .map(|le| levels.level_weight(le.level))
-            .sum();
+        let total: f64 = levels.all_edges().map(|le| levels.level_weight(le.level)).sum();
         assert!(init.beta0 <= total);
     }
 

@@ -25,14 +25,33 @@
 //!    verify the `O(p/ε)`-rounds / `O(n^{1+1/p} log B)`-space claim of
 //!    Theorem 15.
 
+//! ## The engine API
+//!
+//! Alongside the algorithm itself, this crate defines the workspace's engine
+//! API: the [`MatchingSolver`] trait every solver implements, the typed
+//! [`MwmError`] hierarchy, caller-imposed [`ResourceBudget`]s, and the
+//! unified [`SolveReport`]. The baselines (`mwm-baselines`) and the offline
+//! substrates ([`offline`]) implement the same trait, and the umbrella
+//! crate's `SolverRegistry` selects between them by name.
+
+pub mod api;
+pub mod budget;
 pub mod certificate;
+pub mod error;
 pub mod initial;
+pub mod offline;
 pub mod oracle;
 pub mod relaxation;
+pub mod report;
 pub mod solver;
 
-pub use certificate::{certify_solution, SolutionCertificate};
+pub use api::MatchingSolver;
+pub use budget::ResourceBudget;
+pub use certificate::{certify_b_matching, certify_solution, SolutionCertificate};
+pub use error::{MwmError, MwmResult};
 pub use initial::{build_initial_solution, InitialSolution};
+pub use offline::{OfflineSolver, OfflineStrategy};
 pub use oracle::{MicroOracle, OracleDecision};
 pub use relaxation::{relaxation_widths, DualState, RelaxationWidths};
-pub use solver::{DualPrimalConfig, DualPrimalSolver, SolveResult};
+pub use report::SolveReport;
+pub use solver::{DualPrimalConfig, DualPrimalConfigBuilder, DualPrimalSolver, SolveResult};

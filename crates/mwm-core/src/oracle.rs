@@ -87,10 +87,7 @@ impl<'a> MicroOracle<'a> {
         let n = self.graph.num_vertices();
         let num_levels = self.levels.num_levels().max(1);
         // Step 1: gamma.
-        let gamma: f64 = support
-            .iter()
-            .map(|se| self.levels.level_weight(se.level) * se.us)
-            .sum();
+        let gamma: f64 = support.iter().map(|se| self.levels.level_weight(se.level) * se.us).sum();
         if gamma <= 0.0 || beta <= 0.0 {
             return OracleDecision::DualUpdate {
                 update: DualState::new(n, num_levels, eps),
@@ -112,11 +109,11 @@ impl<'a> MicroOracle<'a> {
         // Steps 2–4: Delta(i, l), k*_i, Viol(V), Gamma(V).
         let mut viol: Vec<(VertexId, usize, Vec<usize>)> = Vec::new(); // (vertex, k*, Pos(i))
         let mut gamma_v = 0.0f64;
-        for v in 0..n {
-            if deg[v].is_empty() {
+        for (v, deg_v) in deg.iter().enumerate() {
+            if deg_v.is_empty() {
                 continue;
             }
-            let mut pos: Vec<usize> = deg[v].keys().copied().collect();
+            let mut pos: Vec<usize> = deg_v.keys().copied().collect();
             pos.sort_unstable();
             let b_v = self.graph.b(v as VertexId) as f64;
             let mut best: Option<(usize, f64)> = None;
@@ -125,7 +122,7 @@ impl<'a> MicroOracle<'a> {
                 let delta: f64 = pos
                     .iter()
                     .map(|&k| {
-                        let d = deg[v][&k];
+                        let d = deg_v[&k];
                         if k <= l {
                             self.levels.level_weight(k) * d
                         } else {
@@ -319,7 +316,11 @@ mod tests {
             for v in 0..25u32 {
                 for l in 0..levels.num_levels() {
                     let bound = 24.0 * levels.level_weight(l) / 0.25 + 1e-9;
-                    assert!(update.x(v, l) <= bound, "x_{v}({l}) = {} exceeds {bound}", update.x(v, l));
+                    assert!(
+                        update.x(v, l) <= bound,
+                        "x_{v}({l}) = {} exceeds {bound}",
+                        update.x(v, l)
+                    );
                 }
             }
         }

@@ -98,7 +98,9 @@ impl DualState {
     pub fn z_pair_sum(&self, i: VertexId, j: VertexId, k: usize) -> f64 {
         let mut total = 0.0;
         for level in 0..=k.min(self.num_levels.saturating_sub(1)) {
-            if let (Some(&si), Some(&sj)) = (self.z_assign[level].get(&i), self.z_assign[level].get(&j)) {
+            if let (Some(&si), Some(&sj)) =
+                (self.z_assign[level].get(&i), self.z_assign[level].get(&j))
+            {
                 if si == sj {
                     total += self.z[level][si].1;
                 }

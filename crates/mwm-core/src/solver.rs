@@ -22,16 +22,23 @@
 //! is charged to the adaptivity ledger, so the round/iteration separation the
 //! paper is about is measured, not assumed.
 
+use crate::api::MatchingSolver;
+use crate::budget::ResourceBudget;
 use crate::certificate::offline_b_matching;
+use crate::error::MwmError;
 use crate::initial::build_initial_solution;
 use crate::oracle::{MicroOracle, OracleDecision, SupportEdge};
 use crate::relaxation::DualState;
+use crate::report::SolveReport;
 use mwm_graph::{BMatching, Graph, WeightLevels};
 use mwm_lp::AdaptivityLedger;
 use mwm_mapreduce::{MapReduceConfig, MapReduceSim, ResourceTracker};
 use mwm_sparsify::DeferredSparsifier;
 
 /// Configuration of the solver.
+///
+/// Build one with [`DualPrimalConfig::builder`], which validates every
+/// parameter at construction time, or use `Default` (always valid).
 #[derive(Clone, Copy, Debug)]
 pub struct DualPrimalConfig {
     /// Accuracy parameter ε ∈ (0, 1/2).
@@ -58,6 +65,105 @@ impl Default for DualPrimalConfig {
             sparsifiers_per_round: None,
             space_constant: 4.0,
         }
+    }
+}
+
+impl DualPrimalConfig {
+    /// Starts a validated builder from the default configuration.
+    pub fn builder() -> DualPrimalConfigBuilder {
+        DualPrimalConfigBuilder { config: DualPrimalConfig::default() }
+    }
+
+    /// Validates every parameter, returning the first violation.
+    pub fn validate(&self) -> Result<(), MwmError> {
+        if !self.eps.is_finite() || self.eps <= 0.0 || self.eps >= 0.5 {
+            return Err(MwmError::InvalidConfig {
+                param: "eps",
+                value: format!("{}", self.eps),
+                requirement: "must lie in (0, 1/2)",
+            });
+        }
+        if !self.p.is_finite() || self.p <= 1.0 {
+            return Err(MwmError::InvalidConfig {
+                param: "p",
+                value: format!("{}", self.p),
+                requirement: "must exceed 1",
+            });
+        }
+        if !self.space_constant.is_finite() || self.space_constant <= 0.0 {
+            return Err(MwmError::InvalidConfig {
+                param: "space_constant",
+                value: format!("{}", self.space_constant),
+                requirement: "must be positive and finite",
+            });
+        }
+        if self.max_rounds == Some(0) {
+            return Err(MwmError::InvalidConfig {
+                param: "max_rounds",
+                value: "0".to_string(),
+                requirement: "must be at least 1 when set",
+            });
+        }
+        if self.sparsifiers_per_round == Some(0) {
+            return Err(MwmError::InvalidConfig {
+                param: "sparsifiers_per_round",
+                value: "0".to_string(),
+                requirement: "must be at least 1 when set",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`DualPrimalConfig`]; [`DualPrimalConfigBuilder::build`]
+/// validates the assembled configuration so invalid parameters surface at
+/// construction instead of mid-solve.
+#[derive(Clone, Copy, Debug)]
+pub struct DualPrimalConfigBuilder {
+    config: DualPrimalConfig,
+}
+
+impl DualPrimalConfigBuilder {
+    /// Sets the accuracy parameter ε ∈ (0, 1/2).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.config.eps = eps;
+        self
+    }
+
+    /// Sets the round/space trade-off exponent `p > 1`.
+    pub fn p(mut self, p: f64) -> Self {
+        self.config.p = p;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides the number of adaptive rounds (default `⌈2p/ε⌉`).
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.config.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Overrides the number of deferred sparsifiers per round.
+    pub fn sparsifiers_per_round(mut self, count: usize) -> Self {
+        self.config.sparsifiers_per_round = Some(count);
+        self
+    }
+
+    /// Sets the constant in the central-space budget.
+    pub fn space_constant(mut self, constant: f64) -> Self {
+        self.config.space_constant = constant;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<DualPrimalConfig, MwmError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -100,6 +206,31 @@ pub struct SolveResult {
     pub p: f64,
 }
 
+impl SolveResult {
+    /// Converts the detailed result into the unified [`SolveReport`] of the
+    /// engine API, preserving the algorithm-specific telemetry as named stats.
+    pub fn into_report(self) -> SolveReport {
+        let adaptivity_ratio = self.ledger.adaptivity_ratio();
+        let main_rounds = self.ledger.rounds();
+        let sparsifiers_built = self.ledger.sparsifiers_built();
+        SolveReport::new("dual-primal", self.matching, self.tracker)
+            .with_oracle_iterations(self.oracle_iterations)
+            .with_stat("beta", self.beta)
+            .with_stat("lambda", self.lambda)
+            .with_stat("eps", self.eps)
+            .with_stat("p", self.p)
+            .with_stat("initial_rounds", self.initial_rounds as f64)
+            .with_stat("main_rounds", main_rounds as f64)
+            .with_stat("num_levels", self.num_levels as f64)
+            .with_stat("primal_certificates", self.primal_certificates as f64)
+            .with_stat("vertex_updates", self.vertex_updates as f64)
+            .with_stat("odd_set_updates", self.odd_set_updates as f64)
+            .with_stat("sparsifier_edges_last_round", self.sparsifier_edges_last_round as f64)
+            .with_stat("sparsifiers_built", sparsifiers_built as f64)
+            .with_stat("adaptivity_ratio", adaptivity_ratio)
+    }
+}
+
 /// The dual-primal matching solver.
 #[derive(Clone, Debug, Default)]
 pub struct DualPrimalSolver {
@@ -107,11 +238,10 @@ pub struct DualPrimalSolver {
 }
 
 impl DualPrimalSolver {
-    /// Creates a solver with the given configuration.
-    pub fn new(config: DualPrimalConfig) -> Self {
-        assert!(config.eps > 0.0 && config.eps < 0.5, "eps must be in (0, 1/2)");
-        assert!(config.p > 1.0, "p must exceed 1");
-        DualPrimalSolver { config }
+    /// Creates a solver with the given configuration, validating it first.
+    pub fn new(config: DualPrimalConfig) -> Result<Self, MwmError> {
+        config.validate()?;
+        Ok(DualPrimalSolver { config })
     }
 
     /// The configuration.
@@ -119,8 +249,13 @@ impl DualPrimalSolver {
         &self.config
     }
 
-    /// Solves the weighted (non-bipartite) b-matching problem on `graph`.
-    pub fn solve(&self, graph: &Graph) -> SolveResult {
+    /// Solves the weighted (non-bipartite) b-matching problem on `graph`,
+    /// returning the full algorithm-specific [`SolveResult`].
+    ///
+    /// This is the detailed entry point; generic callers should go through
+    /// [`MatchingSolver::solve`], which additionally enforces a
+    /// [`ResourceBudget`] and returns the unified [`SolveReport`].
+    pub fn solve_detailed(&self, graph: &Graph) -> SolveResult {
         let cfg = &self.config;
         let eps = cfg.eps;
         let n = graph.num_vertices();
@@ -158,10 +293,8 @@ impl DualPrimalSolver {
             .sparsifiers_per_round
             .unwrap_or_else(|| ((1.0 / eps) * gamma_param.ln()).ceil().max(1.0) as usize)
             .max(1);
-        let max_rounds = cfg
-            .max_rounds
-            .unwrap_or_else(|| (2.0 * cfg.p / eps).ceil() as usize)
-            .max(1);
+        let max_rounds =
+            cfg.max_rounds.unwrap_or_else(|| (2.0 * cfg.p / eps).ceil() as usize).max(1);
         let rho_outer = 6.0; // constant width of the penalty relaxation (LP4/LP5).
         let a3 = eps / 2.0; // offline solver approximation slack in Step 5/6.
         let m_constraints = levels.num_kept_edges().max(2) as f64;
@@ -186,10 +319,8 @@ impl DualPrimalSolver {
             let mut sparsifiers: Vec<DeferredSparsifier> = Vec::with_capacity(t_sparsifiers);
             let mut stored_total = 0usize;
             for q in 0..t_sparsifiers {
-                let seed = cfg
-                    .seed
-                    .wrapping_add(round as u64 * 1_000_003)
-                    .wrapping_add(q as u64 * 7919);
+                let seed =
+                    cfg.seed.wrapping_add(round as u64 * 1_000_003).wrapping_add(q as u64 * 7919);
                 let d = DeferredSparsifier::build(graph, &promise, gamma_param, eps / 4.0, seed);
                 stored_total += d.num_stored();
                 ledger.record_sparsifier();
@@ -299,6 +430,31 @@ impl DualPrimalSolver {
     }
 }
 
+impl MatchingSolver for DualPrimalSolver {
+    fn name(&self) -> &str {
+        "dual-primal"
+    }
+
+    /// Runs the dual-primal algorithm within `budget`.
+    ///
+    /// A round budget caps the adaptive main loop up front (the initial
+    /// solution's `O(p)` sampling rounds are charged against the same limit
+    /// and checked after the run); space and oracle-iteration budgets are
+    /// verified against the run's ledger.
+    fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
+        let mut config = self.config;
+        if let Some(limit) = budget.max_rounds() {
+            let default_rounds =
+                config.max_rounds.unwrap_or_else(|| (2.0 * config.p / config.eps).ceil() as usize);
+            config.max_rounds = Some(default_rounds.min(limit).max(1));
+        }
+        let result = DualPrimalSolver { config }.solve_detailed(graph);
+        budget.check_tracker(&result.tracker)?;
+        budget.check_oracle_iterations(result.oracle_iterations)?;
+        Ok(result.into_report())
+    }
+}
+
 /// `λ = min` over levelled edges of `coverage / ŵ_k`.
 fn compute_lambda(dual: &DualState, levels: &WeightLevels) -> f64 {
     let mut lambda = f64::INFINITY;
@@ -329,7 +485,7 @@ fn edge_multipliers(
     for le in levels.all_edges() {
         let w_k = levels.level_weight(le.level);
         let cov = dual.edge_coverage(le.edge.u, le.edge.v, le.level);
-        let exponent = (-(alpha * (cov / w_k - lambda))).min(700.0).max(-700.0);
+        let exponent = (-(alpha * (cov / w_k - lambda))).clamp(-700.0, 700.0);
         out[le.id] = exponent.exp() / w_k;
     }
     out
@@ -354,7 +510,7 @@ fn reveal_support(
             let level = levels.level_of_weight(pe.edge.w)?;
             let w_k = levels.level_weight(level);
             let cov = dual.edge_coverage(pe.edge.u, pe.edge.v, level);
-            let exponent = (-(alpha * (cov / w_k - lambda))).min(700.0).max(-700.0);
+            let exponent = (-(alpha * (cov / w_k - lambda))).clamp(-700.0, 700.0);
             let us = exponent.exp() / w_k;
             Some(SupportEdge { id: pe.id, u: pe.edge.u, v: pe.edge.v, level, us })
         })
@@ -365,10 +521,8 @@ fn reveal_support(
 /// batch of deferred sparsifiers, returning a b-matching expressed in the
 /// *original* graph's edge ids.
 fn offline_on_union(graph: &Graph, sparsifiers: &[DeferredSparsifier]) -> BMatching {
-    let mut union_ids: Vec<usize> = sparsifiers
-        .iter()
-        .flat_map(|d| d.stored_edges().iter().map(|pe| pe.id))
-        .collect();
+    let mut union_ids: Vec<usize> =
+        sparsifiers.iter().flat_map(|d| d.stored_edges().iter().map(|pe| pe.id)).collect();
     union_ids.sort_unstable();
     union_ids.dedup();
     if union_ids.is_empty() {
@@ -395,11 +549,9 @@ fn offline_on_union(graph: &Graph, sparsifiers: &[DeferredSparsifier]) -> BMatch
 /// Weight of a b-matching measured in the rescaled/discretized scale used by β.
 fn rescaled_weight(bm: &BMatching, levels: &WeightLevels) -> f64 {
     bm.iter()
-        .map(|(_, e, mult)| {
-            match levels.level_of_weight(e.w) {
-                Some(k) => levels.level_weight(k) * mult as f64,
-                None => 0.0,
-            }
+        .map(|(_, e, mult)| match levels.level_of_weight(e.w) {
+            Some(k) => levels.level_weight(k) * mult as f64,
+            None => 0.0,
         })
         .sum()
 }
@@ -414,6 +566,7 @@ mod tests {
 
     fn solver(eps: f64, p: f64, seed: u64) -> DualPrimalSolver {
         DualPrimalSolver::new(DualPrimalConfig { eps, p, seed, ..Default::default() })
+            .expect("test config is valid")
     }
 
     #[test]
@@ -421,7 +574,7 @@ mod tests {
         for seed in 0..5u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = generators::gnm(40, 200, WeightModel::Uniform(1.0, 9.0), &mut rng);
-            let res = solver(0.25, 2.0, seed).solve(&g);
+            let res = solver(0.25, 2.0, seed).solve_detailed(&g);
             assert!(res.matching.is_valid(&g), "seed {seed}");
             assert!(res.weight > 0.0);
         }
@@ -437,7 +590,7 @@ mod tests {
             if opt <= 0.0 {
                 continue;
             }
-            let res = solver(0.2, 2.0, seed).solve(&g);
+            let res = solver(0.2, 2.0, seed).solve_detailed(&g);
             let ratio = res.weight / opt;
             assert!(ratio >= 0.75, "seed {seed}: ratio {ratio}");
             ratios.push(ratio);
@@ -452,7 +605,7 @@ mod tests {
         let g = generators::gnm(80, 600, WeightModel::Uniform(1.0, 5.0), &mut rng);
         let eps = 0.25;
         let p = 2.0;
-        let res = solver(eps, p, 3).solve(&g);
+        let res = solver(eps, p, 3).solve_detailed(&g);
         // initial rounds + main rounds; main rounds ≤ ceil(2p/eps), initial ≤ O(p).
         let budget = (2.0 * p / eps).ceil() as usize + 12;
         assert!(res.rounds <= budget, "rounds {} > budget {budget}", res.rounds);
@@ -463,7 +616,7 @@ mod tests {
     fn adaptivity_ratio_exceeds_one_when_dual_work_happens() {
         let mut rng = StdRng::seed_from_u64(9);
         let g = generators::gnp(60, 0.2, WeightModel::Uniform(1.0, 4.0), &mut rng);
-        let res = solver(0.2, 3.0, 5).solve(&g);
+        let res = solver(0.2, 3.0, 5).solve_detailed(&g);
         // Several oracle iterations happen per adaptive round whenever the main
         // loop executes at all.
         if res.ledger.rounds() > res.initial_rounds {
@@ -475,7 +628,7 @@ mod tests {
     fn triangle_gadget_is_solved_optimally() {
         // The paper's p.5 gadget: optimum is the single heavy edge.
         let g = generators::triangle_gadget(0.1, 1.0);
-        let res = solver(0.1, 2.0, 1).solve(&g);
+        let res = solver(0.1, 2.0, 1).solve_detailed(&g);
         assert!(res.matching.is_valid(&g));
         assert!((res.weight - 1.0).abs() < 1e-9, "weight {}", res.weight);
     }
@@ -485,7 +638,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut g = generators::gnm(30, 150, WeightModel::Uniform(1.0, 6.0), &mut rng);
         generators::randomize_capacities(&mut g, 3, &mut rng);
-        let res = solver(0.25, 2.0, 2).solve(&g);
+        let res = solver(0.25, 2.0, 2).solve_detailed(&g);
         assert!(res.matching.is_valid(&g));
         assert!(res.weight > 0.0);
     }
@@ -493,7 +646,7 @@ mod tests {
     #[test]
     fn empty_graph_returns_empty_result() {
         let g = Graph::new(12);
-        let res = solver(0.2, 2.0, 1).solve(&g);
+        let res = solver(0.2, 2.0, 1).solve_detailed(&g);
         assert_eq!(res.weight, 0.0);
         assert!(res.matching.is_empty());
         assert_eq!(res.lambda, 1.0);
@@ -504,7 +657,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         // Dense graph: m ~ 3000 edges over 120 vertices, n^{1.5} ≈ 1315.
         let g = generators::gnp(120, 0.45, WeightModel::Uniform(1.0, 3.0), &mut rng);
-        let res = solver(0.3, 2.0, 4).solve(&g);
+        let res = solver(0.3, 2.0, 4).solve_detailed(&g);
         // peak central space stays well below m (the whole point of the model);
         // allow the polylog/constant slack of Theorem 15.
         let n = g.num_vertices() as f64;

@@ -264,7 +264,10 @@ mod tests {
         g.ensure_adjacency();
         let max_deg = g.max_degree();
         let avg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
-        assert!(max_deg as f64 > 2.0 * avg, "power-law should have a hub: max={max_deg}, avg={avg}");
+        assert!(
+            max_deg as f64 > 2.0 * avg,
+            "power-law should have a hub: max={max_deg}, avg={avg}"
+        );
     }
 
     #[test]

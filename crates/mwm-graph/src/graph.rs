@@ -6,7 +6,6 @@
 //! (sketches and simulators stream over it), while the adjacency index is a
 //! convenience for the offline substrates that are allowed random access.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Vertex identifier. Kept at `u32` to halve the memory traffic of the large
@@ -17,7 +16,7 @@ pub type VertexId = u32;
 pub type EdgeId = usize;
 
 /// A weighted undirected edge `{u, v}` with weight `w > 0`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Edge {
     /// One endpoint.
     pub u: VertexId,
@@ -67,7 +66,7 @@ impl Edge {
 /// A weighted undirected graph with per-vertex capacities `b_i`.
 ///
 /// For standard matching all `b_i = 1` (the default of [`Graph::new`]).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
     n: usize,
     edges: Vec<Edge>,
@@ -264,30 +263,19 @@ impl Graph {
     /// endpoint in `U`. `in_u[v]` marks membership.
     pub fn cut_value(&self, in_u: &[bool]) -> f64 {
         assert_eq!(in_u.len(), self.n);
-        self.edges
-            .iter()
-            .filter(|e| in_u[e.u as usize] != in_u[e.v as usize])
-            .map(|e| e.w)
-            .sum()
+        self.edges.iter().filter(|e| in_u[e.u as usize] != in_u[e.v as usize]).map(|e| e.w).sum()
     }
 
     /// Unweighted cut size of `(U, V \ U)`.
     pub fn cut_size(&self, in_u: &[bool]) -> usize {
         assert_eq!(in_u.len(), self.n);
-        self.edges
-            .iter()
-            .filter(|e| in_u[e.u as usize] != in_u[e.v as usize])
-            .count()
+        self.edges.iter().filter(|e| in_u[e.u as usize] != in_u[e.v as usize]).count()
     }
 
     /// Total weight of edges with *both* endpoints inside `U`.
     pub fn internal_weight(&self, in_u: &[bool]) -> f64 {
         assert_eq!(in_u.len(), self.n);
-        self.edges
-            .iter()
-            .filter(|e| in_u[e.u as usize] && in_u[e.v as usize])
-            .map(|e| e.w)
-            .sum()
+        self.edges.iter().filter(|e| in_u[e.u as usize] && in_u[e.v as usize]).map(|e| e.w).sum()
     }
 
     /// Connected components; returns a component id per vertex and the count.
@@ -316,6 +304,8 @@ impl Graph {
             color[s] = Some(false);
             stack.push(s);
             while let Some(v) = stack.pop() {
+                // Invariant: a vertex is only pushed after being colored, so
+                // this unwrap cannot fail.
                 let cv = color[v].unwrap();
                 for &w in &adj[v] {
                     match color[w as usize] {

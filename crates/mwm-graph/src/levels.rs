@@ -144,9 +144,7 @@ impl WeightLevels {
     /// Sum over kept edges of the discretized weight; a lower bound on the total
     /// rescaled weight and within `(1+ε)` of it.
     pub fn discretized_total_weight(&self) -> f64 {
-        self.iter_levels()
-            .map(|(k, es)| self.level_weight(k) * es.len() as f64)
-            .sum()
+        self.iter_levels().map(|(k, es)| self.level_weight(k) * es.len() as f64).sum()
     }
 }
 
@@ -202,10 +200,7 @@ mod tests {
         let g = sample_graph();
         let levels = WeightLevels::new(&g, 0.1);
         let top = levels.max_level().unwrap();
-        assert!(levels
-            .level_edges(top)
-            .iter()
-            .any(|le| (le.edge.w - 16.0).abs() < 1e-12));
+        assert!(levels.level_edges(top).iter().any(|le| (le.edge.w - 16.0).abs() < 1e-12));
     }
 
     #[test]

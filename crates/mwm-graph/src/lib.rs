@@ -22,6 +22,6 @@ pub mod union_find;
 
 pub use graph::{Edge, EdgeId, Graph, VertexId};
 pub use laminar::LaminarFamily;
-pub use levels::{WeightLevels, LevelledEdge};
+pub use levels::{LevelledEdge, WeightLevels};
 pub use matching::{BMatching, Matching};
 pub use union_find::UnionFind;

@@ -5,7 +5,7 @@
 //! logic and all baselines operate on plain matchings.
 
 use crate::graph::{Edge, EdgeId, Graph, VertexId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A set of edges no two of which share a vertex.
 #[derive(Clone, Debug, Default)]
@@ -47,11 +47,7 @@ impl Matching {
 
     /// Set of matched vertices.
     pub fn matched_vertices(&self) -> Vec<VertexId> {
-        let mut vs: Vec<VertexId> = self
-            .edges
-            .iter()
-            .flat_map(|(_, e)| [e.u, e.v])
-            .collect();
+        let mut vs: Vec<VertexId> = self.edges.iter().flat_map(|(_, e)| [e.u, e.v]).collect();
         vs.sort_unstable();
         vs.dedup();
         vs
@@ -85,14 +81,15 @@ impl Matching {
 /// of edges incident to each vertex `i` sum to at most `b_i` (LP1 constraints).
 #[derive(Clone, Debug, Default)]
 pub struct BMatching {
-    /// Edge id → (edge, multiplicity).
-    edges: HashMap<EdgeId, (Edge, u64)>,
+    /// Edge id → (edge, multiplicity). A `BTreeMap` keeps iteration (and
+    /// therefore floating-point weight sums) deterministic across processes.
+    edges: BTreeMap<EdgeId, (Edge, u64)>,
 }
 
 impl BMatching {
     /// Creates an empty b-matching.
     pub fn new() -> Self {
-        BMatching { edges: HashMap::new() }
+        BMatching { edges: BTreeMap::new() }
     }
 
     /// Adds `mult` copies of an edge (accumulating with any existing multiplicity).
@@ -100,10 +97,7 @@ impl BMatching {
         if mult == 0 {
             return;
         }
-        self.edges
-            .entry(id)
-            .and_modify(|(_, m)| *m += mult)
-            .or_insert((edge, mult));
+        self.edges.entry(id).and_modify(|(_, m)| *m += mult).or_insert((edge, mult));
     }
 
     /// Number of distinct edges used.
@@ -139,7 +133,7 @@ impl BMatching {
     /// Load of each vertex (sum of multiplicities of incident edges).
     pub fn vertex_loads(&self, n: usize) -> Vec<u64> {
         let mut load = vec![0u64; n];
-        for (_, (e, m)) in &self.edges {
+        for (e, m) in self.edges.values() {
             load[e.u as usize] += m;
             load[e.v as usize] += m;
         }
@@ -149,27 +143,21 @@ impl BMatching {
     /// True if all degree constraints `Σ_j y_ij ≤ b_i` hold for `graph`.
     pub fn is_valid(&self, graph: &Graph) -> bool {
         let load = self.vertex_loads(graph.num_vertices());
-        load.iter()
-            .enumerate()
-            .all(|(v, &l)| l <= graph.b(v as VertexId))
+        load.iter().enumerate().all(|(v, &l)| l <= graph.b(v as VertexId))
     }
 
     /// Residual capacity of vertex `v` w.r.t. `graph`.
     pub fn residual(&self, graph: &Graph, v: VertexId) -> u64 {
-        let load: u64 = self
-            .edges
-            .values()
-            .filter(|(e, _)| e.is_incident(v))
-            .map(|(_, m)| m)
-            .sum();
+        let load: u64 = self.edges.values().filter(|(e, _)| e.is_incident(v)).map(|(_, m)| m).sum();
         graph.b(v).saturating_sub(load)
     }
 
     /// Extracts a plain matching (only edges with multiplicity ≥ 1, at most one
     /// per vertex, greedily by weight); useful when all `b_i = 1`.
     pub fn to_matching(&self, n: usize) -> Matching {
-        let mut edges: Vec<(EdgeId, Edge)> = self.edges.iter().map(|(&id, &(e, _))| (id, e)).collect();
-        edges.sort_by(|a, b| b.1.w.partial_cmp(&a.1.w).unwrap());
+        let mut edges: Vec<(EdgeId, Edge)> =
+            self.edges.iter().map(|(&id, &(e, _))| (id, e)).collect();
+        edges.sort_by(|a, b| b.1.w.total_cmp(&a.1.w));
         let mut used = vec![false; n];
         let mut m = Matching::new();
         for (id, e) in edges {

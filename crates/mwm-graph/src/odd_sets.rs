@@ -29,7 +29,7 @@ impl OddSet {
             return None;
         }
         let capacity = graph.set_capacity(&vertices);
-        if capacity % 2 == 0 {
+        if capacity.is_multiple_of(2) {
             return None;
         }
         Some(OddSet { vertices, capacity })
@@ -108,10 +108,8 @@ pub fn enumerate_small_odd_sets(graph: &Graph, max_vertices: usize) -> Vec<OddSe
         if current.len() >= 3 {
             if let Some(os) = OddSet::new(graph, current.clone()) {
                 // Keep only sets inducing at least one edge.
-                let induces_edge = graph
-                    .edges()
-                    .iter()
-                    .any(|e| os.contains(e.u) && os.contains(e.v));
+                let induces_edge =
+                    graph.edges().iter().any(|e| os.contains(e.u) && os.contains(e.v));
                 if induces_edge {
                     out.push(os);
                 }

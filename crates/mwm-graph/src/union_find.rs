@@ -15,11 +15,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n).collect(),
-            rank: vec![0; n],
-            components: n,
-        }
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n], components: n }
     }
 
     /// Number of elements.
@@ -88,13 +84,13 @@ impl UnionFind {
         let mut labels = vec![usize::MAX; n];
         let mut next = 0usize;
         let mut out = vec![0usize; n];
-        for x in 0..n {
+        for (x, slot) in out.iter_mut().enumerate() {
             let root = self.find_immutable(x);
             if labels[root] == usize::MAX {
                 labels[root] = next;
                 next += 1;
             }
-            out[x] = labels[root];
+            *slot = labels[root];
         }
         (out, next)
     }

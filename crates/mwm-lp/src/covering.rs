@@ -206,7 +206,12 @@ mod tests {
             BoxBudgetPolytope { upper: vec![1.0, 1.0], cost: vec![1.0, 1.0], budget: 10.0 },
         );
         let init = vec![0.5, 0.5]; // x0 = (0.5, 0.5)
-        let sol = solve_covering(&mut inst, init, vec![(0, 0.5), (1, 0.5)], &CoveringParams { eps: 0.05, max_iterations: 60_000 });
+        let sol = solve_covering(
+            &mut inst,
+            init,
+            vec![(0, 0.5), (1, 0.5)],
+            &CoveringParams { eps: 0.05, max_iterations: 60_000 },
+        );
         assert_eq!(sol.outcome, CoveringOutcome::Feasible);
         assert!(sol.lambda >= 1.0 - 0.15);
     }

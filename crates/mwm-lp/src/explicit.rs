@@ -30,7 +30,7 @@ impl BoxBudgetPolytope {
         order.sort_by(|&a, &b| {
             let ra = score[a] / self.cost[a];
             let rb = score[b] / self.cost[b];
-            rb.partial_cmp(&ra).unwrap()
+            rb.total_cmp(&ra)
         });
         let mut remaining = self.budget;
         let mut x = Vec::new();
@@ -85,10 +85,7 @@ impl ExplicitCovering {
         for &(j, v) in x {
             dense[j] += v;
         }
-        self.rows
-            .iter()
-            .map(|row| row.iter().map(|&(j, a)| a * dense[j]).sum())
-            .collect()
+        self.rows.iter().map(|row| row.iter().map(|&(j, a)| a * dense[j]).sum()).collect()
     }
 }
 
@@ -125,11 +122,8 @@ impl CoveringInstance for ExplicitCovering {
         if lhs + 1e-15 < (1.0 - eps / 2.0) * rhs {
             return None;
         }
-        let coverage: Vec<(usize, f64)> = ax
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, v)| v > 0.0)
-            .collect();
+        let coverage: Vec<(usize, f64)> =
+            ax.into_iter().enumerate().filter(|&(_, v)| v > 0.0).collect();
         Some(OracleCandidate { coverage, payload: x })
     }
 }
@@ -178,10 +172,7 @@ impl ExplicitPacking {
         for &(j, v) in x {
             dense[j] += v;
         }
-        self.rows
-            .iter()
-            .map(|row| row.iter().map(|&(j, a)| a * dense[j]).sum())
-            .collect()
+        self.rows.iter().map(|row| row.iter().map(|&(j, a)| a * dense[j]).sum()).collect()
     }
 }
 
@@ -216,8 +207,8 @@ impl PackingInstance for ExplicitPacking {
         }
         let mut x = Vec::new();
         let mut remaining = self.polytope.budget;
-        for j in 0..n {
-            if self.reward[j] > penalty[j] && remaining > 0.0 {
+        for (j, &pen) in penalty.iter().enumerate().take(n) {
+            if self.reward[j] > pen && remaining > 0.0 {
                 let amount = self.polytope.upper[j].min(remaining / self.polytope.cost[j]);
                 if amount > 0.0 {
                     x.push((j, amount));
@@ -238,13 +229,17 @@ mod tests {
 
     #[test]
     fn knapsack_oracle_prefers_best_ratio() {
-        let p = BoxBudgetPolytope { upper: vec![1.0, 1.0, 1.0], cost: vec![1.0, 2.0, 1.0], budget: 2.0 };
+        let p = BoxBudgetPolytope {
+            upper: vec![1.0, 1.0, 1.0],
+            cost: vec![1.0, 2.0, 1.0],
+            budget: 2.0,
+        };
         // Scores: variable 2 has the best ratio, then variable 0.
         let x = p.maximize(&[1.0, 1.5, 2.0]);
         let dense: std::collections::HashMap<usize, f64> = x.into_iter().collect();
         assert_eq!(dense.get(&2), Some(&1.0));
         assert_eq!(dense.get(&0), Some(&1.0));
-        assert!(dense.get(&1).is_none());
+        assert!(!dense.contains_key(&1));
     }
 
     #[test]

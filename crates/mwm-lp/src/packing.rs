@@ -216,7 +216,8 @@ mod tests {
             BoxBudgetPolytope { upper: vec![1.0], cost: vec![1.0], budget: 1.0 },
             vec![0.0],
         );
-        let sol = solve_packing(&mut inst, vec![2.0, 1.0], vec![(0, 1.0)], &PackingParams::default());
+        let sol =
+            solve_packing(&mut inst, vec![2.0, 1.0], vec![(0, 1.0)], &PackingParams::default());
         assert_eq!(sol.outcome, PackingOutcome::Feasible);
         assert!((sol.load_ratio[0] - 0.5).abs() < 1e-9);
         assert!((sol.load_ratio[1] - 0.25).abs() < 1e-9);

@@ -29,21 +29,25 @@ impl CongestedCliqueSim {
     }
 
     /// Charges `words` sent by `vertex` in the current round.
+    ///
+    /// # Panics
+    /// If [`CongestedCliqueSim::begin_round`] has not been called — a
+    /// programming error in the simulation driver, not a data-dependent
+    /// condition, so it is asserted rather than returned.
     pub fn charge(&mut self, vertex: VertexId, words: usize) {
-        let round = self
-            .rounds
-            .last_mut()
-            .expect("begin_round must be called before charging messages");
+        let round =
+            self.rounds.last_mut().expect("begin_round must be called before charging messages");
         round[vertex as usize] += words;
     }
 
     /// Charges the same `words` for every vertex (e.g. every vertex ships one
     /// sketch of its neighbourhood).
+    ///
+    /// # Panics
+    /// Like [`CongestedCliqueSim::charge`], if no round has been started.
     pub fn charge_all(&mut self, words: usize) {
-        let round = self
-            .rounds
-            .last_mut()
-            .expect("begin_round must be called before charging messages");
+        let round =
+            self.rounds.last_mut().expect("begin_round must be called before charging messages");
         for w in round.iter_mut() {
             *w += words;
         }
@@ -57,11 +61,7 @@ impl CongestedCliqueSim {
     /// The maximum words sent by any single vertex in any single round — the
     /// quantity the congested-clique model bounds (`O(n^{1/p} · polylog)`).
     pub fn max_message_per_vertex_round(&self) -> usize {
-        self.rounds
-            .iter()
-            .flat_map(|r| r.iter().copied())
-            .max()
-            .unwrap_or(0)
+        self.rounds.iter().flat_map(|r| r.iter().copied()).max().unwrap_or(0)
     }
 
     /// Total communication volume across all rounds and vertices.

@@ -4,7 +4,7 @@
 //!
 //! 1. A *generic* map→shuffle→reduce round executor
 //!    ([`MapReduceSim::map_reduce_round`]) that shards the reduce phase across
-//!    worker threads (crossbeam scoped threads) and charges shuffle volume and
+//!    worker threads (std scoped threads) and charges shuffle volume and
 //!    per-machine space — this mirrors the two-round sketch construction given
 //!    in Section 4.2 of the paper.
 //! 2. The graph-specific primitives the matching algorithms are built from,
@@ -19,7 +19,6 @@
 use crate::resources::ResourceTracker;
 use mwm_graph::{EdgeId, Graph};
 use mwm_sketch::GraphSketcher;
-use parking_lot::Mutex;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -173,26 +172,30 @@ impl<'a> MapReduceSim<'a> {
         }
         // Reduce phase, sharded across worker threads.
         let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
-        let results: Mutex<Vec<R>> = Mutex::new(Vec::with_capacity(entries.len()));
         let shards = self.config.reducers.max(1);
-        crossbeam::thread::scope(|scope| {
-            for shard in 0..shards {
-                let results = &results;
-                let entries = &entries;
-                let reduce_fn = &reduce_fn;
-                scope.spawn(move |_| {
-                    let mut local = Vec::new();
-                    for (idx, (k, vs)) in entries.iter().enumerate() {
-                        if idx % shards == shard {
-                            local.push(reduce_fn(k, vs));
-                        }
-                    }
-                    results.lock().extend(local);
-                });
-            }
-        })
-        .expect("reducer thread panicked");
-        results.into_inner()
+        let shard_outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    let entries = &entries;
+                    let reduce_fn = &reduce_fn;
+                    scope.spawn(move || {
+                        entries
+                            .iter()
+                            .enumerate()
+                            .filter(|(idx, _)| idx % shards == shard)
+                            .map(|(_, (k, vs))| reduce_fn(k, vs))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // Unreachable unless `reduce_fn` itself panicked, in which case
+                // propagating the panic is the only sound option.
+                .map(|h| h.join().expect("reducer thread panicked"))
+                .collect()
+        });
+        shard_outputs.into_iter().flatten().collect()
     }
 }
 
@@ -239,7 +242,10 @@ mod tests {
     #[test]
     fn space_budget_detects_hoarding() {
         let g = test_graph(4);
-        let mut sim = MapReduceSim::new(&g, MapReduceConfig { p: 4.0, space_constant: 1.0, ..Default::default() });
+        let mut sim = MapReduceSim::new(
+            &g,
+            MapReduceConfig { p: 4.0, space_constant: 1.0, ..Default::default() },
+        );
         assert!(sim.check_space());
         // Hoard far more than n^{1+1/4}.
         sim.tracker_mut().allocate_central(10_000_000);

@@ -91,10 +91,8 @@ impl ResourceTracker {
     pub fn merge(&mut self, other: &ResourceTracker) {
         self.rounds += other.rounds;
         self.current_central_space += other.current_central_space;
-        self.peak_central_space = self
-            .peak_central_space
-            .max(self.current_central_space)
-            .max(other.peak_central_space);
+        self.peak_central_space =
+            self.peak_central_space.max(self.current_central_space).max(other.peak_central_space);
         self.shuffle_volume += other.shuffle_volume;
         self.peak_machine_space = self.peak_machine_space.max(other.peak_machine_space);
         self.items_streamed += other.items_streamed;

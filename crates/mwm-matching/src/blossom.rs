@@ -143,10 +143,11 @@ impl<'a> Blossom<'a> {
             // Find the edge realizing this pair.
             let mut best: Option<(usize, f64)> = None;
             for (id, e) in self.graph.edge_iter() {
-                if (e.u as usize == v && e.v as usize == w) || (e.u as usize == w && e.v as usize == v) {
-                    if best.map_or(true, |(_, bw)| e.w > bw) {
-                        best = Some((id, e.w));
-                    }
+                if ((e.u as usize == v && e.v as usize == w)
+                    || (e.u as usize == w && e.v as usize == v))
+                    && best.is_none_or(|(_, bw)| e.w > bw)
+                {
+                    best = Some((id, e.w));
                 }
             }
             if let Some((id, _)) = best {

@@ -94,7 +94,7 @@ pub fn fractional_vertex_bound(graph: &Graph) -> f64 {
     }
     let mut total = 0.0;
     for (v, ws) in incident.iter_mut().enumerate() {
-        ws.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        ws.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut capacity = graph.b(v as VertexId);
         for &(w, mult) in ws.iter() {
             if capacity == 0 {

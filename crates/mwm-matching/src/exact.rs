@@ -14,10 +14,7 @@ pub const MAX_DP_VERTICES: usize = 22;
 /// Panics if the graph has more than [`MAX_DP_VERTICES`] vertices.
 pub fn exact_max_weight_matching(graph: &Graph) -> Matching {
     let n = graph.num_vertices();
-    assert!(
-        n <= MAX_DP_VERTICES,
-        "exact DP limited to {MAX_DP_VERTICES} vertices, got {n}"
-    );
+    assert!(n <= MAX_DP_VERTICES, "exact DP limited to {MAX_DP_VERTICES} vertices, got {n}");
     if n == 0 {
         return Matching::new();
     }
@@ -117,7 +114,12 @@ mod tests {
             let dp = exact_max_weight_matching(&g);
             assert!(dp.is_valid(8));
             let bf = brute_force(&g);
-            assert!((dp.weight() - bf).abs() < 1e-9, "seed {seed}: dp {} vs brute {}", dp.weight(), bf);
+            assert!(
+                (dp.weight() - bf).abs() < 1e-9,
+                "seed {seed}: dp {} vs brute {}",
+                dp.weight(),
+                bf
+            );
         }
     }
 

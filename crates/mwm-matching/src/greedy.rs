@@ -13,7 +13,7 @@ use mwm_graph::{BMatching, Graph, Matching, VertexId};
 /// Greedy maximum-weight matching: ½-approximation of the optimum.
 pub fn greedy_matching(graph: &Graph) -> Matching {
     let mut order: Vec<usize> = (0..graph.num_edges()).collect();
-    order.sort_by(|&a, &b| graph.edge(b).w.partial_cmp(&graph.edge(a).w).unwrap());
+    order.sort_by(|&a, &b| graph.edge(b).w.total_cmp(&graph.edge(a).w));
     let mut used = vec![false; graph.num_vertices()];
     let mut m = Matching::new();
     for id in order {
@@ -83,7 +83,7 @@ pub fn maximal_b_matching_of_edges(
 /// with the largest feasible multiplicity. ½-approximation for b-matching.
 pub fn greedy_b_matching(graph: &Graph) -> BMatching {
     let mut order: Vec<usize> = (0..graph.num_edges()).collect();
-    order.sort_by(|&a, &b| graph.edge(b).w.partial_cmp(&graph.edge(a).w).unwrap());
+    order.sort_by(|&a, &b| graph.edge(b).w.total_cmp(&graph.edge(a).w));
     maximal_b_matching_of_edges(graph, order)
 }
 
@@ -125,7 +125,7 @@ mod tests {
         let g = generators::gnm(50, 200, WeightModel::Unit, &mut rng);
         let m = maximal_matching(&g);
         assert!(m.is_valid(50));
-        let mut used = vec![false; 50];
+        let mut used = [false; 50];
         for (_, e) in m.edges() {
             used[e.u as usize] = true;
             used[e.v as usize] = true;

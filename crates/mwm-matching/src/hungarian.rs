@@ -8,11 +8,20 @@
 
 use mwm_graph::{Graph, Matching};
 
-/// Maximum-weight bipartite matching. Panics if the graph is not bipartite.
+/// Maximum-weight bipartite matching, or `None` if the graph is not bipartite.
+pub fn try_max_weight_bipartite_matching(graph: &Graph) -> Option<Matching> {
+    graph.bipartition().map(|coloring| hungarian_on_coloring(graph, &coloring))
+}
+
+/// Maximum-weight bipartite matching. Panics if the graph is not bipartite;
+/// callers that cannot guarantee bipartiteness should use
+/// [`try_max_weight_bipartite_matching`].
 pub fn max_weight_bipartite_matching(graph: &Graph) -> Matching {
-    let coloring = graph
-        .bipartition()
-        .expect("max_weight_bipartite_matching requires a bipartite graph");
+    try_max_weight_bipartite_matching(graph)
+        .expect("max_weight_bipartite_matching requires a bipartite graph")
+}
+
+fn hungarian_on_coloring(graph: &Graph, coloring: &[bool]) -> Matching {
     let n = graph.num_vertices();
     // Partition vertex ids by color.
     let left: Vec<usize> = (0..n).filter(|&v| !coloring[v]).collect();
@@ -100,6 +109,8 @@ pub fn max_weight_bipartite_matching(graph: &Graph) -> Matching {
     }
     // Extract assignment: column j is assigned to row p[j].
     let mut m = Matching::new();
+    // The classical formulation is 1-indexed; an index loop mirrors it.
+    #[allow(clippy::needless_range_loop)]
     for j in 1..=nsz {
         let i = p[j];
         if i == 0 {
@@ -142,7 +153,8 @@ mod tests {
     fn matches_dp_on_small_random_bipartite_graphs() {
         for seed in 0..12u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let g = generators::random_bipartite(6, 6, 0.5, WeightModel::Uniform(1.0, 9.0), &mut rng);
+            let g =
+                generators::random_bipartite(6, 6, 0.5, WeightModel::Uniform(1.0, 9.0), &mut rng);
             let h = max_weight_bipartite_matching(&g);
             let e = exact_max_weight_matching(&g);
             assert!(h.is_valid(12));

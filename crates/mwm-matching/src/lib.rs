@@ -30,7 +30,7 @@ pub use blossom::max_cardinality_matching;
 pub use bounds::{matching_weight_upper_bound, verify_matching};
 pub use exact::exact_max_weight_matching;
 pub use greedy::{greedy_b_matching, greedy_matching, maximal_b_matching, maximal_matching};
-pub use hungarian::max_weight_bipartite_matching;
+pub use hungarian::{max_weight_bipartite_matching, try_max_weight_bipartite_matching};
 pub use local_search::improve_matching;
 pub use odd_set_finder::{find_dense_odd_sets, DenseOddSetConfig};
 

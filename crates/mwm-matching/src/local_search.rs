@@ -86,11 +86,9 @@ pub fn improve_matching(graph: &Graph, initial: Matching) -> Matching {
 
     let mut out = Matching::new();
     let mut seen = std::collections::HashSet::new();
-    for v in 0..n {
-        if let Some(id) = matched_edge[v] {
-            if seen.insert(id) {
-                out.push(id, graph.edge(id));
-            }
+    for &id in matched_edge.iter().take(n).flatten() {
+        if seen.insert(id) {
+            out.push(id, graph.edge(id));
         }
     }
     debug_assert!(out.is_valid(n));
@@ -114,13 +112,13 @@ fn rotate_pass(
         // Edge is usable from u's side if v is free, and vice versa.
         if matched_edge[e.v as usize].is_none() {
             let entry = &mut best_free[e.u as usize];
-            if entry.map_or(true, |(_, w, _)| e.w > w) {
+            if entry.is_none_or(|(_, w, _)| e.w > w) {
                 *entry = Some((id, e.w, e.v));
             }
         }
         if matched_edge[e.u as usize].is_none() {
             let entry = &mut best_free[e.v as usize];
-            if entry.map_or(true, |(_, w, _)| e.w > w) {
+            if entry.is_none_or(|(_, w, _)| e.w > w) {
                 *entry = Some((id, e.w, e.u));
             }
         }
@@ -145,7 +143,13 @@ fn rotate_pass(
                 && matched_edge[b] == Some(id)
                 && matched_edge[c] == Some(id);
             // The two replacement edges must not collide on a vertex.
-            if still_valid && lid != rid && la != rd && la as usize != c && rd as usize != b && lw + rw > e.w + 1e-12 {
+            if still_valid
+                && lid != rid
+                && la != rd
+                && la as usize != c
+                && rd as usize != b
+                && lw + rw > e.w + 1e-12
+            {
                 // Apply: remove (b,c), add the two free edges.
                 matched_edge[b] = None;
                 matched_edge[c] = None;

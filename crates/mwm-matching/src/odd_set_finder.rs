@@ -118,7 +118,7 @@ pub fn find_dense_odd_sets(
             continue;
         }
         let mut ns = nbrs[v].clone();
-        ns.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ns.sort_by(|a, b| b.1.total_cmp(&a.1));
         for take in 2..=ns.len().min(8) {
             let mut set: Vec<VertexId> = ns[..take].iter().map(|&(u, _)| u).collect();
             set.push(v as VertexId);
@@ -132,10 +132,8 @@ pub fn find_dense_odd_sets(
         let k = active_list.len();
         for mask in 1u32..(1 << k) {
             if mask.count_ones() >= 3 && mask.count_ones() <= 7 {
-                let set: Vec<VertexId> = (0..k)
-                    .filter(|&i| (mask >> i) & 1 == 1)
-                    .map(|i| active_list[i])
-                    .collect();
+                let set: Vec<VertexId> =
+                    (0..k).filter(|&i| (mask >> i) & 1 == 1).map(|i| active_list[i]).collect();
                 candidates.push(set);
             }
         }
@@ -150,7 +148,7 @@ pub fn find_dense_odd_sets(
         sorted.sort_unstable();
         sorted.dedup();
         let capacity: u64 = sorted.iter().map(|&v| graph.b(v)).sum();
-        if capacity % 2 == 0 || capacity > config.max_capacity {
+        if capacity.is_multiple_of(2) || capacity > config.max_capacity {
             return None;
         }
         let member = |x: VertexId| sorted.binary_search(&x).is_ok();
@@ -172,7 +170,7 @@ pub fn find_dense_odd_sets(
     valid.sort_by(|a, b| {
         let sa = a.internal_charge - 0.5 * (a.budget - config.slack);
         let sb = b.internal_charge - 0.5 * (b.budget - config.slack);
-        sb.partial_cmp(&sa).unwrap()
+        sb.total_cmp(&sa)
     });
     let mut taken = vec![false; n];
     let mut out = Vec::new();

@@ -94,11 +94,8 @@ pub fn sketch_k_forests(graph: &Graph, k: usize, seed: u64) -> Vec<Vec<(VertexId
         if result.forest.is_empty() {
             break;
         }
-        let forest_set: std::collections::HashSet<(u32, u32)> = result
-            .forest
-            .iter()
-            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
-            .collect();
+        let forest_set: std::collections::HashSet<(u32, u32)> =
+            result.forest.iter().map(|&(u, v)| if u < v { (u, v) } else { (v, u) }).collect();
         let remaining = residual.edge_subgraph(|_, e| !forest_set.contains(&e.key()));
         forests.push(result.forest);
         residual = remaining;
@@ -158,7 +155,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = generators::gnm(128, 1000, WeightModel::Unit, &mut rng);
         let r = sketch_spanning_forest(&g, 23);
-        assert!(r.rounds <= 10, "Boruvka over 128 vertices should need <= ~log n rounds, got {}", r.rounds);
+        assert!(
+            r.rounds <= 10,
+            "Boruvka over 128 vertices should need <= ~log n rounds, got {}",
+            r.rounds
+        );
     }
 
     #[test]

@@ -164,11 +164,7 @@ mod tests {
         let g = generators::gnp(100, 0.4, WeightModel::Unit, &mut rng);
         let s = sparsify(&g, &SparsifierConfig { xi: 0.15, oversample: 8.0, seed: 3 });
         let report = cut_quality_report(&g, &s, 50, 11);
-        assert!(
-            report.max_relative_error < 0.35,
-            "cut error too large: {:?}",
-            report
-        );
+        assert!(report.max_relative_error < 0.35, "cut error too large: {:?}", report);
     }
 
     #[test]

@@ -129,8 +129,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = generators::gnm(25, 80, WeightModel::Unit, &mut rng);
         let full = forest_decomposition(&g);
-        let triples: Vec<(usize, u32, u32)> =
-            g.edge_iter().map(|(id, e)| (id, e.u, e.v)).collect();
+        let triples: Vec<(usize, u32, u32)> = g.edge_iter().map(|(id, e)| (id, e.u, e.v)).collect();
         let subset = forest_decomposition_of_edges(g.num_vertices(), &triples);
         assert_eq!(full, subset);
     }

@@ -78,7 +78,8 @@ impl DeferredSparsifier {
             .map(|&(local_id, e, sparsifier_weight)| {
                 let id = back_map[local_id];
                 // Recover the probability from the reweighting: w' = w / p.
-                let p = if sparsifier_weight > 0.0 { (e.w / sparsifier_weight).min(1.0) } else { 1.0 };
+                let p =
+                    if sparsifier_weight > 0.0 { (e.w / sparsifier_weight).min(1.0) } else { 1.0 };
                 // Guard against degenerate rounding.
                 let p = if p <= 0.0 { (base_rate).min(1.0) } else { p };
                 PromisedEdge { id, edge: graph.edge(id), promise: e.w, probability: p }
@@ -189,10 +190,7 @@ mod tests {
         let promise: Vec<f64> = (0..g.num_edges()).map(|_| rng.gen_range(0.5..2.0)).collect();
         let chi = 1.5;
         // True multipliers drift within the promise band.
-        let actual: Vec<f64> = promise
-            .iter()
-            .map(|&s| s * rng.gen_range(1.0 / chi..chi))
-            .collect();
+        let actual: Vec<f64> = promise.iter().map(|&s| s * rng.gen_range(1.0 / chi..chi)).collect();
         let d = DeferredSparsifier::build(&g, &promise, chi, 0.2, 11);
         assert!(d.promise_violations(|id| actual[id]).is_empty());
         let s = d.reveal(|id| actual[id]);
@@ -206,8 +204,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = generators::gnm(40, 200, WeightModel::Unit, &mut rng);
         let mut promise = vec![0.0; g.num_edges()];
-        for id in 0..g.num_edges() / 2 {
-            promise[id] = 1.0;
+        let half = g.num_edges() / 2;
+        for p in promise.iter_mut().take(half) {
+            *p = 1.0;
         }
         let d = DeferredSparsifier::build(&g, &promise, 2.0, 0.3, 13);
         for pe in d.stored_edges() {

@@ -58,11 +58,8 @@ pub fn cut_quality_report(
 
     let cuts_checked = errors.len();
     let max_relative_error = errors.iter().copied().fold(0.0f64, f64::max);
-    let mean_relative_error = if errors.is_empty() {
-        0.0
-    } else {
-        errors.iter().sum::<f64>() / errors.len() as f64
-    };
+    let mean_relative_error =
+        if errors.is_empty() { 0.0 } else { errors.iter().sum::<f64>() / errors.len() as f64 };
     let compression = if graph.num_edges() == 0 {
         0.0
     } else {

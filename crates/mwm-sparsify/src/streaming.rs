@@ -34,9 +34,8 @@ pub fn streaming_sparsify(graph: &Graph, k: usize, seed: u64) -> SparsifiedGraph
     }
     let num_levels = ((m as f64).log2().ceil() as usize + 1).max(1);
     let hash = PairwiseHash::new(seed, 0);
-    let mut levels: Vec<LevelState> = (0..num_levels)
-        .map(|_| LevelState { forests: Vec::new(), kept: Vec::new() })
-        .collect();
+    let mut levels: Vec<LevelState> =
+        (0..num_levels).map(|_| LevelState { forests: Vec::new(), kept: Vec::new() }).collect();
 
     // Single pass over the stream.
     for (id, e) in graph.edge_iter() {

@@ -7,36 +7,38 @@
 //! cargo run --release --example b_matching_capacity_planning
 //! ```
 
-use dual_primal_matching::graph::generators::{self, WeightModel};
+use dual_primal_matching::engine::{MatchingSolver, ResourceBudget};
 use dual_primal_matching::matching::bounds;
 use dual_primal_matching::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+fn main() -> Result<(), MwmError> {
     let mut rng = StdRng::seed_from_u64(11);
     // 200 workers/jobs with affinity weights; capacities 1..=6.
-    let mut graph = generators::gnm(200, 1600, WeightModel::Uniform(1.0, 20.0), &mut rng);
+    let mut graph =
+        generators::gnm(200, 1600, generators::WeightModel::Uniform(1.0, 20.0), &mut rng);
     for v in 0..graph.num_vertices() {
         graph.set_b(v as u32, rng.gen_range(1..=6));
     }
     println!("instance: {graph}  (B = {})", graph.total_capacity());
 
-    for (eps, p) in [(0.3, 2.0), (0.2, 2.0), (0.1, 2.0)] {
-        let res = DualPrimalSolver::new(DualPrimalConfig { eps, p, seed: 3, ..Default::default() })
-            .solve(&graph);
-        assert!(res.matching.is_valid(&graph), "capacities must be respected");
+    for eps in [0.3, 0.2, 0.1] {
+        let config = DualPrimalConfig::builder().eps(eps).p(2.0).seed(3).build()?;
+        let report = DualPrimalSolver::new(config)?.solve(&graph, &ResourceBudget::unlimited())?;
+        assert!(report.matching.is_valid(&graph), "capacities must be respected");
         let ub = bounds::b_matching_weight_upper_bound(&graph);
         println!(
-            "eps={eps:>4}  p={p}  ->  weight {:>9.1}  (>= {:.2} of UB {:.1})  rounds {:>3}  space {:>7}  odd-set updates {}",
-            res.weight,
-            res.weight / ub,
+            "eps={eps:>4}  p=2  ->  weight {:>9.1}  (>= {:.2} of UB {:.1})  rounds {:>3}  space {:>7}  odd-set updates {}",
+            report.weight,
+            report.weight / ub,
             ub,
-            res.rounds,
-            res.peak_central_space,
-            res.odd_set_updates,
+            report.rounds(),
+            report.peak_central_space(),
+            report.stat("odd_set_updates").unwrap_or(0.0) as usize,
         );
     }
 
     println!("\nsmaller eps buys a better assignment at the cost of more rounds — the O(p/eps) trade-off of Theorem 15.");
+    Ok(())
 }

@@ -29,10 +29,8 @@ fn main() {
         // Build the deferred structure from the promises, oversampling by chi^2.
         let deferred = DeferredSparsifier::build(&graph, &promise, chi, 0.2, 99);
         // The multipliers drift within the promise band before being revealed.
-        let actual: Vec<f64> = promise
-            .iter()
-            .map(|&s| s * rng.gen_range(1.0 / chi..=chi))
-            .collect();
+        let actual: Vec<f64> =
+            promise.iter().map(|&s| s * rng.gen_range(1.0 / chi..=chi)).collect();
         let sparsifier = deferred.reveal(|id| actual[id]);
 
         // Evaluate against the true multiplier-weighted graph.

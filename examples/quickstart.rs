@@ -1,38 +1,53 @@
-//! Quickstart: solve a weighted non-bipartite matching instance under
-//! MapReduce-style resource constraints and certify the result.
+//! Quickstart: select a solver from the registry, solve a weighted
+//! non-bipartite matching instance under MapReduce-style resource
+//! constraints, and certify the result.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use dual_primal_matching::engine::{ResourceBudget, SolverRegistry};
 use dual_primal_matching::prelude::*;
-use dual_primal_matching::solver::certify_solution;
+use dual_primal_matching::solver::certify_b_matching;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), MwmError> {
     // 1. A synthetic workload: 300 vertices, ~1500 weighted edges.
     let mut rng = StdRng::seed_from_u64(7);
     let graph = generators::gnm(300, 1500, generators::WeightModel::Uniform(1.0, 10.0), &mut rng);
     println!("input: {graph}");
 
-    // 2. Configure the solver: accuracy eps = 0.2, round/space exponent p = 2
-    //    (central space budget ~ n^{1.5}).
-    let config = DualPrimalConfig { eps: 0.2, p: 2.0, seed: 42, ..Default::default() };
-    let solver = DualPrimalSolver::new(config);
+    // 2. Every solver in the workspace is selectable by name.
+    let registry = SolverRegistry::default();
+    println!("registered solvers: {}", registry.names().join(", "));
 
-    // 3. Solve.
-    let result = solver.solve(&graph);
-    println!("matching weight      : {:.2}", result.weight);
-    println!("matched edges        : {}", result.matching.num_edges());
-    println!("adaptive rounds      : {}", result.rounds);
-    println!("oracle iterations    : {}", result.oracle_iterations);
-    println!("peak central space   : {} items (m = {})", result.peak_central_space, graph.num_edges());
-    println!("final dual bound beta: {:.2}", result.beta);
-    println!("covering lambda      : {:.3}", result.lambda);
+    // 3. Solve with the paper's dual-primal algorithm via the engine API.
+    //    The budget caps rounds of data access; unlimited() imposes nothing.
+    let solver = registry.create("dual-primal")?;
+    let report = solver.solve(&graph, &ResourceBudget::unlimited())?;
+    println!("matching weight      : {:.2}", report.weight);
+    println!("matched edges        : {}", report.matching.num_edges());
+    println!("adaptive rounds      : {}", report.rounds());
+    println!("oracle iterations    : {}", report.oracle_iterations);
+    println!(
+        "peak central space   : {} items (m = {})",
+        report.peak_central_space(),
+        graph.num_edges()
+    );
+    if let (Some(beta), Some(lambda)) = (report.stat("beta"), report.stat("lambda")) {
+        println!("final dual bound beta: {beta:.2}");
+        println!("covering lambda      : {lambda:.3}");
+    }
 
-    // 4. Certify: feasibility plus an approximation ratio against a certified bound.
-    let cert = certify_solution(&graph, &result);
+    // 4. A configured instance works through the same trait.
+    let config = DualPrimalConfig::builder().eps(0.3).seed(42).build()?;
+    let tuned = DualPrimalSolver::new(config)?;
+    let tuned_report = tuned.solve(&graph, &ResourceBudget::unlimited())?;
+    println!("eps=0.3 weight       : {:.2}", tuned_report.weight);
+
+    // 5. Certify: feasibility plus an approximation ratio against a certified bound.
+    let cert = certify_b_matching(&graph, &report.matching);
     assert!(cert.feasible, "solver must return a feasible matching");
     match (cert.exact_optimum, cert.ratio_vs_exact) {
         (Some(opt), Some(ratio)) => {
@@ -45,4 +60,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

@@ -1,8 +1,11 @@
 //! Property-based tests (proptest) on cross-crate invariants.
 
+use dual_primal_matching::engine::{MatchingSolver, ResourceBudget};
 use dual_primal_matching::graph::generators::{self, WeightModel};
 use dual_primal_matching::graph::{Graph, UnionFind, WeightLevels};
-use dual_primal_matching::matching::{bounds, greedy_matching, improve_matching, maximal_b_matching};
+use dual_primal_matching::matching::{
+    bounds, greedy_matching, improve_matching, maximal_b_matching,
+};
 use dual_primal_matching::prelude::*;
 use dual_primal_matching::sketch::L0Sampler;
 use proptest::prelude::*;
@@ -23,8 +26,11 @@ proptest! {
     #[test]
     fn solver_output_is_feasible_and_bounded(seed in 0u64..500, n in 10usize..60, deg in 2usize..8) {
         let g = graph_from(seed, n, n * deg / 2, 10.0);
-        let res = DualPrimalSolver::new(DualPrimalConfig { eps: 0.25, p: 2.0, seed, ..Default::default() })
-            .solve(&g);
+        let config = DualPrimalConfig::builder().eps(0.25).p(2.0).seed(seed).build().unwrap();
+        let res = DualPrimalSolver::new(config)
+            .unwrap()
+            .solve(&g, &ResourceBudget::unlimited())
+            .unwrap();
         prop_assert!(res.matching.is_valid(&g));
         let ub = bounds::matching_weight_upper_bound(&g);
         prop_assert!(res.weight <= ub + 1e-6, "weight {} exceeds upper bound {}", res.weight, ub);

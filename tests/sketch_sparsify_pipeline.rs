@@ -4,7 +4,9 @@
 use dual_primal_matching::graph::generators::{self, WeightModel};
 use dual_primal_matching::graph::Graph;
 use dual_primal_matching::sketch::{sketch_connected_components, GraphSketcher};
-use dual_primal_matching::sparsify::{cut_quality_report, sparsify, DeferredSparsifier, SparsifierConfig};
+use dual_primal_matching::sparsify::{
+    cut_quality_report, sparsify, DeferredSparsifier, SparsifierConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,7 +28,8 @@ fn cut_edge_sampling_respects_the_cut() {
     let mut rng = StdRng::seed_from_u64(9);
     let g = generators::gnm(60, 240, WeightModel::Unit, &mut rng);
     let sk = GraphSketcher::sketch_graph(&g, 3, 77);
-    let edge_set: std::collections::HashSet<(u32, u32)> = g.edges().iter().map(|e| e.key()).collect();
+    let edge_set: std::collections::HashSet<(u32, u32)> =
+        g.edges().iter().map(|e| e.key()).collect();
     for trial in 0..30 {
         let size = rng.gen_range(1..30);
         let mut set: Vec<u32> = (0..60u32).collect();

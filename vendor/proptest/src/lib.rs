@@ -1,0 +1,205 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reproduces the macro surface the workspace's property tests use:
+//!
+//! * [`proptest!`] with an optional `#![proptest_config(...)]` header and
+//!   `name(arg in strategy, ...)` test signatures,
+//! * numeric-range, tuple and [`collection::vec`] strategies,
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Cases are generated from a deterministic per-test seed (a hash of the test
+//! name), so failures reproduce exactly. Unlike upstream proptest there is
+//! **no shrinking**: a failing case panics with its values printed via the
+//! assertion message rather than being minimized first.
+
+use rand::prelude::*;
+use std::ops::Range;
+
+/// Runner configuration. Only `cases` is honoured; the other fields exist so
+/// that `ProptestConfig { cases: n, ..ProptestConfig::default() }` compiles
+/// unchanged against upstream-style call sites.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; rejection sampling is not implemented.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0, max_global_rejects: 0 }
+    }
+}
+
+/// A generator of random values for one property argument.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Strategies over collections.
+pub mod collection {
+    use super::*;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner internals used by the macro expansion.
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// FNV-1a, so each property gets a stable, name-derived RNG stream.
+    pub fn seed_for(test_name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+
+    /// The RNG handed to strategies.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        StdRng::seed_from_u64(seed_for(test_name))
+    }
+}
+
+/// Asserts inside a property; panics with the formatted message on failure
+/// (upstream returns a `TestCaseError`; without shrinking, panicking directly
+/// is equivalent).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for(stringify!($name));
+                for _case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(x in 0u64..10, pair in (0usize..5, -2i64..3)) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 5);
+            prop_assert!((-2..3).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in crate::collection::vec(0u32..100, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()), "len {}", v.len());
+            for e in v {
+                prop_assert!(e < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn per_test_seeds_are_deterministic() {
+        assert_eq!(
+            crate::test_runner::seed_for("some_property"),
+            crate::test_runner::seed_for("some_property")
+        );
+        assert_ne!(
+            crate::test_runner::seed_for("some_property"),
+            crate::test_runner::seed_for("other_property")
+        );
+    }
+}

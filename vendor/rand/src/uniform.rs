@@ -1,0 +1,126 @@
+//! Uniform sampling from ranges (the `gen_range` machinery).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from an interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)`. `low < high` is the caller's duty.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform sample from `[low, high]`. `low <= high` is the caller's duty.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Uniform `u64` in `[0, span)` via 128-bit multiply (Lemire reduction without
+/// the rejection step; the bias of at most `span / 2^64` is far below anything
+/// observable in this workspace's randomized algorithms and tests).
+fn u64_below<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as i128 - low as i128) as u64;
+                low.wrapping_add(u64_below(span, rng) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain: any draw is uniform.
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(u64_below(span as u64, rng) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                let x = low + unit * (high - low);
+                // Guard against rounding up to the open bound.
+                if x >= high { low } else { x }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                let x = low + unit * (high - low);
+                if x > high { high } else { x }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with an empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range called with an empty range");
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_ranges_stay_in_bounds() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(0..7);
+            assert!(x < 7);
+            let y: i64 = rng.gen_range(-3i64..4);
+            assert!((-3..4).contains(&y));
+            let z: u64 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&x));
+            let y: f64 = rng.gen_range(1.0..=3.0);
+            assert!((1.0..=3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(1);
+        let _: usize = rng.gen_range(3..3);
+    }
+}
