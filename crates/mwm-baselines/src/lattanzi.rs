@@ -14,8 +14,8 @@
 //! dual-primal algorithm closes.
 
 use mwm_core::{MatchingSolver, MwmError, ResourceBudget, SolveReport};
-use mwm_graph::{Graph, Matching, WeightLevels};
-use mwm_mapreduce::{MapReduceConfig, MapReduceSim, ResourceTracker};
+use mwm_graph::{EdgeId, Graph, Matching, WeightLevels};
+use mwm_mapreduce::{GraphSource, MapReduceConfig, MapReduceSim, PassEngine, ResourceTracker};
 
 /// The filtering algorithm behind the engine API: an `O(p)`-round,
 /// `O(n^{1+1/p})`-space, `O(1)`-approximation [`MatchingSolver`].
@@ -27,6 +27,7 @@ pub struct LattanziFiltering {
     p: f64,
     eps: f64,
     seed: u64,
+    parallelism: usize,
 }
 
 impl LattanziFiltering {
@@ -46,13 +47,21 @@ impl LattanziFiltering {
                 requirement: "must lie in (0, 1)",
             });
         }
-        Ok(LattanziFiltering { p, eps, seed })
+        Ok(LattanziFiltering { p, eps, seed, parallelism: 1 })
+    }
+
+    /// Sets the pass-engine worker cap used by the weight-class bucketing
+    /// pass (builder style). Per-shard buckets merge in shard order, so the
+    /// matching is identical at every setting.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
     }
 }
 
 impl Default for LattanziFiltering {
     fn default() -> Self {
-        LattanziFiltering { p: 2.0, eps: 0.2, seed: 0x1A77 }
+        LattanziFiltering { p: 2.0, eps: 0.2, seed: 0x1A77, parallelism: 1 }
     }
 }
 
@@ -62,7 +71,8 @@ impl MatchingSolver for LattanziFiltering {
     }
 
     fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
-        let res = lattanzi_filtering(graph, self.p, self.eps, self.seed);
+        let workers = budget.parallelism().unwrap_or(self.parallelism);
+        let res = run_filtering(graph, self.p, self.eps, self.seed, workers, budget)?;
         budget.check_tracker(&res.tracker)?;
         Ok(SolveReport::new(self.name(), res.matching.to_b_matching(), res.tracker)
             .with_stat("p", self.p)
@@ -93,6 +103,23 @@ pub struct LattanziResult {
 /// a typed error instead.
 pub fn lattanzi_filtering(graph: &Graph, p: f64, eps: f64, seed: u64) -> LattanziResult {
     assert!(p > 1.0);
+    run_filtering(graph, p, eps, seed, 1, &ResourceBudget::unlimited())
+        .expect("an unlimited budget cannot interrupt the bucketing pass")
+}
+
+/// The engine-driven filtering run shared by the free function and the trait
+/// impl: one charged [`PassEngine`] pass buckets the stream into weight
+/// classes (per-shard buckets merged in shard order, so edge-id order — and
+/// therefore the matching — is identical for every worker count), then the
+/// per-class sampling rounds run against the MapReduce simulator as before.
+fn run_filtering(
+    graph: &Graph,
+    p: f64,
+    eps: f64,
+    seed: u64,
+    workers: usize,
+    res_budget: &ResourceBudget,
+) -> Result<LattanziResult, MwmError> {
     let n = graph.num_vertices();
     let levels = WeightLevels::new(graph, eps.clamp(0.05, 0.9));
     let config = MapReduceConfig { p, space_constant: 4.0, reducers: 4, seed };
@@ -100,16 +127,37 @@ pub fn lattanzi_filtering(graph: &Graph, p: f64, eps: f64, seed: u64) -> Lattanz
     let mut matched = vec![false; n];
     let mut matching = Matching::new();
 
+    // One pass over the sharded stream splits it into weight classes.
+    let source = GraphSource::auto(graph);
+    let mut engine = PassEngine::new(workers).with_budget(res_budget.pass_budget(0));
+    let num_levels = levels.num_levels();
+    let mut buckets: Vec<Vec<EdgeId>> = vec![Vec::new(); num_levels];
+    if num_levels > 0 {
+        let shard_buckets = engine.pass_shards(
+            &source,
+            |_| vec![Vec::new(); num_levels],
+            |acc: &mut Vec<Vec<EdgeId>>, id, e| {
+                if let Some(k) = levels.level_of_weight(e.w) {
+                    acc[k].push(id);
+                }
+            },
+        )?;
+        for shard in shard_buckets {
+            for (k, ids) in shard.into_iter().enumerate() {
+                buckets[k].extend(ids);
+            }
+        }
+    }
+
     // Heaviest class first.
-    let mut class_ids: Vec<usize> = levels.iter_levels().map(|(k, _)| k).collect();
+    let mut class_ids: Vec<usize> = (0..num_levels).filter(|&k| !buckets[k].is_empty()).collect();
     class_ids.sort_unstable_by(|a, b| b.cmp(a));
 
     for k in class_ids {
         // Remaining edges of this class whose endpoints are both unmatched.
-        let mut remaining: Vec<usize> = levels
-            .level_edges(k)
+        let mut remaining: Vec<usize> = buckets[k]
             .iter()
-            .map(|le| le.id)
+            .copied()
             .filter(|&id| {
                 let e = graph.edge(id);
                 !matched[e.u as usize] && !matched[e.v as usize]
@@ -156,13 +204,15 @@ pub fn lattanzi_filtering(graph: &Graph, p: f64, eps: f64, seed: u64) -> Lattanz
     }
 
     let weight = matching.weight();
-    LattanziResult {
+    let mut tracker = sim.tracker().clone();
+    tracker.merge(&engine.into_tracker());
+    Ok(LattanziResult {
         matching,
         weight,
-        rounds: sim.tracker().rounds(),
-        peak_central_space: sim.tracker().peak_central_space(),
-        tracker: sim.tracker().clone(),
-    }
+        rounds: tracker.rounds(),
+        peak_central_space: tracker.peak_central_space(),
+        tracker,
+    })
 }
 
 #[cfg(test)]

@@ -7,10 +7,17 @@
 //! approximation factor `1/(3+2√2) ≈ 0.17` for `γ = √2 - 1` against the
 //! optimum (and much better in practice) — the classical baseline whose gap to
 //! `(1-ε)` the paper addresses.
+//!
+//! The pass itself is consumed through the [`PassEngine`]'s sequential mode:
+//! replacement is inherently order-dependent, so the engine visits the shards
+//! in index order on one thread (the `parallelism` knob sizes the engine but
+//! cannot change the arrival order, keeping results identical at every
+//! setting) while still providing the engine's resource accounting and
+//! mid-pass budget enforcement.
 
 use mwm_core::{MatchingSolver, MwmError, ResourceBudget, SolveReport};
 use mwm_graph::{EdgeId, Graph, Matching};
-use mwm_mapreduce::{ResourceTracker, StreamingSim};
+use mwm_mapreduce::{GraphSource, PassEngine, ResourceTracker};
 
 /// The one-pass replacement algorithm behind the engine API: 1 pass, `O(n)`
 /// memory, constant-approximation [`MatchingSolver`].
@@ -20,6 +27,7 @@ use mwm_mapreduce::{ResourceTracker, StreamingSim};
 #[derive(Clone, Copy, Debug)]
 pub struct StreamingGreedy {
     gamma_improve: f64,
+    parallelism: usize,
 }
 
 impl StreamingGreedy {
@@ -32,13 +40,22 @@ impl StreamingGreedy {
                 requirement: "must be non-negative and finite",
             });
         }
-        Ok(StreamingGreedy { gamma_improve })
+        Ok(StreamingGreedy { gamma_improve, parallelism: 1 })
+    }
+
+    /// Sets the pass-engine worker cap (builder style). The replacement pass
+    /// is order-dependent and always consumes the stream sequentially, so
+    /// this never changes the matching — it only sizes the engine consistent
+    /// with the rest of the registry.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
     }
 }
 
 impl Default for StreamingGreedy {
     fn default() -> Self {
-        StreamingGreedy { gamma_improve: 0.414 }
+        StreamingGreedy { gamma_improve: 0.414, parallelism: 1 }
     }
 }
 
@@ -48,7 +65,8 @@ impl MatchingSolver for StreamingGreedy {
     }
 
     fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
-        let res = streaming_greedy_matching(graph, self.gamma_improve);
+        let workers = budget.parallelism().unwrap_or(self.parallelism);
+        let res = run_replacement_pass(graph, self.gamma_improve, workers, budget)?;
         budget.check_tracker(&res.tracker)?;
         Ok(SolveReport::new(self.name(), res.matching.to_b_matching(), res.tracker)
             .with_stat("gamma_improve", self.gamma_improve)
@@ -78,13 +96,28 @@ pub struct StreamingGreedyResult {
 /// and returns a typed error instead.
 pub fn streaming_greedy_matching(graph: &Graph, gamma_improve: f64) -> StreamingGreedyResult {
     assert!(gamma_improve >= 0.0);
+    run_replacement_pass(graph, gamma_improve, 1, &ResourceBudget::unlimited())
+        .expect("an unlimited budget cannot interrupt the pass")
+}
+
+/// The engine-driven pass shared by the free function and the trait impl. A
+/// streamed-items budget can interrupt the pass mid-shard; in that case the
+/// partially built matching is discarded and the typed error is returned.
+fn run_replacement_pass(
+    graph: &Graph,
+    gamma_improve: f64,
+    workers: usize,
+    budget: &ResourceBudget,
+) -> Result<StreamingGreedyResult, MwmError> {
     let n = graph.num_vertices();
-    let mut sim = StreamingSim::new(graph);
+    let source = GraphSource::auto(graph);
+    let mut engine = PassEngine::new(workers).with_budget(budget.pass_budget(0));
     // matched_edge[v] = edge id currently matching v.
     let mut matched_edge: Vec<Option<EdgeId>> = vec![None; n];
-    let mut in_matching: std::collections::HashMap<EdgeId, f64> = std::collections::HashMap::new();
+    let mut in_matching: std::collections::BTreeMap<EdgeId, f64> =
+        std::collections::BTreeMap::new();
 
-    sim.pass(|id, e| {
+    engine.pass_sequential(&source, |id, e| {
         let mu = matched_edge[e.u as usize];
         let mv = matched_edge[e.v as usize];
         let mut conflict_weight = 0.0;
@@ -111,21 +144,22 @@ pub fn streaming_greedy_matching(graph: &Graph, gamma_improve: f64) -> Streaming
             matched_edge[e.v as usize] = Some(id);
             in_matching.insert(id, e.w);
         }
-    });
-    sim.declare_memory(in_matching.len());
+    })?;
+    engine.declare_memory(in_matching.len());
 
     let mut matching = Matching::new();
     for &id in in_matching.keys() {
         matching.push(id, graph.edge(id));
     }
     let weight = matching.weight();
-    StreamingGreedyResult {
+    let tracker = engine.into_tracker();
+    Ok(StreamingGreedyResult {
         matching,
         weight,
-        passes: sim.passes(),
-        peak_memory_edges: sim.tracker().peak_central_space(),
-        tracker: sim.tracker().clone(),
-    }
+        passes: tracker.rounds(),
+        peak_memory_edges: tracker.peak_central_space(),
+        tracker,
+    })
 }
 
 fn edge_endpoints(graph: &Graph, id: EdgeId) -> Option<(usize, usize)> {
@@ -196,5 +230,36 @@ mod tests {
         let g = generators::gnm(30, 100, WeightModel::Uniform(1.0, 5.0), &mut rng);
         let res = streaming_greedy_matching(&g, 0.0);
         assert!(res.matching.is_valid(30));
+    }
+
+    #[test]
+    fn parallelism_cannot_change_the_arrival_order() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::gnm(80, 2500, WeightModel::Uniform(1.0, 9.0), &mut rng);
+        let base = run_replacement_pass(&g, 0.414, 1, &ResourceBudget::unlimited()).unwrap();
+        for workers in [2usize, 8] {
+            let res =
+                run_replacement_pass(&g, 0.414, workers, &ResourceBudget::unlimited()).unwrap();
+            let mut a: Vec<EdgeId> = base.matching.edges().iter().map(|&(id, _)| id).collect();
+            let mut b: Vec<EdgeId> = res.matching.edges().iter().map(|&(id, _)| id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "workers={workers}");
+            assert_eq!(base.weight.to_bits(), res.weight.to_bits());
+        }
+    }
+
+    #[test]
+    fn stream_budget_interrupts_without_a_torn_matching() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = generators::gnm(60, 1200, WeightModel::Uniform(1.0, 9.0), &mut rng);
+        let budget = ResourceBudget::unlimited().with_max_streamed_items(100);
+        let err = run_replacement_pass(&g, 0.414, 1, &budget).unwrap_err();
+        match err {
+            MwmError::BudgetExceeded { resource: "streamed items", used, limit: 100 } => {
+                assert!(used >= 100);
+            }
+            other => panic!("expected streamed-items budget error, got {other:?}"),
+        }
     }
 }

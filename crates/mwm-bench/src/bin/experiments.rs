@@ -23,12 +23,12 @@ fn main() {
                     exp = args[i + 1].clone();
                     i += 1;
                 } else {
-                    eprintln!("--exp requires a value (e1..e10 or all)");
+                    eprintln!("--exp requires a value (e1..e11 or all)");
                     std::process::exit(2);
                 }
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--exp e1..e10|all]");
+                println!("usage: experiments [--exp e1..e11|all]");
                 return;
             }
             other => {

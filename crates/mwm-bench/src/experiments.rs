@@ -27,10 +27,10 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// All experiment ids, in run order.
-pub const EXPERIMENT_IDS: [&str; 10] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const EXPERIMENT_IDS: [&str; 11] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
 
-/// Runs one experiment by id (`"e1"` … `"e10"`), or every experiment for
+/// Runs one experiment by id (`"e1"` … `"e11"`), or every experiment for
 /// `"all"`. Unknown ids are [`MwmError::UnknownExperiment`].
 pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
     match id {
@@ -44,6 +44,7 @@ pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
         "e8" => Ok(vec![e8_b_matching()?]),
         "e9" => Ok(vec![e9_congested_clique()?]),
         "e10" => Ok(vec![e10_lp_substrate()?]),
+        "e11" => Ok(vec![e11_pass_throughput()?]),
         "all" => {
             let mut all = Vec::with_capacity(EXPERIMENT_IDS.len());
             for e in EXPERIMENT_IDS {
@@ -394,6 +395,76 @@ pub fn e10_lp_substrate() -> Result<ExperimentReport, MwmError> {
     Ok(rep)
 }
 
+/// E11 — pass-engine throughput: multiplier-style passes over the largest
+/// bench workload (the `2^20`-edge synthetic stream) at 1/2/4/8 workers.
+///
+/// The `checksum` column combines the per-shard partial sums **in shard
+/// order**, so equal checksums across rows prove the engine merges
+/// bit-identically at every worker count; `speedup` is wall-clock pass
+/// throughput relative to the single-worker row (it can only exceed 1 where
+/// the host actually has spare cores — the `cores` column records what the
+/// host offered).
+pub fn e11_pass_throughput() -> Result<ExperimentReport, MwmError> {
+    use mwm_mapreduce::{EdgeSource, PassEngine};
+    use std::time::Instant;
+
+    let mut rep = ExperimentReport::new(
+        "e11",
+        "pass-engine throughput (sharded multiplier passes, 1/2/4/8 workers)",
+        vec![
+            "workers",
+            "cores",
+            "shards",
+            "edges/pass",
+            "passes",
+            "medges/s",
+            "speedup",
+            "checksum",
+        ],
+    );
+    let stream = workloads::pass_throughput_stream(1, 0xE11);
+    let passes = 3usize;
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let mut base_throughput = None;
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut engine = PassEngine::new(workers);
+        let mut checksum = 0u64;
+        let start = Instant::now();
+        for pass in 0..passes {
+            // The same exp-heavy per-edge work as the solver's multiplier
+            // pass, seeded per pass so no pass can be optimized away.
+            let alpha = 1.0 + pass as f64 * 0.25;
+            let sums = engine
+                .pass_shards(
+                    &stream,
+                    |_| 0.0f64,
+                    |acc: &mut f64, id, e| {
+                        let cov = ((id % 97) as f64) / 97.0;
+                        *acc += (-(alpha * (cov / e.w - 0.5)).clamp(-700.0, 700.0)).exp() / e.w;
+                    },
+                )
+                .expect("an unbudgeted engine cannot interrupt a pass");
+            for s in sums {
+                checksum = checksum.rotate_left(7) ^ s.to_bits();
+            }
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let throughput = (stream.num_edges() * passes) as f64 / secs / 1e6;
+        let speedup = throughput / *base_throughput.get_or_insert(throughput);
+        rep.push_row(vec![
+            format!("{workers}"),
+            format!("{cores}"),
+            format!("{}", stream.num_shards()),
+            format!("{}", stream.num_edges()),
+            format!("{passes}"),
+            format!("{throughput:.1}"),
+            format!("{speedup:.2}"),
+            format!("{checksum:016x}"),
+        ]);
+    }
+    Ok(rep)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,5 +502,48 @@ mod tests {
         assert_eq!(rep.rows.len() % 3, 0);
         let solvers: Vec<_> = (0..3).filter_map(|r| rep.cell(r, "solver")).collect();
         assert_eq!(solvers, vec!["dual-primal", "lattanzi-filtering", "streaming-greedy"]);
+    }
+
+    /// Best multi-worker speedup of one E11 run, asserting the checksum
+    /// column is identical across all worker counts.
+    fn e11_best_speedup() -> f64 {
+        let rep = e11_pass_throughput().unwrap();
+        assert_eq!(rep.rows.len(), 4);
+        let checksum0 = rep.cell(0, "checksum").unwrap().to_string();
+        for row in 1..rep.rows.len() {
+            assert_eq!(
+                rep.cell(row, "checksum"),
+                Some(checksum0.as_str()),
+                "row {row}: multi-worker pass diverged from single-worker"
+            );
+        }
+        (1..rep.rows.len())
+            .filter_map(|r| rep.cell(r, "speedup"))
+            .filter_map(|s| s.parse().ok())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn e11_is_bit_identical_across_worker_counts_and_scales_with_cores() {
+        let mut best = e11_best_speedup();
+        // Wall-clock speedup needs actual spare cores; on multi-core hosts
+        // (CI runners included) the best multi-worker row must clear 1.5×.
+        // Timing is load-sensitive on shared runners, so retry once before
+        // declaring a regression — a genuine serialization bug fails both.
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        let threshold = if cores >= 4 {
+            1.5
+        } else if cores >= 2 {
+            1.1
+        } else {
+            return; // single-core host: no spare cores, nothing to measure
+        };
+        if best < threshold {
+            best = best.max(e11_best_speedup());
+        }
+        assert!(
+            best >= threshold,
+            "best multi-worker speedup {best} < {threshold} on {cores} cores"
+        );
     }
 }

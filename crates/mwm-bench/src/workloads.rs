@@ -2,6 +2,7 @@
 
 use mwm_graph::generators::{self, WeightModel};
 use mwm_graph::Graph;
+use mwm_mapreduce::SyntheticStream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -73,6 +74,16 @@ pub fn dense_graph(n: usize, p: f64, seed: u64) -> Graph {
     generators::gnp(n, p, WeightModel::Uniform(1.0, 4.0), &mut rng)
 }
 
+/// The largest bench workload: a generator-backed synthetic edge stream for
+/// the pass-throughput experiment (E11) and the pass-engine benches. At
+/// `scale = 1` the stream holds `2^20` edges over `2^16` vertices; edges are
+/// derived on the fly from the seed, so the stream costs no memory and can be
+/// scaled far past what an in-memory `Graph` could hold.
+pub fn pass_throughput_stream(scale: usize, seed: u64) -> SyntheticStream {
+    let scale = scale.max(1);
+    SyntheticStream::new(scale * (1 << 16), scale * (1 << 20), seed)
+}
+
 /// A b-matching workload with random capacities in `1..=max_b`.
 pub fn b_matching_graph(n: usize, avg_deg: usize, max_b: u64, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -107,5 +118,19 @@ mod tests {
     fn b_matching_workload_has_capacities() {
         let g = b_matching_graph(50, 6, 4, 3);
         assert!(g.total_capacity() > 50);
+    }
+
+    #[test]
+    fn pass_throughput_stream_is_seed_deterministic() {
+        use mwm_mapreduce::EdgeSource;
+        let a = pass_throughput_stream(1, 7);
+        let b = pass_throughput_stream(1, 7);
+        assert_eq!(a.num_edges(), 1 << 20);
+        assert_eq!(a.num_vertices(), 1 << 16);
+        for id in [0usize, 12345, (1 << 20) - 1] {
+            let ea = a.edge_at(id);
+            let eb = b.edge_at(id);
+            assert_eq!((ea.u, ea.v, ea.w.to_bits()), (eb.u, eb.v, eb.w.to_bits()));
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! `ResourceBudget::unlimited()` (the [`Default`]) imposes nothing.
 
 use crate::error::MwmError;
-use mwm_mapreduce::ResourceTracker;
+use mwm_mapreduce::{PassBudget, ResourceTracker};
 
 /// Caller-imposed limits on the resources of one solve.
 ///
@@ -18,20 +18,35 @@ use mwm_mapreduce::ResourceTracker;
 /// use mwm_core::ResourceBudget;
 /// let budget = ResourceBudget::unlimited()
 ///     .with_max_rounds(40)
-///     .with_max_central_space(100_000);
+///     .with_max_central_space(100_000)
+///     .with_parallelism(4);
 /// assert_eq!(budget.max_rounds(), Some(40));
+/// assert_eq!(budget.parallelism(), Some(4));
 /// ```
+///
+/// Besides limits, a budget optionally carries the **parallelism** knob: how
+/// many worker threads the solver's `PassEngine` may use per pass. This is a
+/// per-solve override of the solver's configured default; it changes
+/// wall-clock speed only, never results (pass results merge in shard order).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ResourceBudget {
     max_rounds: Option<usize>,
     max_central_space: Option<usize>,
     max_oracle_iterations: Option<usize>,
+    max_streamed_items: Option<usize>,
+    parallelism: Option<usize>,
 }
 
 impl ResourceBudget {
     /// A budget with no limits (the default).
     pub const fn unlimited() -> Self {
-        ResourceBudget { max_rounds: None, max_central_space: None, max_oracle_iterations: None }
+        ResourceBudget {
+            max_rounds: None,
+            max_central_space: None,
+            max_oracle_iterations: None,
+            max_streamed_items: None,
+            parallelism: None,
+        }
     }
 
     /// Caps the rounds of data access (MapReduce rounds / streaming passes).
@@ -52,6 +67,23 @@ impl ResourceBudget {
         self
     }
 
+    /// Caps the total input items streamed across all passes. Unlike the
+    /// other limits this one is enforced **during** the pass: an exhausted
+    /// stream budget interrupts the pass mid-shard and the solver returns
+    /// [`MwmError::BudgetExceeded`] instead of a result.
+    pub const fn with_max_streamed_items(mut self, limit: usize) -> Self {
+        self.max_streamed_items = Some(limit);
+        self
+    }
+
+    /// Overrides the number of pass-engine worker threads for this solve
+    /// (clamped to at least 1 by the solvers). Not a limit: results are
+    /// bit-identical for every parallelism, only wall-clock time changes.
+    pub const fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers);
+        self
+    }
+
     /// The round limit, if any.
     pub const fn max_rounds(&self) -> Option<usize> {
         self.max_rounds
@@ -67,11 +99,32 @@ impl ResourceBudget {
         self.max_oracle_iterations
     }
 
-    /// True if no limit is set.
+    /// The streamed-items limit, if any.
+    pub const fn max_streamed_items(&self) -> Option<usize> {
+        self.max_streamed_items
+    }
+
+    /// The parallelism override, if any.
+    pub const fn parallelism(&self) -> Option<usize> {
+        self.parallelism
+    }
+
+    /// The in-pass portion of this budget, for a `PassEngine` that has
+    /// `already_streamed` items charged outside the engine.
+    pub fn pass_budget(&self, already_streamed: usize) -> PassBudget {
+        PassBudget {
+            max_items_streamed: self
+                .max_streamed_items
+                .map(|limit| limit.saturating_sub(already_streamed)),
+        }
+    }
+
+    /// True if no limit is set (the parallelism knob is not a limit).
     pub const fn is_unlimited(&self) -> bool {
         self.max_rounds.is_none()
             && self.max_central_space.is_none()
             && self.max_oracle_iterations.is_none()
+            && self.max_streamed_items.is_none()
     }
 
     /// Verifies a finished run's resource ledger against the budget.
@@ -90,6 +143,15 @@ impl ResourceBudget {
                 return Err(MwmError::BudgetExceeded {
                     resource: "central space",
                     used: tracker.peak_central_space(),
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.max_streamed_items {
+            if tracker.items_streamed() > limit {
+                return Err(MwmError::BudgetExceeded {
+                    resource: "streamed items",
+                    used: tracker.items_streamed(),
                     limit,
                 });
             }
@@ -149,5 +211,34 @@ mod tests {
         let b = ResourceBudget::unlimited().with_max_oracle_iterations(10);
         assert!(b.check_oracle_iterations(10).is_ok());
         assert!(b.check_oracle_iterations(11).is_err());
+    }
+
+    #[test]
+    fn streamed_items_limit_is_enforced() {
+        let mut t = ResourceTracker::new();
+        t.charge_stream(500);
+        let b = ResourceBudget::unlimited().with_max_streamed_items(400);
+        assert!(matches!(
+            b.check_tracker(&t),
+            Err(MwmError::BudgetExceeded { resource: "streamed items", used: 500, limit: 400 })
+        ));
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn parallelism_is_a_knob_not_a_limit() {
+        let b = ResourceBudget::unlimited().with_parallelism(8);
+        assert_eq!(b.parallelism(), Some(8));
+        assert!(b.is_unlimited(), "parallelism alone must not count as a limit");
+        let t = ResourceTracker::new();
+        assert!(b.check_tracker(&t).is_ok());
+    }
+
+    #[test]
+    fn pass_budget_subtracts_already_streamed_items() {
+        let b = ResourceBudget::unlimited().with_max_streamed_items(100);
+        assert_eq!(b.pass_budget(30).max_items_streamed, Some(70));
+        assert_eq!(b.pass_budget(200).max_items_streamed, Some(0));
+        assert_eq!(ResourceBudget::unlimited().pass_budget(30).max_items_streamed, None);
     }
 }

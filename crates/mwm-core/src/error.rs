@@ -87,6 +87,19 @@ impl fmt::Display for MwmError {
 
 impl std::error::Error for MwmError {}
 
+impl From<mwm_mapreduce::PassError> for MwmError {
+    /// A pass interrupted by the `PassEngine`'s in-pass budget becomes the
+    /// engine API's budget error; `used` carries the engine's exact ledger
+    /// count at the moment the pass stopped.
+    fn from(err: mwm_mapreduce::PassError) -> Self {
+        match err {
+            mwm_mapreduce::PassError::BudgetExceeded { resource, used, limit } => {
+                MwmError::BudgetExceeded { resource, used, limit }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,9 @@ use crate::relaxation::DualState;
 use crate::report::SolveReport;
 use mwm_graph::{BMatching, Graph, WeightLevels};
 use mwm_lp::AdaptivityLedger;
-use mwm_mapreduce::{MapReduceConfig, MapReduceSim, ResourceTracker};
+use mwm_mapreduce::{
+    EdgeSource, GraphSource, MapReduceConfig, MapReduceSim, PassEngine, PassError, ResourceTracker,
+};
 use mwm_sparsify::DeferredSparsifier;
 
 /// Configuration of the solver.
@@ -53,6 +55,11 @@ pub struct DualPrimalConfig {
     pub sparsifiers_per_round: Option<usize>,
     /// Constant in the central-space budget.
     pub space_constant: f64,
+    /// Worker threads the pass engine may use per streaming pass (≥ 1).
+    /// Results are bit-identical for every value — per-shard partial results
+    /// merge in shard order — so this is purely a wall-clock knob. A
+    /// `ResourceBudget::with_parallelism` override takes precedence per solve.
+    pub parallelism: usize,
 }
 
 impl Default for DualPrimalConfig {
@@ -64,6 +71,7 @@ impl Default for DualPrimalConfig {
             max_rounds: None,
             sparsifiers_per_round: None,
             space_constant: 4.0,
+            parallelism: 1,
         }
     }
 }
@@ -109,6 +117,13 @@ impl DualPrimalConfig {
                 param: "sparsifiers_per_round",
                 value: "0".to_string(),
                 requirement: "must be at least 1 when set",
+            });
+        }
+        if self.parallelism == 0 {
+            return Err(MwmError::InvalidConfig {
+                param: "parallelism",
+                value: "0".to_string(),
+                requirement: "must be at least 1",
             });
         }
         Ok(())
@@ -157,6 +172,12 @@ impl DualPrimalConfigBuilder {
     /// Sets the constant in the central-space budget.
     pub fn space_constant(mut self, constant: f64) -> Self {
         self.config.space_constant = constant;
+        self
+    }
+
+    /// Sets the pass-engine worker-thread cap (≥ 1).
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = workers;
         self
     }
 
@@ -256,6 +277,16 @@ impl DualPrimalSolver {
     /// [`MatchingSolver::solve`], which additionally enforces a
     /// [`ResourceBudget`] and returns the unified [`SolveReport`].
     pub fn solve_detailed(&self, graph: &Graph) -> SolveResult {
+        self.run(graph, &ResourceBudget::unlimited())
+            .expect("an unlimited budget cannot interrupt a solve")
+    }
+
+    /// The fallible solve loop: every per-pass edge consumption of the main
+    /// loop goes through a [`PassEngine`] over a sharded view of the graph,
+    /// with `config.parallelism` workers and the budget's streamed-items
+    /// limit enforced mid-pass. Returns [`MwmError::BudgetExceeded`] when a
+    /// pass is interrupted — never a torn matching.
+    fn run(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveResult, MwmError> {
         let cfg = &self.config;
         let eps = cfg.eps;
         let n = graph.num_vertices();
@@ -270,7 +301,7 @@ impl DualPrimalSolver {
         let mut ledger = AdaptivityLedger::new();
 
         if levels.num_kept_edges() == 0 {
-            return self.empty_result(graph, &levels, sim, ledger);
+            return Ok(self.empty_result(graph, &levels, sim, ledger));
         }
 
         // Phase 1: initial solution (Lemmas 12/20/21).
@@ -287,6 +318,14 @@ impl DualPrimalSolver {
             }
         }
 
+        // The sharded stream the main loop reads through. Sharding depends
+        // only on the edge count — never on the worker count — so per-shard
+        // partial results merge in a fixed order and every parallelism level
+        // produces bit-identical output.
+        let source = GraphSource::auto(graph);
+        let mut engine = PassEngine::new(cfg.parallelism)
+            .with_budget(budget.pass_budget(sim.tracker().items_streamed()));
+
         // Parameters of the main loop.
         let gamma_param = (n.max(2) as f64).powf(1.0 / (2.0 * cfg.p)).max(1.25);
         let t_sparsifiers = cfg
@@ -300,22 +339,32 @@ impl DualPrimalSolver {
         let m_constraints = levels.num_kept_edges().max(2) as f64;
         let oracle = MicroOracle::new(graph, &levels);
 
-        let mut lambda = compute_lambda(&dual, &levels);
+        let mut lambda = sharded_lambda(&engine, &source, &levels, &dual);
         let mut primal_certificates = 0usize;
         let mut vertex_updates = 0usize;
         let mut odd_set_updates = 0usize;
         let mut sparsifier_edges_last_round = 0usize;
+        let mut pass_error: Option<PassError> = None;
 
         for round in 0..max_rounds {
             if lambda >= 1.0 - 3.0 * eps {
                 break;
             }
             // ---- One round of data access: multipliers -> t deferred sparsifiers ----
+            // The exponential multipliers are computed by one sharded pass:
+            // each shard batches its (edge id, multiplier) pairs locally so
+            // the hot loop stays cache-friendly, and the batches are merged
+            // in shard order afterwards.
             ledger.record_round();
-            sim.tracker_mut().charge_round();
-            sim.tracker_mut().charge_stream(graph.num_edges());
             let alpha = (m_constraints / eps).ln() / (lambda.max(1e-6) * eps);
-            let promise = edge_multipliers(graph, &levels, &dual, alpha, lambda);
+            let promise =
+                match sharded_multipliers(&mut engine, &source, &levels, &dual, alpha, lambda) {
+                    Ok(promise) => promise,
+                    Err(err) => {
+                        pass_error = Some(err);
+                        break;
+                    }
+                };
             let mut sparsifiers: Vec<DeferredSparsifier> = Vec::with_capacity(t_sparsifiers);
             let mut stored_total = 0usize;
             for q in 0..t_sparsifiers {
@@ -362,7 +411,9 @@ impl DualPrimalSolver {
                         let sigma = (eps / (2.0 * alpha * rho_outer)).min(1.0);
                         dual.scale(1.0 - sigma);
                         dual.add_scaled(&update, sigma);
-                        lambda = compute_lambda(&dual, &levels);
+                        // Uncharged refinement scan: the multipliers live in
+                        // central memory, no fresh data access happens.
+                        lambda = sharded_lambda(&engine, &source, &levels, &dual);
                     }
                     OracleDecision::PrimalCertificate { .. } => {
                         primal_certificates += 1;
@@ -379,17 +430,33 @@ impl DualPrimalSolver {
             sim.tracker_mut().release_central(stored_total);
         }
 
+        // One ledger for the whole run: the sampling phase's charges (sim)
+        // plus the pass engine's (rounds, streamed items).
+        let mut tracker = sim.tracker().clone();
+        tracker.merge(&engine.into_tracker());
+
+        if let Some(PassError::BudgetExceeded { resource, .. }) = pass_error {
+            // The partial ledger is accurate — `used` counts exactly the
+            // items streamed before the interrupt — and no matching is
+            // returned, so a caller can never observe a torn result.
+            return Err(MwmError::BudgetExceeded {
+                resource,
+                used: tracker.items_streamed(),
+                limit: budget.max_streamed_items().unwrap_or(usize::MAX),
+            });
+        }
+
         let weight = best.weight();
-        SolveResult {
+        Ok(SolveResult {
             matching: best,
             weight,
             beta,
             lambda,
-            rounds: sim.tracker().rounds(),
+            rounds: tracker.rounds(),
             oracle_iterations: ledger.oracle_iterations(),
-            peak_central_space: sim.tracker().peak_central_space(),
+            peak_central_space: tracker.peak_central_space(),
             sparsifier_edges_last_round,
-            tracker: sim.tracker().clone(),
+            tracker,
             initial_rounds,
             num_levels: levels.num_levels(),
             primal_certificates,
@@ -398,7 +465,7 @@ impl DualPrimalSolver {
             eps,
             p: cfg.p,
             ledger,
-        }
+        })
     }
 
     fn empty_result(
@@ -439,8 +506,10 @@ impl MatchingSolver for DualPrimalSolver {
     ///
     /// A round budget caps the adaptive main loop up front (the initial
     /// solution's `O(p)` sampling rounds are charged against the same limit
-    /// and checked after the run); space and oracle-iteration budgets are
-    /// verified against the run's ledger.
+    /// and checked after the run); a streamed-items budget is enforced
+    /// mid-pass by the pass engine; space and oracle-iteration budgets are
+    /// verified against the run's ledger. A `with_parallelism` override
+    /// replaces the configured worker count for this solve.
     fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
         let mut config = self.config;
         if let Some(limit) = budget.max_rounds() {
@@ -448,23 +517,39 @@ impl MatchingSolver for DualPrimalSolver {
                 config.max_rounds.unwrap_or_else(|| (2.0 * config.p / config.eps).ceil() as usize);
             config.max_rounds = Some(default_rounds.min(limit).max(1));
         }
-        let result = DualPrimalSolver { config }.solve_detailed(graph);
+        if let Some(workers) = budget.parallelism() {
+            config.parallelism = workers.max(1);
+        }
+        let result = DualPrimalSolver { config }.run(graph, budget)?;
         budget.check_tracker(&result.tracker)?;
         budget.check_oracle_iterations(result.oracle_iterations)?;
         Ok(result.into_report())
     }
 }
 
-/// `λ = min` over levelled edges of `coverage / ŵ_k`.
-fn compute_lambda(dual: &DualState, levels: &WeightLevels) -> f64 {
-    let mut lambda = f64::INFINITY;
-    for le in levels.all_edges() {
-        let cov = dual.edge_coverage(le.edge.u, le.edge.v, le.level);
-        let ratio = cov / levels.level_weight(le.level);
-        if ratio < lambda {
-            lambda = ratio;
-        }
-    }
+/// `λ = min` over levelled edges of `coverage / ŵ_k`, computed as an
+/// uncharged sharded scan (per-shard minima, merged in shard order; `min` is
+/// exact over floats, so the result is identical for any worker count).
+fn sharded_lambda(
+    engine: &PassEngine,
+    source: &GraphSource<'_>,
+    levels: &WeightLevels,
+    dual: &DualState,
+) -> f64 {
+    let mins = engine.scan_shards(
+        source,
+        |_| f64::INFINITY,
+        |acc: &mut f64, _, e| {
+            if let Some(level) = levels.level_of_weight(e.w) {
+                let cov = dual.edge_coverage(e.u, e.v, level);
+                let ratio = cov / levels.level_weight(level);
+                if ratio < *acc {
+                    *acc = ratio;
+                }
+            }
+        },
+    );
+    let lambda = mins.into_iter().fold(f64::INFINITY, f64::min);
     if lambda.is_finite() {
         lambda
     } else {
@@ -473,22 +558,38 @@ fn compute_lambda(dual: &DualState, levels: &WeightLevels) -> f64 {
 }
 
 /// The exponential multipliers `u_{ijk} = exp(-α(cov/ŵ_k - λ))/ŵ_k` for every
-/// edge of the graph (0 for edges dropped by the weight discretization).
-fn edge_multipliers(
-    graph: &Graph,
+/// edge of the graph (0 for edges dropped by the weight discretization),
+/// computed as **one charged pass**: each shard batches its `(id, value)`
+/// pairs locally, and the batches are written out in shard order. Every
+/// multiplier depends only on its own edge, so the vector is bit-identical
+/// for any worker count.
+fn sharded_multipliers(
+    engine: &mut PassEngine,
+    source: &GraphSource<'_>,
     levels: &WeightLevels,
     dual: &DualState,
     alpha: f64,
     lambda: f64,
-) -> Vec<f64> {
-    let mut out = vec![0.0f64; graph.num_edges()];
-    for le in levels.all_edges() {
-        let w_k = levels.level_weight(le.level);
-        let cov = dual.edge_coverage(le.edge.u, le.edge.v, le.level);
-        let exponent = (-(alpha * (cov / w_k - lambda))).clamp(-700.0, 700.0);
-        out[le.id] = exponent.exp() / w_k;
+) -> Result<Vec<f64>, PassError> {
+    let batches = engine.pass_shards(
+        source,
+        |shard| Vec::with_capacity(source.shard_len(shard)),
+        |acc: &mut Vec<(usize, f64)>, id, e| {
+            if let Some(level) = levels.level_of_weight(e.w) {
+                let w_k = levels.level_weight(level);
+                let cov = dual.edge_coverage(e.u, e.v, level);
+                let exponent = (-(alpha * (cov / w_k - lambda))).clamp(-700.0, 700.0);
+                acc.push((id, exponent.exp() / w_k));
+            }
+        },
+    )?;
+    let mut out = vec![0.0f64; source.num_edges()];
+    for batch in batches {
+        for (id, us) in batch {
+            out[id] = us;
+        }
     }
-    out
+    Ok(out)
 }
 
 /// Reveals the *current* multiplier values of a sparsifier's stored edges
@@ -650,6 +751,27 @@ mod tests {
         assert_eq!(res.weight, 0.0);
         assert!(res.matching.is_empty());
         assert_eq!(res.lambda, 1.0);
+    }
+
+    type ResultFingerprint = (Vec<(usize, u64)>, u64, usize, usize);
+
+    #[test]
+    fn parallelism_levels_produce_bit_identical_results() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::gnm(60, 400, WeightModel::Uniform(1.0, 8.0), &mut rng);
+        let mut reference: Option<ResultFingerprint> = None;
+        for workers in [1usize, 2, 8] {
+            let config = DualPrimalConfig { parallelism: workers, ..Default::default() };
+            let res = DualPrimalSolver::new(config).unwrap().solve_detailed(&g);
+            let mut edges: Vec<(usize, u64)> =
+                res.matching.iter().map(|(id, _, mult)| (id, mult)).collect();
+            edges.sort_unstable();
+            let fingerprint = (edges, res.weight.to_bits(), res.rounds, res.oracle_iterations);
+            match &reference {
+                None => reference = Some(fingerprint),
+                Some(r) => assert_eq!(r, &fingerprint, "parallelism {workers} diverged"),
+            }
+        }
     }
 
     #[test]

@@ -13,16 +13,25 @@
 //! * [`mapreduce`] — a generic map→shuffle→reduce round executor (with
 //!   parallel reducers) plus the edge-sampling and sketching primitives the
 //!   matching algorithms actually use, each charged as one round.
-//! * [`streaming`] — a semi-streaming pass simulator.
+//! * [`pass_engine`] — the sharded multi-threaded [`PassEngine`] executing
+//!   semi-streaming passes over [`EdgeSource`] streams with deterministic
+//!   (shard-order) merges and mid-pass budget enforcement.
+//! * [`streaming`] — the single-threaded semi-streaming wrapper kept for
+//!   existing callers, now backed by the pass engine.
 //! * [`congested_clique`] — per-vertex message accounting (Section 1's
 //!   `O(n^{1/p})`-message-per-vertex corollary).
 
 pub mod congested_clique;
 pub mod mapreduce;
+pub mod pass_engine;
 pub mod resources;
 pub mod streaming;
 
 pub use congested_clique::CongestedCliqueSim;
 pub use mapreduce::{MapReduceConfig, MapReduceSim};
+pub use pass_engine::{
+    auto_shard_count, EdgeSource, GraphSource, PassBudget, PassEngine, PassError, ShardedEdgeList,
+    SyntheticStream,
+};
 pub use resources::ResourceTracker;
 pub use streaming::StreamingSim;

@@ -1,0 +1,799 @@
+//! Sharded multi-threaded pass execution over edge streams.
+//!
+//! The paper's algorithms are defined by how they consume data: a small number
+//! of *passes* over an edge stream under a strict memory budget. The
+//! [`PassEngine`] executes such passes over **sharded** streams: an
+//! [`EdgeSource`] exposes the stream as a fixed list of shards, a pass fans
+//! the shards out across `std::thread` workers (at most
+//! [`PassEngine::parallelism`] at a time), each worker folds its shards into a
+//! private accumulator with a private resource ledger, and the per-shard
+//! results are merged **in shard order** — so the outcome is bit-identical for
+//! any worker count. Order-dependent consumers (one-pass replacement
+//! matching) use [`PassEngine::pass_sequential_until`], which visits the
+//! shards in index order on the calling thread but still gets the engine's
+//! accounting and budget enforcement.
+//!
+//! Budgets are enforced *during* the pass: [`PassBudget::max_items_streamed`]
+//! is checked every [`PassEngine::batch_size`] edges, so an exhausted budget
+//! interrupts the pass mid-shard with [`PassError::BudgetExceeded`] and a
+//! ledger that reflects exactly the edges actually visited — never a panic.
+//!
+//! The number of shards is a property of the *source*, not of the engine:
+//! changing `parallelism` changes how many threads consume the shards, never
+//! how the stream is split, which is what makes results reproducible across
+//! machines and worker counts.
+
+use crate::resources::ResourceTracker;
+use mwm_graph::{Edge, EdgeId, Graph, VertexId};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default number of edges folded between two budget checks (and the batch
+/// granularity of the shared streamed-items counter).
+pub const DEFAULT_BATCH: usize = 1024;
+
+/// Upper bound on the automatic shard count of [`GraphSource::auto`] /
+/// [`SyntheticStream::new`].
+pub const MAX_AUTO_SHARDS: usize = 64;
+
+/// Streams smaller than this run on the calling thread regardless of the
+/// configured parallelism: below it, thread spawn/join costs more than the
+/// fold itself (the dual-primal λ refinement scans run once per oracle
+/// iteration, so this matters). Results are unaffected — per-shard folds and
+/// the shard-order merge are identical either way.
+pub const MIN_PARALLEL_ITEMS: usize = 1 << 13;
+
+/// Picks a shard count for a stream of `m` edges: enough shards that every
+/// worker count up to [`MAX_AUTO_SHARDS`] can be kept busy, but never so many
+/// that shards degenerate into tiny fragments. Depends only on `m`, never on
+/// the worker count, so sharding (and therefore merge order) is stable.
+pub fn auto_shard_count(m: usize) -> usize {
+    (m / 2048).clamp(1, MAX_AUTO_SHARDS)
+}
+
+/// A sharded edge stream: the read-only input of the paper's model.
+///
+/// A source splits its stream into `num_shards` fixed sub-streams. Within a
+/// shard, edges have a fixed order; across shards, the concatenation in shard
+/// index order is *the* stream order. Implementations must be cheap to read
+/// from multiple threads (`Sync`).
+pub trait EdgeSource: Sync {
+    /// Number of vertices of the underlying graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Total number of edges across all shards.
+    fn num_edges(&self) -> usize;
+
+    /// Number of shards (always at least 1).
+    fn num_shards(&self) -> usize;
+
+    /// Number of edges in one shard.
+    fn shard_len(&self, shard: usize) -> usize;
+
+    /// Visits the shard's edges in stream order. `visit` returns `false` to
+    /// stop early (used by the engine for budget aborts and early exits).
+    fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool);
+}
+
+/// An in-memory [`Graph`] exposed as contiguous edge-id ranges.
+pub struct GraphSource<'a> {
+    graph: &'a Graph,
+    num_shards: usize,
+}
+
+impl<'a> GraphSource<'a> {
+    /// Splits the graph's edge list into `num_shards` contiguous ranges
+    /// (clamped to `[1, num_edges.max(1)]`).
+    pub fn new(graph: &'a Graph, num_shards: usize) -> Self {
+        let num_shards = num_shards.clamp(1, graph.num_edges().max(1));
+        GraphSource { graph, num_shards }
+    }
+
+    /// Splits with the automatic shard count of [`auto_shard_count`].
+    pub fn auto(graph: &'a Graph) -> Self {
+        Self::new(graph, auto_shard_count(graph.num_edges()))
+    }
+
+    fn bounds(&self, shard: usize) -> (usize, usize) {
+        let m = self.graph.num_edges();
+        (shard * m / self.num_shards, (shard + 1) * m / self.num_shards)
+    }
+}
+
+impl EdgeSource for GraphSource<'_> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    fn shard_len(&self, shard: usize) -> usize {
+        let (lo, hi) = self.bounds(shard);
+        hi - lo
+    }
+
+    fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool) {
+        let (lo, hi) = self.bounds(shard);
+        for id in lo..hi {
+            if !visit(id, self.graph.edge(id)) {
+                return;
+            }
+        }
+    }
+}
+
+/// A pre-partitioned stream: shards own their `(EdgeId, Edge)` lists, as they
+/// would after a shuffle onto different machines.
+pub struct ShardedEdgeList {
+    n: usize,
+    shards: Vec<Vec<(EdgeId, Edge)>>,
+    total: usize,
+}
+
+impl ShardedEdgeList {
+    /// Wraps explicit shards over an `n`-vertex graph. Empty shard lists are
+    /// replaced by a single empty shard so `num_shards >= 1` holds.
+    pub fn new(n: usize, mut shards: Vec<Vec<(EdgeId, Edge)>>) -> Self {
+        if shards.is_empty() {
+            shards.push(Vec::new());
+        }
+        let total = shards.iter().map(|s| s.len()).sum();
+        ShardedEdgeList { n, shards, total }
+    }
+
+    /// Partitions a graph's edges round-robin into `num_shards` shards —
+    /// a stand-in for data that arrived pre-sharded by an upstream system.
+    pub fn from_graph(graph: &Graph, num_shards: usize) -> Self {
+        let k = num_shards.clamp(1, graph.num_edges().max(1));
+        let mut shards: Vec<Vec<(EdgeId, Edge)>> = vec![Vec::new(); k];
+        for (id, e) in graph.edge_iter() {
+            shards[id % k].push((id, e));
+        }
+        ShardedEdgeList::new(graph.num_vertices(), shards)
+    }
+}
+
+impl EdgeSource for ShardedEdgeList {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.total
+    }
+
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool) {
+        for &(id, e) in &self.shards[shard] {
+            if !visit(id, e) {
+                return;
+            }
+        }
+    }
+}
+
+/// A generator-backed synthetic stream: edges are derived deterministically
+/// from `(seed, edge id)` and never materialized, so streams far larger than
+/// memory can be driven through the engine (throughput experiment E11).
+pub struct SyntheticStream {
+    n: usize,
+    m: usize,
+    seed: u64,
+    num_shards: usize,
+}
+
+impl SyntheticStream {
+    /// A stream of `m` pseudo-random edges over `n >= 2` vertices with weights
+    /// in `[1, 10)`, sharded by [`auto_shard_count`].
+    pub fn new(n: usize, m: usize, seed: u64) -> Self {
+        Self::with_shards(n, m, seed, auto_shard_count(m))
+    }
+
+    /// Same, with an explicit shard count.
+    pub fn with_shards(n: usize, m: usize, seed: u64, num_shards: usize) -> Self {
+        assert!(n >= 2, "a synthetic stream needs at least two vertices");
+        SyntheticStream { n, m, seed, num_shards: num_shards.clamp(1, m.max(1)) }
+    }
+
+    /// The edge at global stream position `id` (pure function of seed and id).
+    pub fn edge_at(&self, id: usize) -> Edge {
+        let h1 = splitmix64(self.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let h2 = splitmix64(h1);
+        let h3 = splitmix64(h2);
+        let u = (h1 % self.n as u64) as VertexId;
+        let mut v = (h2 % (self.n as u64 - 1)) as VertexId;
+        if v >= u {
+            v += 1;
+        }
+        let w = 1.0 + 9.0 * ((h3 >> 11) as f64 / (1u64 << 53) as f64);
+        Edge::new(u, v, w)
+    }
+
+    fn bounds(&self, shard: usize) -> (usize, usize) {
+        (shard * self.m / self.num_shards, (shard + 1) * self.m / self.num_shards)
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer, used so edge `id` maps to the
+/// same endpoints and weight on every platform and run.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl EdgeSource for SyntheticStream {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    fn shard_len(&self, shard: usize) -> usize {
+        let (lo, hi) = self.bounds(shard);
+        hi - lo
+    }
+
+    fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool) {
+        let (lo, hi) = self.bounds(shard);
+        for id in lo..hi {
+            if !visit(id, self.edge_at(id)) {
+                return;
+            }
+        }
+    }
+}
+
+/// Limits enforced *while* a pass runs (checked every batch of edges).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PassBudget {
+    /// Cap on the total items streamed across the engine's lifetime.
+    pub max_items_streamed: Option<usize>,
+}
+
+/// A pass interrupted by the engine. Converted to the engine API's
+/// `MwmError::BudgetExceeded` by `mwm-core`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PassError {
+    /// The [`PassBudget`] ran out mid-pass. `used` is the exact number of
+    /// items the engine's ledger has charged at the moment it stopped.
+    BudgetExceeded {
+        /// Which resource overflowed (currently always `"streamed items"`).
+        resource: &'static str,
+        /// Items charged when the pass stopped (matches the tracker).
+        used: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::BudgetExceeded { resource, used, limit } => {
+                write!(f, "pass interrupted: {resource} used {used} > limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Executes sharded semi-streaming passes with resource accounting.
+pub struct PassEngine {
+    parallelism: usize,
+    budget: PassBudget,
+    batch: usize,
+    tracker: ResourceTracker,
+}
+
+impl PassEngine {
+    /// An engine that uses up to `parallelism` worker threads per pass
+    /// (clamped to at least 1) and no budget.
+    pub fn new(parallelism: usize) -> Self {
+        PassEngine {
+            parallelism: parallelism.max(1),
+            budget: PassBudget::default(),
+            batch: DEFAULT_BATCH,
+            tracker: ResourceTracker::new(),
+        }
+    }
+
+    /// Sets the budget enforced during passes (builder style).
+    pub fn with_budget(mut self, budget: PassBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the budget-check batch size (builder style; clamped to >= 1).
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The configured worker-thread cap.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// The batch granularity of budget checks.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// The engine's resource ledger (rounds = passes, streamed items, space).
+    pub fn tracker(&self) -> &ResourceTracker {
+        &self.tracker
+    }
+
+    /// Mutable ledger access for caller-side space accounting.
+    pub fn tracker_mut(&mut self) -> &mut ResourceTracker {
+        &mut self.tracker
+    }
+
+    /// Consumes the engine, returning its ledger for merging into a parent.
+    pub fn into_tracker(self) -> ResourceTracker {
+        self.tracker
+    }
+
+    /// Number of passes performed so far.
+    pub fn passes(&self) -> usize {
+        self.tracker.rounds()
+    }
+
+    /// Declares the current working-set size (items held in memory): the
+    /// ledger's central space is moved to `items`, tracking the peak.
+    pub fn declare_memory(&mut self, items: usize) {
+        let current = self.tracker.current_central_space();
+        if items > current {
+            self.tracker.allocate_central(items - current);
+        } else {
+            self.tracker.release_central(current - items);
+        }
+    }
+
+    /// Performs one charged pass: every shard is folded into its own
+    /// accumulator (`init(shard)` seeds it), shards run on up to
+    /// `parallelism` threads, and the accumulators are returned **in shard
+    /// index order** — bit-identical for any worker count.
+    ///
+    /// The pass charges one round plus the items actually streamed, and stops
+    /// mid-shard with [`PassError::BudgetExceeded`] if the budget runs out.
+    pub fn pass_shards<S, A, I, F>(
+        &mut self,
+        source: &S,
+        init: I,
+        fold: F,
+    ) -> Result<Vec<A>, PassError>
+    where
+        S: EdgeSource + ?Sized,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, EdgeId, Edge) + Sync,
+    {
+        self.tracker.charge_round();
+        let limit = self.budget.max_items_streamed;
+        let (accs, visited, exceeded) = self.run_shards(source, &init, &fold, limit);
+        self.tracker.charge_stream(visited);
+        if exceeded {
+            // limit is Some whenever the exceeded flag can be set.
+            let limit = limit.unwrap_or(usize::MAX);
+            return Err(PassError::BudgetExceeded {
+                resource: "streamed items",
+                used: self.tracker.items_streamed(),
+                limit,
+            });
+        }
+        Ok(accs)
+    }
+
+    /// Like [`PassEngine::pass_shards`] but merges the per-shard accumulators
+    /// in shard order into a single value.
+    pub fn pass_fold<S, A, I, F, M>(
+        &mut self,
+        source: &S,
+        init: I,
+        fold: F,
+        mut merge: M,
+    ) -> Result<A, PassError>
+    where
+        S: EdgeSource + ?Sized,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, EdgeId, Edge) + Sync,
+        M: FnMut(A, A) -> A,
+    {
+        let accs = self.pass_shards(source, init, fold)?;
+        let mut iter = accs.into_iter();
+        // num_shards >= 1 for every source, so the first accumulator exists.
+        let first = iter.next().expect("every EdgeSource has at least one shard");
+        Ok(iter.fold(first, &mut merge))
+    }
+
+    /// An **uncharged** sharded fold over the source: same fan-out and
+    /// deterministic merge order as [`PassEngine::pass_shards`], but no round
+    /// or stream charge and no budget check. For refinement scans over state
+    /// that is already in central memory.
+    pub fn scan_shards<S, A, I, F>(&self, source: &S, init: I, fold: F) -> Vec<A>
+    where
+        S: EdgeSource + ?Sized,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, EdgeId, Edge) + Sync,
+    {
+        let (accs, _, _) = self.run_shards(source, &init, &fold, None);
+        accs
+    }
+
+    /// One charged pass visiting every edge **in stream order** (shard 0
+    /// first, then shard 1, ...) on the calling thread, for order-dependent
+    /// consumers. `visit` returns `false` to stop early (the remainder of the
+    /// stream is still charged — the model charges per pass). Returns the
+    /// number of edges the visitor actually saw.
+    pub fn pass_sequential_until<S>(
+        &mut self,
+        source: &S,
+        mut visit: impl FnMut(EdgeId, Edge) -> bool,
+    ) -> Result<usize, PassError>
+    where
+        S: EdgeSource + ?Sized,
+    {
+        self.tracker.charge_round();
+        let limit = self.budget.max_items_streamed;
+        let base = self.tracker.items_streamed();
+        let batch = self.batch;
+        let mut visited = 0usize;
+        let mut stopped_by_visitor = false;
+        let mut exceeded = false;
+        for shard in 0..source.num_shards() {
+            let mut since_check = 0usize;
+            source.for_each_in_shard(shard, &mut |id, e| {
+                if since_check == 0 {
+                    if let Some(lim) = limit {
+                        if base + visited >= lim {
+                            exceeded = true;
+                            return false;
+                        }
+                    }
+                    since_check = batch;
+                }
+                since_check -= 1;
+                visited += 1;
+                if visit(id, e) {
+                    true
+                } else {
+                    stopped_by_visitor = true;
+                    false
+                }
+            });
+            if exceeded || stopped_by_visitor {
+                break;
+            }
+        }
+        if exceeded {
+            self.tracker.charge_stream(visited);
+            return Err(PassError::BudgetExceeded {
+                resource: "streamed items",
+                used: self.tracker.items_streamed(),
+                limit: limit.unwrap_or(usize::MAX),
+            });
+        }
+        // A completed pass is charged in full even if the visitor exited
+        // early: the model charges per pass, not per edge looked at.
+        self.tracker.charge_stream(source.num_edges());
+        Ok(visited)
+    }
+
+    /// [`PassEngine::pass_sequential_until`] without early exit.
+    pub fn pass_sequential<S>(
+        &mut self,
+        source: &S,
+        mut visit: impl FnMut(EdgeId, Edge),
+    ) -> Result<usize, PassError>
+    where
+        S: EdgeSource + ?Sized,
+    {
+        self.pass_sequential_until(source, |id, e| {
+            visit(id, e);
+            true
+        })
+    }
+
+    /// The shared worker loop: shards are claimed from an atomic counter,
+    /// folded locally, and collected as `(shard, acc, visited)`; the caller
+    /// gets the accumulators sorted by shard index plus the exact total of
+    /// edges visited and whether the limit tripped.
+    fn run_shards<S, A, I, F>(
+        &self,
+        source: &S,
+        init: &I,
+        fold: &F,
+        limit: Option<usize>,
+    ) -> (Vec<A>, usize, bool)
+    where
+        S: EdgeSource + ?Sized,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, EdgeId, Edge) + Sync,
+    {
+        let num_shards = source.num_shards();
+        let workers = if source.num_edges() < MIN_PARALLEL_ITEMS {
+            1
+        } else {
+            self.parallelism.min(num_shards).max(1)
+        };
+        let base = self.tracker.items_streamed();
+        let batch = self.batch;
+        let next = AtomicUsize::new(0);
+        let streamed = AtomicUsize::new(0);
+        let exceeded = AtomicBool::new(false);
+        let results: Mutex<Vec<(usize, A, usize)>> = Mutex::new(Vec::with_capacity(num_shards));
+
+        let worker = || loop {
+            let shard = next.fetch_add(1, Ordering::Relaxed);
+            if shard >= num_shards || exceeded.load(Ordering::Relaxed) {
+                break;
+            }
+            let mut acc = init(shard);
+            let mut visited = 0usize;
+            let mut since_flush = 0usize;
+            source.for_each_in_shard(shard, &mut |id, e| {
+                // Gate at the START of each batch, like the sequential path:
+                // the budget trips only when the limit is already reached AND
+                // more edges are pending. A pass whose consumption lands
+                // exactly on the limit as the stream ends succeeds.
+                if since_flush == 0 {
+                    if exceeded.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    if let Some(lim) = limit {
+                        if base + streamed.load(Ordering::Relaxed) >= lim {
+                            exceeded.store(true, Ordering::Relaxed);
+                            return false;
+                        }
+                    }
+                }
+                fold(&mut acc, id, e);
+                visited += 1;
+                since_flush += 1;
+                if since_flush == batch {
+                    since_flush = 0;
+                    streamed.fetch_add(batch, Ordering::Relaxed);
+                }
+                true
+            });
+            if since_flush > 0 {
+                streamed.fetch_add(since_flush, Ordering::Relaxed);
+            }
+            results.lock().expect("pass worker panicked").push((shard, acc, visited));
+        };
+
+        if workers == 1 {
+            worker();
+        } else {
+            let worker_ref = &worker;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker_ref);
+                }
+            });
+        }
+
+        let mut results = results.into_inner().expect("pass worker panicked");
+        results.sort_unstable_by_key(|r| r.0);
+        let visited_total: usize = results.iter().map(|r| r.2).sum();
+        let tripped = exceeded.into_inner();
+        (results.into_iter().map(|(_, a, _)| a).collect(), visited_total, tripped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwm_graph::generators::{self, WeightModel};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn graph(m: usize) -> Graph {
+        let mut rng = StdRng::seed_from_u64(7);
+        generators::gnm(64, m, WeightModel::Uniform(1.0, 9.0), &mut rng)
+    }
+
+    #[test]
+    fn pass_visits_every_edge_exactly_once() {
+        let g = graph(500);
+        let src = GraphSource::new(&g, 7);
+        let mut engine = PassEngine::new(4);
+        let counts = engine
+            .pass_fold(
+                &src,
+                |_| vec![0usize; g.num_edges()],
+                |acc, id, _| acc[id] += 1,
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+            .unwrap();
+        assert!(counts.iter().all(|&c| c == 1));
+        assert_eq!(engine.passes(), 1);
+        assert_eq!(engine.tracker().items_streamed(), g.num_edges());
+    }
+
+    #[test]
+    fn shard_results_are_bit_identical_across_worker_counts() {
+        // Big enough (> MIN_PARALLEL_ITEMS) that multi-worker runs really
+        // spawn threads rather than falling back to the calling thread.
+        let src = SyntheticStream::new(500, 50_000, 9);
+        assert!(src.num_edges() >= MIN_PARALLEL_ITEMS);
+        let fold = |acc: &mut f64, _: EdgeId, e: Edge| {
+            *acc += (e.w * 1.000001).ln().exp();
+        };
+        let mut reference: Option<Vec<u64>> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let mut engine = PassEngine::new(workers);
+            let sums = engine.pass_shards(&src, |_| 0.0f64, fold).unwrap();
+            let bits: Vec<u64> = sums.iter().map(|s| s.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(r, &bits, "workers={workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_pass_preserves_stream_order() {
+        let g = graph(400);
+        let src = GraphSource::new(&g, 5);
+        let mut engine = PassEngine::new(8); // parallelism must not affect order
+        let mut seen = Vec::new();
+        engine.pass_sequential(&src, |id, _| seen.push(id)).unwrap();
+        assert_eq!(seen, (0..g.num_edges()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn early_exit_still_charges_the_full_pass() {
+        let g = graph(400);
+        let src = GraphSource::auto(&g);
+        let mut engine = PassEngine::new(1);
+        let mut count = 0;
+        let visited = engine
+            .pass_sequential_until(&src, |_, _| {
+                count += 1;
+                count < 5
+            })
+            .unwrap();
+        assert_eq!(visited, 5);
+        assert_eq!(engine.tracker().items_streamed(), g.num_edges());
+        assert_eq!(engine.passes(), 1);
+    }
+
+    #[test]
+    fn budget_interrupts_mid_shard_with_accurate_ledger() {
+        let src = SyntheticStream::with_shards(500, 50_000, 3, 4);
+        let limit = 9000;
+        let mut engine = PassEngine::new(2)
+            .with_budget(PassBudget { max_items_streamed: Some(limit) })
+            .with_batch_size(16);
+        let err = engine.pass_shards(&src, |_| 0usize, |acc, _, _| *acc += 1).unwrap_err();
+        match err {
+            PassError::BudgetExceeded { resource, used, limit: l } => {
+                assert_eq!(resource, "streamed items");
+                assert_eq!(l, limit);
+                assert_eq!(used, engine.tracker().items_streamed(), "ledger must match error");
+                assert!(used >= limit, "stopped before the limit tripped");
+                // Overshoot is bounded by one batch per worker.
+                assert!(used <= limit + 2 * 16 + 2, "used {used} overshoots too far");
+            }
+        }
+        assert_eq!(engine.passes(), 1, "the interrupted pass is still one round");
+    }
+
+    #[test]
+    fn consumption_exactly_at_the_limit_succeeds() {
+        // The budget gates the NEXT batch: a pass whose total consumption
+        // lands exactly on the limit as the stream ends must succeed, on both
+        // the parallel and the sequential path (and match the post-hoc
+        // `used > limit` convention of the engine API's budget checks).
+        let m = 2048;
+        let src = SyntheticStream::with_shards(100, m, 5, 2);
+        for workers in [1usize, 4] {
+            let mut engine =
+                PassEngine::new(workers).with_budget(PassBudget { max_items_streamed: Some(m) });
+            let count: usize = engine
+                .pass_fold(&src, |_| 0usize, |acc, _, _| *acc += 1, |a, b| a + b)
+                .unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+            assert_eq!(count, m);
+        }
+        let mut engine = PassEngine::new(1).with_budget(PassBudget { max_items_streamed: Some(m) });
+        let visited = engine.pass_sequential(&src, |_, _| {}).unwrap();
+        assert_eq!(visited, m);
+    }
+
+    #[test]
+    fn sequential_budget_interrupt_is_exact() {
+        let g = graph(1000);
+        let src = GraphSource::auto(&g);
+        let mut engine = PassEngine::new(1)
+            .with_budget(PassBudget { max_items_streamed: Some(64) })
+            .with_batch_size(8);
+        let err = engine.pass_sequential(&src, |_, _| {}).unwrap_err();
+        let PassError::BudgetExceeded { used, .. } = err;
+        assert_eq!(used, engine.tracker().items_streamed());
+        assert!((64..64 + 8).contains(&used));
+    }
+
+    #[test]
+    fn sharded_edge_list_round_trips_the_graph() {
+        let g = graph(600);
+        let src = ShardedEdgeList::from_graph(&g, 5);
+        assert_eq!(src.num_edges(), g.num_edges());
+        assert_eq!(src.num_shards(), 5);
+        let mut engine = PassEngine::new(3);
+        let weight: f64 = engine
+            .pass_fold(&src, |_| 0.0, |acc: &mut f64, _, e| *acc += e.w, |a, b| a + b)
+            .unwrap();
+        let direct: f64 = g.total_weight();
+        assert!((weight - direct).abs() < 1e-9 * direct.max(1.0));
+    }
+
+    #[test]
+    fn synthetic_stream_is_deterministic_and_loop_free() {
+        let s1 = SyntheticStream::new(100, 5000, 42);
+        let s2 = SyntheticStream::new(100, 5000, 42);
+        for id in [0usize, 1, 999, 4999] {
+            let a = s1.edge_at(id);
+            let b = s2.edge_at(id);
+            assert_eq!((a.u, a.v, a.w.to_bits()), (b.u, b.v, b.w.to_bits()));
+            assert_ne!(a.u, a.v, "self-loop at id {id}");
+            assert!(a.w >= 1.0 && a.w < 10.0);
+            assert!((a.u as usize) < 100 && (a.v as usize) < 100);
+        }
+        let mut engine = PassEngine::new(4);
+        let count = engine.pass_fold(&s1, |_| 0usize, |acc, _, _| *acc += 1, |a, b| a + b).unwrap();
+        assert_eq!(count, 5000);
+    }
+
+    #[test]
+    fn auto_shard_count_is_stable_and_bounded() {
+        assert_eq!(auto_shard_count(0), 1);
+        assert_eq!(auto_shard_count(100), 1);
+        assert!(auto_shard_count(1 << 20) <= MAX_AUTO_SHARDS);
+        assert_eq!(auto_shard_count(50_000), auto_shard_count(50_000));
+    }
+
+    #[test]
+    fn scan_shards_is_uncharged() {
+        let g = graph(300);
+        let src = GraphSource::auto(&g);
+        let engine = PassEngine::new(2);
+        let sums = engine.scan_shards(&src, |_| 0.0f64, |acc, _, e| *acc += e.w);
+        let total: f64 = sums.iter().sum();
+        assert!((total - g.total_weight()).abs() < 1e-9 * g.total_weight());
+        assert_eq!(engine.tracker().rounds(), 0);
+        assert_eq!(engine.tracker().items_streamed(), 0);
+    }
+}

@@ -1,79 +1,76 @@
 //! Semi-streaming pass simulator.
 //!
 //! The semi-streaming model allows `O(n · polylog n)` working memory and
-//! charges one *pass* per sequential scan of the edge list. The simulator
-//! wraps a graph's edge list, counts passes, and tracks the caller's declared
-//! working-set size so experiments can confirm the memory stays near-linear
-//! in `n` (and, for the one-pass sparsifier of Algorithm 6, that a single pass
-//! suffices).
+//! charges one *pass* per sequential scan of the edge list. [`StreamingSim`]
+//! is the single-threaded convenience wrapper kept for existing callers: it
+//! drives a one-shard [`GraphSource`] through a [`PassEngine`] so passes,
+//! streamed items and memory declarations land in the same ledger the engine
+//! maintains. New code that wants sharding, multi-threaded passes or mid-pass
+//! budget enforcement should use [`PassEngine`] directly (see the crate docs
+//! and `README.md`).
 
+use crate::pass_engine::{GraphSource, PassEngine};
 use crate::resources::ResourceTracker;
 use mwm_graph::{Edge, EdgeId, Graph};
 
 /// A simulated semi-streaming execution over a fixed graph.
+///
+/// Thin wrapper over [`PassEngine`] with one shard and one worker, preserving
+/// the historical single-threaded pass semantics exactly.
 pub struct StreamingSim<'a> {
     graph: &'a Graph,
-    tracker: ResourceTracker,
+    engine: PassEngine,
 }
 
 impl<'a> StreamingSim<'a> {
     /// Creates a simulator over `graph`.
     pub fn new(graph: &'a Graph) -> Self {
-        StreamingSim { graph, tracker: ResourceTracker::new() }
+        StreamingSim { graph, engine: PassEngine::new(1) }
     }
 
     /// The resource ledger (passes are recorded as rounds).
     pub fn tracker(&self) -> &ResourceTracker {
-        &self.tracker
+        self.engine.tracker()
     }
 
     /// Mutable ledger access for caller-side memory accounting.
     pub fn tracker_mut(&mut self) -> &mut ResourceTracker {
-        &mut self.tracker
+        self.engine.tracker_mut()
     }
 
     /// Performs one pass, invoking `visit` on every edge in stream order.
-    pub fn pass(&mut self, mut visit: impl FnMut(EdgeId, Edge)) {
-        self.tracker.charge_round();
-        self.tracker.charge_stream(self.graph.num_edges());
-        for (id, e) in self.graph.edge_iter() {
-            visit(id, e);
-        }
+    pub fn pass(&mut self, visit: impl FnMut(EdgeId, Edge)) {
+        let source = GraphSource::new(self.graph, 1);
+        self.engine
+            .pass_sequential(&source, visit)
+            .expect("an unbudgeted engine cannot interrupt a pass");
     }
 
     /// Performs one pass with early exit: `visit` returns `false` to stop
     /// (the pass is still charged in full — the model charges per pass).
-    pub fn pass_until(&mut self, mut visit: impl FnMut(EdgeId, Edge) -> bool) {
-        self.tracker.charge_round();
-        self.tracker.charge_stream(self.graph.num_edges());
-        for (id, e) in self.graph.edge_iter() {
-            if !visit(id, e) {
-                break;
-            }
-        }
+    pub fn pass_until(&mut self, visit: impl FnMut(EdgeId, Edge) -> bool) {
+        let source = GraphSource::new(self.graph, 1);
+        self.engine
+            .pass_sequential_until(&source, visit)
+            .expect("an unbudgeted engine cannot interrupt a pass");
     }
 
     /// Number of passes performed so far.
     pub fn passes(&self) -> usize {
-        self.tracker.rounds()
+        self.engine.passes()
     }
 
     /// Declares the current working-set size (items held in memory).
     pub fn declare_memory(&mut self, items: usize) {
         // Model working memory as central space so the same budget checks apply.
-        let current = self.tracker.current_central_space();
-        if items > current {
-            self.tracker.allocate_central(items - current);
-        } else {
-            self.tracker.release_central(current - items);
-        }
+        self.engine.declare_memory(items);
     }
 
     /// True if the peak declared memory is `≤ constant · n · (log n)^2` — the
     /// semi-streaming budget.
     pub fn within_semi_streaming_budget(&self, constant: f64) -> bool {
         let n = self.graph.num_vertices().max(2) as f64;
-        (self.tracker.peak_central_space() as f64) <= constant * n * n.ln() * n.ln()
+        (self.tracker().peak_central_space() as f64) <= constant * n * n.ln() * n.ln()
     }
 }
 
@@ -108,6 +105,7 @@ mod tests {
         });
         assert_eq!(count, 5);
         assert_eq!(sim.passes(), 1);
+        assert_eq!(sim.tracker().items_streamed(), g.num_edges(), "pass charged in full");
     }
 
     #[test]

@@ -123,7 +123,11 @@ fn rotate_pass(
             }
         }
     }
-    let matched_ids: Vec<EdgeId> = in_matching.keys().copied().collect();
+    // Fixed processing order: HashMap iteration order varies between runs,
+    // and the rotate augmentations are order-sensitive, so an unsorted walk
+    // makes the whole solver nondeterministic run-to-run.
+    let mut matched_ids: Vec<EdgeId> = in_matching.keys().copied().collect();
+    matched_ids.sort_unstable();
     let mut improved = false;
     for id in matched_ids {
         if !in_matching.contains_key(&id) {

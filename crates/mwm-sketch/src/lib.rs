@@ -27,7 +27,7 @@ pub mod spanning_forest;
 
 pub use graph_sketch::{EdgeSample, GraphSketcher, VertexSketch};
 pub use l0::L0Sampler;
-pub use one_sparse::OneSparse;
+pub use one_sparse::{Decode, OneSparse};
 pub use spanning_forest::{
     sketch_connected_components, sketch_spanning_forest, SketchForestResult,
 };

@@ -85,18 +85,23 @@ pub mod engine {
         SolveReport,
     };
 
-    use mwm_core::DualPrimalSolver;
+    use mwm_core::{DualPrimalConfig, DualPrimalSolver};
     use mwm_graph::Graph;
     use std::collections::BTreeMap;
 
-    type SolverFactory = Box<dyn Fn() -> Result<Box<dyn MatchingSolver>, MwmError> + Send + Sync>;
+    /// A factory receives the requested pass-engine parallelism (worker
+    /// threads per streaming pass, ≥ 1) and builds a configured solver.
+    type SolverFactory =
+        Box<dyn Fn(usize) -> Result<Box<dyn MatchingSolver>, MwmError> + Send + Sync>;
 
     /// A registry of named solver factories.
     ///
     /// [`SolverRegistry::default`] knows every built-in solver; custom
     /// backends register factories under new names and are then selectable
     /// exactly like the built-ins — the seam all multi-backend work (sharded,
-    /// async, remote) plugs into.
+    /// async, remote) plugs into. Every factory is handed the requested
+    /// parallelism, so `registry.solve(name, &g, &budget.with_parallelism(8))`
+    /// threads the knob from the caller down to the solver's `PassEngine`.
     pub struct SolverRegistry {
         factories: BTreeMap<String, SolverFactory>,
     }
@@ -110,14 +115,17 @@ pub mod engine {
         /// A registry with every built-in solver under its canonical name.
         pub fn with_default_solvers() -> Self {
             let mut reg = SolverRegistry::empty();
-            reg.register("dual-primal", || {
-                Ok(Box::new(DualPrimalSolver::default()) as Box<dyn MatchingSolver>)
+            reg.register("dual-primal", |workers| {
+                let config = DualPrimalConfig { parallelism: workers.max(1), ..Default::default() };
+                Ok(Box::new(DualPrimalSolver::new(config)?) as Box<dyn MatchingSolver>)
             });
-            reg.register("streaming-greedy", || {
-                Ok(Box::new(StreamingGreedy::default()) as Box<dyn MatchingSolver>)
+            reg.register("streaming-greedy", |workers| {
+                Ok(Box::new(StreamingGreedy::default().with_parallelism(workers))
+                    as Box<dyn MatchingSolver>)
             });
-            reg.register("lattanzi-filtering", || {
-                Ok(Box::new(LattanziFiltering::default()) as Box<dyn MatchingSolver>)
+            reg.register("lattanzi-filtering", |workers| {
+                Ok(Box::new(LattanziFiltering::default().with_parallelism(workers))
+                    as Box<dyn MatchingSolver>)
             });
             for strategy in [
                 OfflineStrategy::Auto,
@@ -125,25 +133,40 @@ pub mod engine {
                 OfflineStrategy::LocalSearch,
                 OfflineStrategy::Exact,
             ] {
-                reg.register(strategy.name(), move || {
+                // The offline substrates hold the whole instance in memory and
+                // have no pass loop; the knob is accepted and ignored.
+                reg.register(strategy.name(), move |_workers| {
                     Ok(Box::new(OfflineSolver::new(strategy)) as Box<dyn MatchingSolver>)
                 });
             }
             reg
         }
 
-        /// Registers (or replaces) a factory under `name`.
+        /// Registers (or replaces) a factory under `name`. The factory is
+        /// called with the requested pass-engine parallelism.
         pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
         where
-            F: Fn() -> Result<Box<dyn MatchingSolver>, MwmError> + Send + Sync + 'static,
+            F: Fn(usize) -> Result<Box<dyn MatchingSolver>, MwmError> + Send + Sync + 'static,
         {
             self.factories.insert(name.into(), Box::new(factory));
         }
 
-        /// Instantiates the solver registered under `name`.
+        /// Instantiates the solver registered under `name` with the default
+        /// single-worker pass engine.
         pub fn create(&self, name: &str) -> Result<Box<dyn MatchingSolver>, MwmError> {
+            self.create_with_parallelism(name, 1)
+        }
+
+        /// Instantiates the solver registered under `name` with a pass engine
+        /// of up to `workers` threads. Results are independent of `workers`
+        /// for every built-in solver; only wall-clock time changes.
+        pub fn create_with_parallelism(
+            &self,
+            name: &str,
+            workers: usize,
+        ) -> Result<Box<dyn MatchingSolver>, MwmError> {
             match self.factories.get(name) {
-                Some(factory) => factory(),
+                Some(factory) => factory(workers.max(1)),
                 None => {
                     Err(MwmError::UnknownSolver { name: name.to_string(), available: self.names() })
                 }
@@ -161,13 +184,17 @@ pub mod engine {
         }
 
         /// Convenience: instantiate `name` and solve `graph` within `budget`.
+        /// A `budget.with_parallelism(..)` override reaches the factory, so
+        /// this is the one-call path from "caller wants 8 workers" to a
+        /// multi-threaded pass engine.
         pub fn solve(
             &self,
             name: &str,
             graph: &Graph,
             budget: &ResourceBudget,
         ) -> Result<SolveReport, MwmError> {
-            self.create(name)?.solve(graph, budget)
+            self.create_with_parallelism(name, budget.parallelism().unwrap_or(1))?
+                .solve(graph, budget)
         }
     }
 
@@ -237,12 +264,33 @@ mod tests {
     #[test]
     fn custom_factories_are_selectable() {
         let mut reg = SolverRegistry::empty();
-        reg.register("custom-greedy", || {
+        reg.register("custom-greedy", |_workers| {
             Ok(Box::new(crate::engine::OfflineSolver::new(crate::engine::OfflineStrategy::Greedy))
                 as _)
         });
         assert!(reg.contains("custom-greedy"));
         let g = mwm_graph::Graph::new(2);
         assert!(reg.solve("custom-greedy", &g, &ResourceBudget::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn parallelism_reaches_factories_through_the_budget() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnm(30, 150, WeightModel::Uniform(1.0, 9.0), &mut rng);
+        let reg = SolverRegistry::default();
+        let budget1 = ResourceBudget::unlimited().with_parallelism(1);
+        let budget8 = ResourceBudget::unlimited().with_parallelism(8);
+        for name in ["dual-primal", "streaming-greedy", "lattanzi-filtering"] {
+            let a = reg.solve(name, &g, &budget1).unwrap();
+            let b = reg.solve(name, &g, &budget8).unwrap();
+            assert_eq!(
+                a.weight.to_bits(),
+                b.weight.to_bits(),
+                "{name}: parallelism changed the result"
+            );
+            assert_eq!(a.rounds(), b.rounds(), "{name}: parallelism changed the pass count");
+        }
+        // Explicit instantiation at a worker count also works.
+        assert!(reg.create_with_parallelism("dual-primal", 4).is_ok());
     }
 }

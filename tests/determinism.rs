@@ -1,0 +1,121 @@
+//! Determinism suite for the sharded pass engine: the same seed must produce
+//! *bit-identical* `SolveReport`s — matching, weight bits, pass counts,
+//! oracle iterations — for every `parallelism` setting, and identical reports
+//! across repeated runs at the same parallelism.
+
+use dual_primal_matching::engine::{ResourceBudget, SolverRegistry};
+use dual_primal_matching::graph::generators::{self, WeightModel};
+use dual_primal_matching::graph::Graph;
+use dual_primal_matching::solver::SolveReport;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The comparable essence of a report: matching as sorted (edge id,
+/// multiplicity) pairs, the weight's exact bits, and the pass accounting.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    edges: Vec<(usize, u64)>,
+    weight_bits: u64,
+    rounds: usize,
+    oracle_iterations: usize,
+    items_streamed: usize,
+}
+
+fn fingerprint(report: &SolveReport) -> Fingerprint {
+    let mut edges: Vec<(usize, u64)> =
+        report.matching.iter().map(|(id, _, mult)| (id, mult)).collect();
+    edges.sort_unstable();
+    Fingerprint {
+        edges,
+        weight_bits: report.weight.to_bits(),
+        rounds: report.rounds(),
+        oracle_iterations: report.oracle_iterations,
+        items_streamed: report.tracker.items_streamed(),
+    }
+}
+
+fn workload(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Big enough that GraphSource::auto splits into several shards AND the
+    // stream clears MIN_PARALLEL_ITEMS, so multi-worker runs genuinely spawn
+    // threads and interleave.
+    generators::gnm(200, 12_000, WeightModel::Uniform(1.0, 9.0), &mut rng)
+}
+
+const STREAMING_SOLVERS: [&str; 3] = ["dual-primal", "streaming-greedy", "lattanzi-filtering"];
+
+#[test]
+fn reports_are_bit_identical_for_parallelism_1_2_8() {
+    let g = workload(42);
+    let registry = SolverRegistry::default();
+    for name in STREAMING_SOLVERS {
+        let mut reference: Option<Fingerprint> = None;
+        for workers in [1usize, 2, 8] {
+            let budget = ResourceBudget::unlimited().with_parallelism(workers);
+            let report = registry.solve(name, &g, &budget).unwrap();
+            let fp = fingerprint(&report);
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => {
+                    assert_eq!(r, &fp, "{name}: parallelism {workers} diverged from parallelism 1")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_at_the_same_parallelism_are_identical() {
+    let g = workload(43);
+    let registry = SolverRegistry::default();
+    for name in STREAMING_SOLVERS {
+        for workers in [2usize, 8] {
+            let budget = ResourceBudget::unlimited().with_parallelism(workers);
+            let first = fingerprint(&registry.solve(name, &g, &budget).unwrap());
+            let second = fingerprint(&registry.solve(name, &g, &budget).unwrap());
+            assert_eq!(first, second, "{name} at parallelism {workers} is not reproducible");
+        }
+    }
+}
+
+#[test]
+fn pass_counts_are_independent_of_parallelism() {
+    // Sharper than the fingerprint: the *model-level* accounting (passes over
+    // the stream, items streamed) must not depend on how many threads
+    // consumed the shards — parallelism is a wall-clock knob, not a model
+    // change.
+    let g = workload(44);
+    let registry = SolverRegistry::default();
+    for name in STREAMING_SOLVERS {
+        let base =
+            registry.solve(name, &g, &ResourceBudget::unlimited().with_parallelism(1)).unwrap();
+        for workers in [2usize, 8] {
+            let rep = registry
+                .solve(name, &g, &ResourceBudget::unlimited().with_parallelism(workers))
+                .unwrap();
+            assert_eq!(base.rounds(), rep.rounds(), "{name}: pass count changed");
+            assert_eq!(
+                base.tracker.items_streamed(),
+                rep.tracker.items_streamed(),
+                "{name}: stream accounting changed"
+            );
+        }
+    }
+}
+
+#[test]
+fn configured_parallelism_matches_budget_override() {
+    // The two ways of threading the knob — solver config vs budget override —
+    // must agree bit-for-bit.
+    use dual_primal_matching::prelude::*;
+    let g = workload(45);
+    let configured =
+        DualPrimalSolver::new(DualPrimalConfig::builder().parallelism(4).build().unwrap())
+            .unwrap()
+            .solve(&g, &ResourceBudget::unlimited())
+            .unwrap();
+    let overridden = DualPrimalSolver::default()
+        .solve(&g, &ResourceBudget::unlimited().with_parallelism(4))
+        .unwrap();
+    assert_eq!(fingerprint(&configured), fingerprint(&overridden));
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the `mwm-sketch` primitives: exact 1-sparse
+//! recovery, ℓ0-sampler support soundness under merges and deletions, and
+//! sketch-based spanning-forest connectivity checked against a naive
+//! breadth-first oracle on random small graphs.
+
+use dual_primal_matching::graph::generators::{self, WeightModel};
+use dual_primal_matching::graph::Graph;
+use dual_primal_matching::sketch::{sketch_spanning_forest, Decode, L0Sampler, OneSparse};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Naive connectivity oracle: BFS labels, no union-find, no sketches.
+fn bfs_components(n: usize, edges: &[(u32, u32)]) -> Vec<usize> {
+    let mut adj = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        adj[u as usize].push(v as usize);
+        adj[v as usize].push(u as usize);
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        label[s] = next;
+        let mut queue = vec![s];
+        while let Some(v) = queue.pop() {
+            for &w in &adj[v] {
+                if label[w] == usize::MAX {
+                    label[w] = next;
+                    queue.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// One-sparse detection is exact: a vector that nets out to 0 decodes as
+    /// `Zero`, exactly one surviving coordinate decodes to its index and
+    /// value, and anything denser is flagged `Many` by the fingerprint.
+    #[test]
+    fn one_sparse_detection_matches_reference(
+        seed in 0u64..1000,
+        updates in proptest::collection::vec((0u64..64, -4i64..5), 1..40),
+    ) {
+        let mut sketch = OneSparse::new(seed);
+        let mut reference: HashMap<u64, i64> = HashMap::new();
+        for &(idx, delta) in &updates {
+            sketch.update(idx, delta);
+            *reference.entry(idx).or_insert(0) += delta;
+        }
+        reference.retain(|_, v| *v != 0);
+        match reference.len() {
+            0 => prop_assert_eq!(sketch.decode(), Decode::Zero),
+            1 => {
+                let (&idx, &val) = reference.iter().next().unwrap();
+                prop_assert_eq!(sketch.decode(), Decode::One(idx, val));
+            }
+            _ => prop_assert_eq!(sketch.decode(), Decode::Many),
+        }
+    }
+
+    /// ℓ0-sampler support soundness survives merging: sampling the merged
+    /// sketch of two update streams only ever returns a coordinate of the
+    /// *combined* support, with its exact net value.
+    #[test]
+    fn l0_sampler_merge_respects_combined_support(
+        seed in 0u64..500,
+        left in proptest::collection::vec((0u64..512, -3i64..4), 1..40),
+        right in proptest::collection::vec((0u64..512, -3i64..4), 1..40),
+    ) {
+        let domain = 512;
+        let mut a = L0Sampler::new(domain, seed);
+        let mut b = L0Sampler::new(domain, seed);
+        let mut reference: HashMap<u64, i64> = HashMap::new();
+        for &(idx, delta) in &left {
+            a.update(idx, delta);
+            *reference.entry(idx).or_insert(0) += delta;
+        }
+        for &(idx, delta) in &right {
+            b.update(idx, delta);
+            *reference.entry(idx).or_insert(0) += delta;
+        }
+        a.merge(&b);
+        reference.retain(|_, v| *v != 0);
+        match a.sample() {
+            Some((idx, val)) => prop_assert_eq!(reference.get(&idx), Some(&val)),
+            None => {
+                // Failure is allowed only with small constant probability on
+                // a genuinely non-empty support; a 1-sparse vector must hit.
+                if reference.len() == 1 {
+                    prop_assert!(false, "sampler missed a 1-sparse merged vector");
+                }
+            }
+        }
+    }
+
+    /// Sketch-recovered spanning forests agree with the naive BFS oracle on
+    /// random small graphs: same component count, same partition, and the
+    /// forest has exactly `n - #components` real edges.
+    #[test]
+    fn sketch_spanning_forest_matches_bfs_oracle(
+        seed in 0u64..400,
+        n in 4usize..36,
+        deg in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm(n, n * deg / 2, WeightModel::Unit, &mut rng);
+        let oracle = bfs_components(n, &g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>());
+        let oracle_count = oracle.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+
+        let result = sketch_spanning_forest(&g, seed ^ 0xF0F0);
+        prop_assert_eq!(result.num_components, oracle_count, "component count diverges");
+        prop_assert_eq!(result.forest.len(), n - oracle_count, "forest size must be n - c");
+
+        // Forest edges must be real edges of the graph.
+        let edge_set: std::collections::HashSet<(u32, u32)> =
+            g.edges().iter().map(|e| e.key()).collect();
+        for &(u, v) in &result.forest {
+            let key = if u < v { (u, v) } else { (v, u) };
+            prop_assert!(edge_set.contains(&key), "forest edge ({u},{v}) not in graph");
+        }
+
+        // The partitions must be identical as equivalence relations.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                prop_assert_eq!(
+                    result.components[a] == result.components[b],
+                    oracle[a] == oracle[b],
+                    "vertices {} and {} disagree with the oracle", a, b
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sketch_connectivity_handles_the_empty_graph() {
+    let g = Graph::new(7);
+    let r = sketch_spanning_forest(&g, 3);
+    assert_eq!(r.num_components, 7);
+    assert!(r.forest.is_empty());
+}
