@@ -27,10 +27,10 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// All experiment ids, in run order.
-pub const EXPERIMENT_IDS: [&str; 11] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"];
+pub const EXPERIMENT_IDS: [&str; 12] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
 
-/// Runs one experiment by id (`"e1"` … `"e11"`), or every experiment for
+/// Runs one experiment by id (`"e1"` … `"e12"`), or every experiment for
 /// `"all"`. Unknown ids are [`MwmError::UnknownExperiment`].
 pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
     match id {
@@ -45,6 +45,7 @@ pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
         "e9" => Ok(vec![e9_congested_clique()?]),
         "e10" => Ok(vec![e10_lp_substrate()?]),
         "e11" => Ok(vec![e11_pass_throughput()?]),
+        "e12" => Ok(vec![e12_dynamic_stream()?]),
         "all" => {
             let mut all = Vec::with_capacity(EXPERIMENT_IDS.len());
             for e in EXPERIMENT_IDS {
@@ -465,6 +466,95 @@ pub fn e11_pass_throughput() -> Result<ExperimentReport, MwmError> {
     Ok(rep)
 }
 
+/// E12 — dynamic matching over a sliding-window update stream: epochs/sec
+/// and weight-vs-oracle at 1/2/4/8 workers.
+///
+/// One session per worker count replays the same deterministic stream; the
+/// `checksum` column fingerprints the final matching, so equal checksums
+/// prove the whole *session* (damage passes, repairs, warm re-solves) is
+/// bit-identical at every parallelism. `avg_warm_rounds` vs `cold_rounds`
+/// shows the warm-start saving: warm epochs skip the `O(p)` sampling rounds
+/// a cold solve pays, so the column pair is the round-count reduction the
+/// subsystem exists for.
+pub fn e12_dynamic_stream() -> Result<ExperimentReport, MwmError> {
+    use mwm_dynamic::{DynamicConfig, DynamicMatcher, EpochDecision};
+    use mwm_graph::GraphOverlay;
+    use std::time::Instant;
+
+    let mut rep = ExperimentReport::new(
+        "e12",
+        "dynamic matching (sliding-window stream, warm-started epochs, 1/2/4/8 workers)",
+        vec![
+            "workers",
+            "epochs",
+            "repair",
+            "warm",
+            "rebuild",
+            "epochs/s",
+            "avg_warm_rounds",
+            "cold_rounds",
+            "weight",
+            "w/oracle",
+            "checksum",
+        ],
+    );
+    let (n, per_epoch, window, epochs) = (800usize, 60usize, 4usize, 12usize);
+    let wl = workloads::sliding_window_stream(n, per_epoch, window, epochs, 0xE12);
+    let config = DynamicConfig { eps: 0.2, p: 2.0, seed: 5, ..Default::default() };
+
+    // The oracle: replay the stream without matching work, then cold-solve
+    // the final graph once.
+    let mut oracle_overlay = GraphOverlay::new(&wl.initial);
+    for batch in &wl.batches {
+        for update in batch {
+            let _ = oracle_overlay.apply(update);
+        }
+    }
+    let (final_graph, _) = oracle_overlay.materialize();
+    let cold = dual_primal(config.eps, config.p, config.seed)?
+        .solve(&final_graph, &ResourceBudget::unlimited())?;
+
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut dm = DynamicMatcher::new(&wl.initial, config)?;
+        let budget = ResourceBudget::unlimited().with_parallelism(workers);
+        let start = Instant::now();
+        let (mut repairs, mut warms, mut rebuilds) = (0usize, 0usize, 0usize);
+        let mut warm_rounds = 0usize;
+        for batch in &wl.batches {
+            let r = dm.apply_epoch(batch, &budget)?;
+            match r.stats.decision {
+                EpochDecision::Repair => repairs += 1,
+                EpochDecision::WarmResolve => {
+                    warms += 1;
+                    warm_rounds += r.stats.solver_rounds;
+                }
+                EpochDecision::Rebuild => rebuilds += 1,
+            }
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let avg_warm_rounds = if warms > 0 { warm_rounds as f64 / warms as f64 } else { f64::NAN };
+        let mut checksum = dm.weight().to_bits();
+        for (id, _, mult) in dm.matching().iter() {
+            checksum =
+                checksum.rotate_left(7) ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ mult;
+        }
+        rep.push_row(vec![
+            format!("{workers}"),
+            format!("{}", wl.batches.len()),
+            format!("{repairs}"),
+            format!("{warms}"),
+            format!("{rebuilds}"),
+            format!("{:.1}", wl.batches.len() as f64 / secs),
+            format!("{avg_warm_rounds:.1}"),
+            format!("{}", cold.rounds()),
+            format!("{:.2}", dm.weight()),
+            format!("{:.3}", dm.weight() / cold.weight.max(1e-12)),
+            format!("{checksum:016x}"),
+        ]);
+    }
+    Ok(rep)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,6 +611,32 @@ mod tests {
             .filter_map(|r| rep.cell(r, "speedup"))
             .filter_map(|s| s.parse().ok())
             .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn e12_sessions_are_bit_identical_and_warm_epochs_save_rounds() {
+        let rep = e12_dynamic_stream().unwrap();
+        assert_eq!(rep.rows.len(), 4);
+        let checksum0 = rep.cell(0, "checksum").unwrap().to_string();
+        for row in 1..rep.rows.len() {
+            assert_eq!(
+                rep.cell(row, "checksum"),
+                Some(checksum0.as_str()),
+                "row {row}: dynamic session diverged across worker counts"
+            );
+        }
+        let warm_epochs: usize = rep.cell(0, "warm").unwrap().parse().unwrap();
+        assert!(warm_epochs >= 2, "the stream must exercise the warm band");
+        let repairs: usize = rep.cell(0, "repair").unwrap().parse().unwrap();
+        assert!(repairs >= 1, "quiet epochs must exercise the repair band");
+        let avg_warm: f64 = rep.cell(0, "avg_warm_rounds").unwrap().parse().unwrap();
+        let cold: f64 = rep.cell(0, "cold_rounds").unwrap().parse().unwrap();
+        assert!(
+            avg_warm > 0.0 && avg_warm < cold,
+            "warm epochs must use fewer rounds than a cold solve ({avg_warm} vs {cold})"
+        );
+        let ratio: f64 = rep.cell(0, "w/oracle").unwrap().parse().unwrap();
+        assert!(ratio >= 0.6, "weight-vs-oracle ratio {ratio} below floor");
     }
 
     #[test]

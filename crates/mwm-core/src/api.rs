@@ -22,7 +22,8 @@
 use crate::budget::ResourceBudget;
 use crate::error::MwmError;
 use crate::report::SolveReport;
-use mwm_graph::Graph;
+use mwm_graph::{BMatching, Graph};
+use mwm_lp::DualSnapshot;
 
 /// A weighted b-matching solver under the paper's resource model.
 ///
@@ -38,6 +39,44 @@ pub trait MatchingSolver {
 
     /// Solves weighted b-matching on `graph` within `budget`.
     fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError>;
+}
+
+/// The state a warm start resumes from: the previous epoch's exported dual
+/// point plus a feasible primal hint (the repaired previous matching).
+///
+/// Both halves are advisory. The duals seed the covering loop so it starts
+/// near feasibility instead of from zero (skipping the `O(p)` sampling rounds
+/// of a cold initial solution); the hint seeds the primal bound β. A solver
+/// must produce a correct result for *any* warm state — stale duals and an
+/// infeasible hint may cost rounds, never correctness.
+#[derive(Clone, Debug, Default)]
+pub struct WarmStartState {
+    /// The dual point exported by the previous solve
+    /// ([`SolveReport::final_duals`]).
+    pub duals: DualSnapshot,
+    /// A b-matching believed feasible on the current graph (the dynamic
+    /// matcher passes the previous matching with dead edges dropped). Solvers
+    /// validate it and ignore it when infeasible.
+    pub hint: BMatching,
+}
+
+/// Capability trait for solvers that can resume from a previous solve's dual
+/// point instead of paying the cold-start rounds again.
+///
+/// This is the seam the dynamic matching subsystem plugs into: epoch `t`
+/// exports its duals through [`SolveReport::final_duals`], epoch `t+1` feeds
+/// them back through [`WarmStart::solve_warm`]. Implementations must uphold
+/// the same contract as [`MatchingSolver::solve`] — in particular, results
+/// must be bit-identical across parallelism levels and the returned matching
+/// feasible — regardless of how stale the warm state is.
+pub trait WarmStart: MatchingSolver {
+    /// Solves on `graph` within `budget`, seeded from `warm`.
+    fn solve_warm(
+        &self,
+        graph: &Graph,
+        budget: &ResourceBudget,
+        warm: &WarmStartState,
+    ) -> Result<SolveReport, MwmError>;
 }
 
 #[cfg(test)]

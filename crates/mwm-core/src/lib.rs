@@ -45,13 +45,16 @@ pub mod relaxation;
 pub mod report;
 pub mod solver;
 
-pub use api::MatchingSolver;
+pub use api::{MatchingSolver, WarmStart, WarmStartState};
 pub use budget::ResourceBudget;
 pub use certificate::{certify_b_matching, certify_solution, SolutionCertificate};
 pub use error::{MwmError, MwmResult};
 pub use initial::{build_initial_solution, InitialSolution};
+pub use mwm_lp::DualSnapshot;
 pub use offline::{OfflineSolver, OfflineStrategy};
 pub use oracle::{MicroOracle, OracleDecision};
 pub use relaxation::{relaxation_widths, DualState, RelaxationWidths};
 pub use report::SolveReport;
-pub use solver::{DualPrimalConfig, DualPrimalConfigBuilder, DualPrimalSolver, SolveResult};
+pub use solver::{
+    DualPrimalConfig, DualPrimalConfigBuilder, DualPrimalSolver, ResumePolicy, SolveResult,
+};

@@ -8,6 +8,7 @@
 //! generically while still surfacing algorithm-specific telemetry.
 
 use mwm_graph::BMatching;
+use mwm_lp::DualSnapshot;
 use mwm_mapreduce::ResourceTracker;
 use std::fmt;
 
@@ -27,6 +28,11 @@ pub struct SolveReport {
     /// through [`SolveReport::rounds`]/[`SolveReport::peak_central_space`] so
     /// they can never disagree with the ledger.
     pub tracker: ResourceTracker,
+    /// The final dual point, exported by solvers implementing
+    /// [`crate::api::WarmStart`] so the next epoch can resume from it;
+    /// `None` for solvers without a dual representation (baselines, offline
+    /// substrates).
+    pub final_duals: Option<DualSnapshot>,
     /// Named solver-specific scalars (`("beta", 41.3)`, ...).
     stats: Vec<(&'static str, f64)>,
 }
@@ -42,6 +48,7 @@ impl SolveReport {
             weight,
             oracle_iterations: 0,
             tracker,
+            final_duals: None,
             stats: Vec::new(),
         }
     }
@@ -59,6 +66,12 @@ impl SolveReport {
     /// Sets the oracle-iteration count (builder style).
     pub fn with_oracle_iterations(mut self, iterations: usize) -> Self {
         self.oracle_iterations = iterations;
+        self
+    }
+
+    /// Attaches the final dual point for warm-start chaining (builder style).
+    pub fn with_final_duals(mut self, duals: DualSnapshot) -> Self {
+        self.final_duals = Some(duals);
         self
     }
 

@@ -22,7 +22,7 @@
 //! is charged to the adaptivity ledger, so the round/iteration separation the
 //! paper is about is measured, not assumed.
 
-use crate::api::MatchingSolver;
+use crate::api::{MatchingSolver, WarmStart, WarmStartState};
 use crate::budget::ResourceBudget;
 use crate::certificate::offline_b_matching;
 use crate::error::MwmError;
@@ -31,11 +31,34 @@ use crate::oracle::{MicroOracle, OracleDecision, SupportEdge};
 use crate::relaxation::DualState;
 use crate::report::SolveReport;
 use mwm_graph::{BMatching, Graph, WeightLevels};
-use mwm_lp::AdaptivityLedger;
+use mwm_lp::{AdaptivityLedger, DualSnapshot};
 use mwm_mapreduce::{
     EdgeSource, GraphSource, MapReduceConfig, MapReduceSim, PassEngine, PassError, ResourceTracker,
 };
 use mwm_sparsify::DeferredSparsifier;
+
+/// How a [`WarmStart::solve_warm`] call treats the warm state it receives
+/// (the `resume` hook of [`DualPrimalConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ResumePolicy {
+    /// Ignore the warm state entirely: `solve_warm` behaves exactly like a
+    /// cold [`MatchingSolver::solve`] (useful to A/B the warm path).
+    Restart,
+    /// Import the warm duals, scale them by `dual_decay`, and skip the cold
+    /// `O(p)`-round initial sampling phase. `dual_decay < 1` discounts stale
+    /// dual mass when the graph has drifted since the duals were exported;
+    /// `1.0` resumes them verbatim.
+    Resume {
+        /// Multiplier in `(0, 1]` applied to every imported dual value.
+        dual_decay: f64,
+    },
+}
+
+impl Default for ResumePolicy {
+    fn default() -> Self {
+        ResumePolicy::Resume { dual_decay: 1.0 }
+    }
+}
 
 /// Configuration of the solver.
 ///
@@ -60,6 +83,9 @@ pub struct DualPrimalConfig {
     /// merge in shard order — so this is purely a wall-clock knob. A
     /// `ResourceBudget::with_parallelism` override takes precedence per solve.
     pub parallelism: usize,
+    /// How [`WarmStart::solve_warm`] treats imported duals (the resume hook).
+    /// Irrelevant to cold [`MatchingSolver::solve`] calls.
+    pub resume: ResumePolicy,
 }
 
 impl Default for DualPrimalConfig {
@@ -72,6 +98,7 @@ impl Default for DualPrimalConfig {
             sparsifiers_per_round: None,
             space_constant: 4.0,
             parallelism: 1,
+            resume: ResumePolicy::default(),
         }
     }
 }
@@ -125,6 +152,15 @@ impl DualPrimalConfig {
                 value: "0".to_string(),
                 requirement: "must be at least 1",
             });
+        }
+        if let ResumePolicy::Resume { dual_decay } = self.resume {
+            if !dual_decay.is_finite() || dual_decay <= 0.0 || dual_decay > 1.0 {
+                return Err(MwmError::InvalidConfig {
+                    param: "resume.dual_decay",
+                    value: format!("{dual_decay}"),
+                    requirement: "must lie in (0, 1]",
+                });
+            }
         }
         Ok(())
     }
@@ -181,6 +217,13 @@ impl DualPrimalConfigBuilder {
         self
     }
 
+    /// Sets the warm-start resume policy (how `solve_warm` treats imported
+    /// duals; `Resume { dual_decay }` requires `dual_decay ∈ (0, 1]`).
+    pub fn resume(mut self, policy: ResumePolicy) -> Self {
+        self.config.resume = policy;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<DualPrimalConfig, MwmError> {
         self.config.validate()?;
@@ -225,6 +268,11 @@ pub struct SolveResult {
     pub eps: f64,
     /// The p the solver ran with.
     pub p: f64,
+    /// The final dual point, exported for warm-start chaining.
+    pub final_duals: DualSnapshot,
+    /// True if this run resumed from imported duals (skipping the cold
+    /// initial sampling phase).
+    pub warm_started: bool,
 }
 
 impl SolveResult {
@@ -236,6 +284,8 @@ impl SolveResult {
         let sparsifiers_built = self.ledger.sparsifiers_built();
         SolveReport::new("dual-primal", self.matching, self.tracker)
             .with_oracle_iterations(self.oracle_iterations)
+            .with_final_duals(self.final_duals)
+            .with_stat("warm_started", if self.warm_started { 1.0 } else { 0.0 })
             .with_stat("beta", self.beta)
             .with_stat("lambda", self.lambda)
             .with_stat("eps", self.eps)
@@ -277,7 +327,14 @@ impl DualPrimalSolver {
     /// [`MatchingSolver::solve`], which additionally enforces a
     /// [`ResourceBudget`] and returns the unified [`SolveReport`].
     pub fn solve_detailed(&self, graph: &Graph) -> SolveResult {
-        self.run(graph, &ResourceBudget::unlimited())
+        self.run(graph, &ResourceBudget::unlimited(), None)
+            .expect("an unlimited budget cannot interrupt a solve")
+    }
+
+    /// [`DualPrimalSolver::solve_detailed`] resumed from a warm state: the
+    /// detailed counterpart of [`WarmStart::solve_warm`].
+    pub fn solve_detailed_warm(&self, graph: &Graph, warm: &WarmStartState) -> SolveResult {
+        self.run(graph, &ResourceBudget::unlimited(), Some(warm))
             .expect("an unlimited budget cannot interrupt a solve")
     }
 
@@ -286,7 +343,18 @@ impl DualPrimalSolver {
     /// with `config.parallelism` workers and the budget's streamed-items
     /// limit enforced mid-pass. Returns [`MwmError::BudgetExceeded`] when a
     /// pass is interrupted — never a torn matching.
-    fn run(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveResult, MwmError> {
+    ///
+    /// With `warm` present (and the config's [`ResumePolicy`] not `Restart`),
+    /// phase 1 — the `O(p)` sampling rounds of the cold initial solution — is
+    /// replaced by importing the warm duals and seeding β from the feasible
+    /// part of the warm primal hint: the round savings the dynamic matching
+    /// subsystem's epoch ledger measures.
+    fn run(
+        &self,
+        graph: &Graph,
+        budget: &ResourceBudget,
+        warm: Option<&WarmStartState>,
+    ) -> Result<SolveResult, MwmError> {
         let cfg = &self.config;
         let eps = cfg.eps;
         let n = graph.num_vertices();
@@ -304,19 +372,44 @@ impl DualPrimalSolver {
             return Ok(self.empty_result(graph, &levels, sim, ledger));
         }
 
-        // Phase 1: initial solution (Lemmas 12/20/21).
-        let init = build_initial_solution(graph, &levels, &mut sim, cfg.seed ^ 0x1357);
-        let initial_rounds = init.rounds_used;
-        let mut dual = init.dual.clone();
-        let mut best: BMatching = init.combined.clone();
-        let mut beta = init.beta0.max(1e-12);
-        {
-            // The combined initial b-matching is itself a lower bound on β*.
-            let init_weight_rescaled = rescaled_weight(&best, &levels);
-            if init_weight_rescaled > beta {
-                beta = init_weight_rescaled;
+        let warm = match cfg.resume {
+            ResumePolicy::Restart => None,
+            ResumePolicy::Resume { .. } => warm,
+        };
+
+        // Phase 1: initial solution — cold sampling (Lemmas 12/20/21), or a
+        // warm resume from the previous epoch's exported duals.
+        let warm_started = warm.is_some();
+        let (mut dual, mut best, mut beta, initial_rounds) = match warm {
+            Some(state) => {
+                let mut snap = state.duals.clone();
+                if let ResumePolicy::Resume { dual_decay } = cfg.resume {
+                    if dual_decay != 1.0 {
+                        snap.decay(dual_decay);
+                    }
+                }
+                let dual = DualState::from_snapshot(n, &levels, &snap);
+                let best = if hint_is_usable(graph, &state.hint) {
+                    state.hint.clone()
+                } else {
+                    BMatching::new()
+                };
+                let beta = rescaled_weight(&best, &levels).max(1e-12);
+                (dual, best, beta, 0usize)
             }
-        }
+            None => {
+                let init = build_initial_solution(graph, &levels, &mut sim, cfg.seed ^ 0x1357);
+                let dual = init.dual.clone();
+                let best: BMatching = init.combined.clone();
+                let mut beta = init.beta0.max(1e-12);
+                // The combined initial b-matching is itself a lower bound on β*.
+                let init_weight_rescaled = rescaled_weight(&best, &levels);
+                if init_weight_rescaled > beta {
+                    beta = init_weight_rescaled;
+                }
+                (dual, best, beta, init.rounds_used)
+            }
+        };
 
         // The sharded stream the main loop reads through. Sharding depends
         // only on the edge count — never on the worker count — so per-shard
@@ -447,6 +540,7 @@ impl DualPrimalSolver {
         }
 
         let weight = best.weight();
+        let final_duals = dual.snapshot(&levels);
         Ok(SolveResult {
             matching: best,
             weight,
@@ -464,6 +558,8 @@ impl DualPrimalSolver {
             odd_set_updates,
             eps,
             p: cfg.p,
+            final_duals,
+            warm_started,
             ledger,
         })
     }
@@ -492,6 +588,8 @@ impl DualPrimalSolver {
             odd_set_updates: 0,
             eps: self.config.eps,
             p: self.config.p,
+            final_duals: DualSnapshot::empty(self.config.eps, levels.num_levels()),
+            warm_started: false,
             ledger,
         }
     }
@@ -511,6 +609,19 @@ impl MatchingSolver for DualPrimalSolver {
     /// verified against the run's ledger. A `with_parallelism` override
     /// replaces the configured worker count for this solve.
     fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
+        self.solve_with(graph, budget, None)
+    }
+}
+
+impl DualPrimalSolver {
+    /// The shared budget-aware entry point behind both [`MatchingSolver::solve`]
+    /// and [`WarmStart::solve_warm`].
+    fn solve_with(
+        &self,
+        graph: &Graph,
+        budget: &ResourceBudget,
+        warm: Option<&WarmStartState>,
+    ) -> Result<SolveReport, MwmError> {
         let mut config = self.config;
         if let Some(limit) = budget.max_rounds() {
             let default_rounds =
@@ -520,11 +631,49 @@ impl MatchingSolver for DualPrimalSolver {
         if let Some(workers) = budget.parallelism() {
             config.parallelism = workers.max(1);
         }
-        let result = DualPrimalSolver { config }.run(graph, budget)?;
+        let result = DualPrimalSolver { config }.run(graph, budget, warm)?;
         budget.check_tracker(&result.tracker)?;
         budget.check_oracle_iterations(result.oracle_iterations)?;
         Ok(result.into_report())
     }
+}
+
+impl WarmStart for DualPrimalSolver {
+    /// Resumes from the previous epoch's duals per the config's
+    /// [`ResumePolicy`], skipping the cold initial sampling rounds. Budget
+    /// semantics are identical to [`MatchingSolver::solve`].
+    fn solve_warm(
+        &self,
+        graph: &Graph,
+        budget: &ResourceBudget,
+        warm: &WarmStartState,
+    ) -> Result<SolveReport, MwmError> {
+        self.solve_with(graph, budget, Some(warm))
+    }
+}
+
+/// True if a warm primal hint can seed β on `graph`: every edge id exists and
+/// matches the graph's endpoints/weight, and the capacity constraints hold.
+/// A stale hint (edges deleted or reweighted since it was built) is simply
+/// ignored — correctness never depends on the hint.
+fn hint_is_usable(graph: &Graph, hint: &BMatching) -> bool {
+    if hint.is_empty() {
+        return false;
+    }
+    let n = graph.num_vertices();
+    for (id, e, _) in hint.iter() {
+        if id >= graph.num_edges() {
+            return false;
+        }
+        let ge = graph.edge(id);
+        if (e.u, e.v) != (ge.u, ge.v) || e.w.to_bits() != ge.w.to_bits() {
+            return false;
+        }
+        if (e.u as usize) >= n || (e.v as usize) >= n {
+            return false;
+        }
+    }
+    hint.is_valid(graph)
 }
 
 /// `λ = min` over levelled edges of `coverage / ŵ_k`, computed as an
@@ -772,6 +921,90 @@ mod tests {
                 Some(r) => assert_eq!(r, &fingerprint, "parallelism {workers} diverged"),
             }
         }
+    }
+
+    #[test]
+    fn warm_start_skips_initial_rounds_and_stays_feasible() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = generators::gnm(50, 300, WeightModel::Uniform(1.0, 8.0), &mut rng);
+        let solver = solver(0.25, 2.0, 4);
+        let cold = solver.solve_detailed(&g);
+        assert!(!cold.warm_started);
+        assert!(cold.initial_rounds > 0);
+        assert!(!cold.final_duals.is_empty(), "a nonzero solve must export dual mass");
+
+        let warm_state =
+            WarmStartState { duals: cold.final_duals.clone(), hint: cold.matching.clone() };
+        let warm = solver.solve_detailed_warm(&g, &warm_state);
+        assert!(warm.warm_started);
+        assert_eq!(warm.initial_rounds, 0, "warm start must skip the sampling phase");
+        assert!(warm.rounds < cold.rounds, "warm {} !< cold {}", warm.rounds, cold.rounds);
+        assert!(warm.matching.is_valid(&g));
+        // Resuming from a converged dual point + the previous matching can
+        // never lose weight: the hint seeds β and `best`.
+        assert!(warm.weight >= cold.weight - 1e-9);
+    }
+
+    #[test]
+    fn warm_start_is_bit_identical_across_parallelism() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = generators::gnm(60, 400, WeightModel::Uniform(1.0, 8.0), &mut rng);
+        let cold = solver(0.2, 2.0, 9).solve_detailed(&g);
+        let warm_state = WarmStartState { duals: cold.final_duals, hint: cold.matching };
+        let mut reference: Option<(u64, usize)> = None;
+        for workers in [1usize, 4] {
+            let config = DualPrimalConfig { parallelism: workers, ..Default::default() };
+            let res = DualPrimalSolver::new(config).unwrap().solve_detailed_warm(&g, &warm_state);
+            let fp = (res.weight.to_bits(), res.rounds);
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => assert_eq!(r, &fp, "parallelism {workers} diverged on warm start"),
+            }
+        }
+    }
+
+    #[test]
+    fn restart_policy_ignores_the_warm_state() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let g = generators::gnm(40, 200, WeightModel::Uniform(1.0, 6.0), &mut rng);
+        let cold = solver(0.25, 2.0, 7).solve_detailed(&g);
+        let warm_state = WarmStartState { duals: cold.final_duals, hint: cold.matching };
+        let config = DualPrimalConfig { resume: ResumePolicy::Restart, ..Default::default() };
+        let restarted = DualPrimalSolver::new(config).unwrap().solve_detailed_warm(&g, &warm_state);
+        assert!(!restarted.warm_started);
+        assert!(restarted.initial_rounds > 0, "Restart must pay the cold sampling rounds");
+    }
+
+    #[test]
+    fn stale_hints_are_rejected_not_trusted() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(2, 3, 3.0);
+        let mut hint = BMatching::new();
+        // Wrong weight for edge 0: the graph changed since the hint was built.
+        hint.add(0, mwm_graph::Edge::new(0, 1, 9.0), 1);
+        assert!(!hint_is_usable(&g, &hint));
+        let mut stale_id = BMatching::new();
+        stale_id.add(7, mwm_graph::Edge::new(0, 1, 2.0), 1);
+        assert!(!hint_is_usable(&g, &stale_id));
+        let mut good = BMatching::new();
+        good.add(0, g.edge(0), 1);
+        assert!(hint_is_usable(&g, &good));
+        assert!(!hint_is_usable(&g, &BMatching::new()), "empty hints carry no information");
+    }
+
+    #[test]
+    fn invalid_dual_decay_is_rejected_at_construction() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let config = DualPrimalConfig {
+                resume: ResumePolicy::Resume { dual_decay: bad },
+                ..Default::default()
+            };
+            assert!(DualPrimalSolver::new(config).is_err(), "dual_decay {bad} must be rejected");
+        }
+        let ok =
+            DualPrimalConfig::builder().resume(ResumePolicy::Resume { dual_decay: 0.8 }).build();
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -1,0 +1,1058 @@
+//! Incremental matching over edge-update streams.
+//!
+//! The paper budgets *rounds of data access* for a frozen graph; a serving
+//! system never gets one — edges arrive, expire and change weight
+//! continuously, and re-running a cold `O(p/ε)`-round solve per change wastes
+//! exactly the resource the paper economizes. [`DynamicMatcher`] turns the
+//! static reproduction into a serving-shaped session:
+//!
+//! 1. Callers feed batches of [`GraphUpdate`]s into an **epoch**. The batch
+//!    first streams through the [`PassEngine`] via an
+//!    [`mwm_mapreduce::UpdateSource`] — one charged, sharded, deterministic
+//!    pass producing a *damage summary* (touched vertices, update mix) — and
+//!    is then replayed sequentially into the journaled
+//!    [`mwm_graph::GraphOverlay`].
+//! 2. A **damage-ratio policy** picks the cheapest adequate reaction:
+//!    * `damage ≤ repair_threshold` → **incremental repair**: the previous
+//!      matching keeps its surviving edges; a localized 2-swap/augmentation
+//!      repair ([`mwm_matching::local_search`]) runs on the 1-hop region
+//!      around the touched vertices, with a global greedy pass as a ½-floor
+//!      safety net.
+//!    * `damage ≤ rebuild_threshold` (and duals available) → **warm
+//!      re-solve**: the dual-primal solver resumes from the previous epoch's
+//!      exported [`DualSnapshot`] ([`WarmStart::solve_warm`]), skipping the
+//!      `O(p)` cold sampling rounds.
+//!    * otherwise → **full rebuild** through the configured rebuild solver
+//!      (the umbrella crate wires any `SolverRegistry` entry in here — e.g.
+//!      the Lattanzi-filtering baseline for bulk rebuilds).
+//! 3. Every epoch appends an [`EpochStats`] row to the session ledger:
+//!    updates applied, the repair/warm/rebuild decision, rounds charged, and
+//!    (when auditing is on) the weight drift against a certified from-scratch
+//!    recompute.
+//!
+//! Determinism contract: like every pass in the workspace, epochs are
+//! **bit-identical across parallelism levels** — update ingestion and repair
+//! scans merge in shard order, the warm solver inherits the pass engine's
+//! guarantees, and every tie-break is explicit.
+
+use mwm_core::{
+    certify_b_matching, DualPrimalConfig, DualPrimalSolver, MatchingSolver, MwmError,
+    ResourceBudget, ResumePolicy, SolveReport, WarmStart, WarmStartState,
+};
+use mwm_graph::{BMatching, Edge, EdgeId, Graph, GraphOverlay, GraphUpdate, Matching, VertexId};
+use mwm_lp::DualSnapshot;
+use mwm_mapreduce::{GraphSource, PassEngine, ResourceTracker, UpdateSource};
+use mwm_matching::{greedy_b_matching, improve_matching};
+use std::fmt;
+
+/// Configuration of a [`DynamicMatcher`] session.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicConfig {
+    /// Accuracy parameter ε of the underlying dual-primal solves.
+    pub eps: f64,
+    /// Round/space trade-off exponent `p` of the underlying solves.
+    pub p: f64,
+    /// RNG seed threaded into the solver.
+    pub seed: u64,
+    /// Default pass-engine worker threads per epoch (a per-epoch
+    /// `ResourceBudget::with_parallelism` override takes precedence).
+    pub parallelism: usize,
+    /// Damage ratio (touched vertices / live vertices) at or below which an
+    /// epoch is handled by localized incremental repair.
+    pub repair_threshold: f64,
+    /// Damage ratio at or below which a warm re-solve is attempted (above it,
+    /// or when no duals are available, the epoch falls back to full rebuild).
+    pub rebuild_threshold: f64,
+    /// Decay in `(0, 1]` applied to imported duals on warm re-solves
+    /// (discounts stale dual mass; `1.0` resumes verbatim).
+    pub dual_decay: f64,
+    /// Audit cadence: every `audit_every`-th epoch additionally runs a cold
+    /// certified recompute and records the weight drift in the ledger.
+    /// `0` disables auditing (the default; audits are expensive by design).
+    pub audit_every: usize,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            eps: 0.2,
+            p: 2.0,
+            seed: 0xD1A,
+            parallelism: 1,
+            repair_threshold: 0.05,
+            rebuild_threshold: 0.5,
+            dual_decay: 1.0,
+            audit_every: 0,
+        }
+    }
+}
+
+impl DynamicConfig {
+    /// Validates every parameter, returning the first violation.
+    pub fn validate(&self) -> Result<(), MwmError> {
+        // eps / p / seed / parallelism / dual_decay are validated by the
+        // solver config they feed into.
+        self.solver_config(self.parallelism.max(1)).validate()?;
+        if !self.repair_threshold.is_finite() || self.repair_threshold < 0.0 {
+            return Err(MwmError::InvalidConfig {
+                param: "repair_threshold",
+                value: format!("{}", self.repair_threshold),
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !self.rebuild_threshold.is_finite()
+            || self.rebuild_threshold < self.repair_threshold
+            || self.rebuild_threshold > 1.0
+        {
+            return Err(MwmError::InvalidConfig {
+                param: "rebuild_threshold",
+                value: format!("{}", self.rebuild_threshold),
+                requirement: "must lie in [repair_threshold, 1]",
+            });
+        }
+        Ok(())
+    }
+
+    /// The dual-primal configuration an epoch solve runs with.
+    fn solver_config(&self, workers: usize) -> DualPrimalConfig {
+        DualPrimalConfig {
+            eps: self.eps,
+            p: self.p,
+            seed: self.seed,
+            parallelism: workers.max(1),
+            resume: ResumePolicy::Resume { dual_decay: self.dual_decay },
+            ..Default::default()
+        }
+    }
+}
+
+/// How an epoch reacted to its damage ratio.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochDecision {
+    /// Localized augmenting/2-swap repair around the touched vertices.
+    Repair,
+    /// Dual-primal re-solve warm-started from the previous epoch's duals.
+    WarmResolve,
+    /// Cold solve through the rebuild solver.
+    Rebuild,
+}
+
+impl fmt::Display for EpochDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EpochDecision::Repair => "repair",
+            EpochDecision::WarmResolve => "warm",
+            EpochDecision::Rebuild => "rebuild",
+        })
+    }
+}
+
+/// One row of the session ledger: what an epoch ingested, decided and cost.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Overlay version after the epoch's updates were applied.
+    pub version: u64,
+    /// Updates applied / rejected (malformed updates are counted, not fatal).
+    pub updates_applied: usize,
+    /// Rejected updates (dead ids, bad weights, …).
+    pub updates_rejected: usize,
+    /// Edge inserts in the batch.
+    pub inserts: usize,
+    /// Edge deletes in the batch.
+    pub deletes: usize,
+    /// Edge reweights in the batch.
+    pub reweights: usize,
+    /// Vertex additions/removals in the batch.
+    pub vertex_ops: usize,
+    /// Capacity changes in the batch.
+    pub capacity_ops: usize,
+    /// Distinct vertices whose incident structure the batch touched.
+    pub touched_vertices: usize,
+    /// `touched_vertices / live vertices`, the policy input.
+    pub damage_ratio: f64,
+    /// The reaction the policy picked.
+    pub decision: EpochDecision,
+    /// Rounds of data access charged by this epoch (update ingestion +
+    /// repair scans + solver rounds).
+    pub epoch_rounds: usize,
+    /// Rounds used by the epoch's solver call alone (0 for repair epochs) —
+    /// compare against a cold solve's rounds to see the warm-start saving.
+    pub solver_rounds: usize,
+    /// Items streamed by this epoch (updates + edges scanned).
+    pub streamed_items: usize,
+    /// Weight of the maintained matching after the epoch.
+    pub weight: f64,
+    /// Distinct edges in the maintained matching.
+    pub matching_edges: usize,
+    /// When this epoch was audited: relative weight gap versus a certified
+    /// cold recompute, `(oracle - weight) / oracle` (negative = we beat it),
+    /// plus the recompute's feasibility verdict on our matching.
+    pub audit: Option<EpochAudit>,
+}
+
+/// The result of an epoch audit (cold certified recompute).
+#[derive(Clone, Copy, Debug)]
+pub struct EpochAudit {
+    /// Weight of the from-scratch solve on the post-epoch graph.
+    pub oracle_weight: f64,
+    /// `(oracle_weight - weight) / max(oracle_weight, ε)`.
+    pub weight_drift: f64,
+    /// Whether the maintained matching passed the feasibility certificate.
+    pub feasible: bool,
+}
+
+/// What [`DynamicMatcher::apply_epoch`] returns: the ledger row plus the
+/// solver report when the epoch re-solved (absent for repair epochs).
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// The ledger row (also appended to [`DynamicMatcher::ledger`]).
+    pub stats: EpochStats,
+    /// The warm/rebuild solve's report, if the epoch ran a solver.
+    pub solve: Option<SolveReport>,
+}
+
+/// Per-shard damage accumulator of the sharded update-ingestion pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct DamageSummary {
+    touched: Vec<VertexId>,
+    inserts: usize,
+    deletes: usize,
+    reweights: usize,
+    vertex_ops: usize,
+    capacity_ops: usize,
+}
+
+impl DamageSummary {
+    fn absorb(&mut self, overlay: &GraphOverlay, update: &GraphUpdate) {
+        self.touched.extend(overlay.touched_by(update));
+        match update {
+            GraphUpdate::InsertEdge { .. } => self.inserts += 1,
+            GraphUpdate::DeleteEdge { .. } => self.deletes += 1,
+            GraphUpdate::ReweightEdge { .. } => self.reweights += 1,
+            GraphUpdate::AddVertex { .. } | GraphUpdate::RemoveVertex { .. } => {
+                self.vertex_ops += 1
+            }
+            GraphUpdate::SetCapacity { .. } => self.capacity_ops += 1,
+        }
+    }
+
+    fn merge(&mut self, other: DamageSummary) {
+        self.touched.extend(other.touched);
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.reweights += other.reweights;
+        self.vertex_ops += other.vertex_ops;
+        self.capacity_ops += other.capacity_ops;
+    }
+}
+
+/// An epoch-based incremental matching session over an evolving graph.
+pub struct DynamicMatcher {
+    config: DynamicConfig,
+    overlay: GraphOverlay,
+    /// Injected cold-rebuild backend; `None` uses the dual-primal solver
+    /// (which also re-exports duals, keeping the warm chain alive).
+    rebuild_solver: Option<Box<dyn MatchingSolver>>,
+    /// The maintained matching, in **stable overlay edge ids**.
+    matching: BMatching,
+    /// Duals exported by the last solve, for the next warm start.
+    duals: Option<DualSnapshot>,
+    epoch: usize,
+    stats: Vec<EpochStats>,
+    tracker: ResourceTracker,
+    bootstrapped: bool,
+}
+
+impl DynamicMatcher {
+    /// Starts a session over `base` (validated config).
+    pub fn new(base: &Graph, config: DynamicConfig) -> Result<Self, MwmError> {
+        config.validate()?;
+        Ok(DynamicMatcher {
+            config,
+            overlay: GraphOverlay::new(base),
+            rebuild_solver: None,
+            matching: BMatching::new(),
+            duals: None,
+            epoch: 0,
+            stats: Vec::new(),
+            tracker: ResourceTracker::new(),
+            bootstrapped: false,
+        })
+    }
+
+    /// Starts a session over an initially empty graph on `n` vertices.
+    pub fn from_empty(n: usize, config: DynamicConfig) -> Result<Self, MwmError> {
+        Self::new(&Graph::new(n), config)
+    }
+
+    /// Injects the solver used for full rebuilds (builder style). The umbrella
+    /// crate's `SolverRegistry::create_dynamic` resolves a registry name into
+    /// this slot. Solvers without dual export (the baselines) still work —
+    /// subsequent mid-damage epochs simply rebuild until duals exist again.
+    pub fn with_rebuild_solver(mut self, solver: Box<dyn MatchingSolver>) -> Self {
+        self.rebuild_solver = Some(solver);
+        self
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
+    }
+
+    /// The journaled overlay (read access).
+    pub fn overlay(&self) -> &GraphOverlay {
+        &self.overlay
+    }
+
+    /// The maintained matching in stable overlay edge ids.
+    pub fn matching(&self) -> &BMatching {
+        &self.matching
+    }
+
+    /// Weight of the maintained matching.
+    pub fn weight(&self) -> f64 {
+        self.matching.weight()
+    }
+
+    /// Number of epochs applied so far.
+    pub fn epochs(&self) -> usize {
+        self.epoch
+    }
+
+    /// The per-epoch ledger.
+    pub fn ledger(&self) -> &[EpochStats] {
+        &self.stats
+    }
+
+    /// Cumulative resource ledger across all epochs.
+    pub fn tracker(&self) -> &ResourceTracker {
+        &self.tracker
+    }
+
+    /// Materializes the current live graph (compacted ids; see
+    /// [`GraphOverlay::materialize`] for the id back-map).
+    pub fn current_graph(&self) -> Graph {
+        self.overlay.materialize().0
+    }
+
+    /// Compacts the overlay journal: dead edges are reclaimed and live edges
+    /// renumbered contiguously; the maintained matching follows the new ids
+    /// automatically (duals are vertex-keyed and unaffected). Returns the
+    /// old-id → new-id map (`usize::MAX` for dead ids) so callers that track
+    /// stable edge ids externally can follow. Never done implicitly — the
+    /// stable-id contract is part of the update API — but long sliding-window
+    /// sessions should call this periodically, or per-epoch costs grow with
+    /// the total journal length rather than the live graph size.
+    pub fn compact(&mut self) -> Vec<usize> {
+        let remap = self.overlay.compact();
+        let mut matching = BMatching::new();
+        for (id, e, mult) in self.matching.iter() {
+            debug_assert!(remap[id] != usize::MAX, "maintained matching only holds live edges");
+            matching.add(remap[id], e, mult);
+        }
+        self.matching = matching;
+        remap
+    }
+
+    /// Applies one epoch: stream `updates` through the engine (sharded,
+    /// charged, budget-enforced), journal them into the overlay, pick
+    /// repair / warm re-solve / rebuild by damage ratio, and return the
+    /// ledger row.
+    ///
+    /// The caller's `budget` supplies the parallelism override plus the
+    /// streamed-items limit, which is enforced **cumulatively across the
+    /// session**: ingestion/repair passes and the epoch's solver call all
+    /// draw from the same remaining allowance. Round/space/oracle limits
+    /// apply per solver call (they are checked post-hoc by the solver).
+    /// Epochs are atomic: if any stage errors after the updates were
+    /// journaled, the overlay is rolled back, so a caller can raise the
+    /// budget and re-submit the same batch without double-applying it.
+    pub fn apply_epoch(
+        &mut self,
+        updates: &[GraphUpdate],
+        budget: &ResourceBudget,
+    ) -> Result<EpochReport, MwmError> {
+        let workers = budget.parallelism().unwrap_or(self.config.parallelism).max(1);
+        let mut engine =
+            PassEngine::new(workers).with_budget(budget.pass_budget(self.tracker.items_streamed()));
+
+        // ---- 1. Charged sharded ingestion pass: damage summary ----
+        let mut damage = DamageSummary::default();
+        if !updates.is_empty() {
+            let source = UpdateSource::auto(updates);
+            let overlay = &self.overlay;
+            let shards = engine.pass_items(
+                &source,
+                |_| DamageSummary::default(),
+                |acc: &mut DamageSummary, (_seq, u): (usize, GraphUpdate)| acc.absorb(overlay, &u),
+            )?;
+            for shard in shards {
+                damage.merge(shard);
+            }
+        }
+        damage.touched.sort_unstable();
+        damage.touched.dedup();
+
+        // Everything past this point mutates the session and can still fail
+        // on a budget interrupt; snapshot the overlay so a failed epoch rolls
+        // back whole instead of leaving the batch half-adopted. The O(journal)
+        // clone is only paid when a limit is actually set.
+        let rollback = if budget.is_unlimited() { None } else { Some(self.overlay.clone()) };
+
+        // ---- 2. Sequential journal replay (updates take effect in order) ----
+        let mut applied = 0usize;
+        let mut rejected = 0usize;
+        let mut removal_scans = 0usize;
+        for update in updates {
+            match self.overlay.apply(update) {
+                Ok(_) => {
+                    applied += 1;
+                    if matches!(update, GraphUpdate::RemoveVertex { .. }) {
+                        removal_scans += 1;
+                    }
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        // A vertex removal scans the whole edge journal for incident edges;
+        // charge that data access honestly instead of hiding it behind the
+        // one-item-per-update ingestion charge.
+        if removal_scans > 0 {
+            engine.tracker_mut().charge_stream(removal_scans * self.overlay.next_edge_id());
+        }
+
+        // ---- 3. Survivors: previous matching minus dead/overloaded edges ----
+        let survivors = self.surviving_matching();
+
+        // ---- 4. Damage-ratio policy ----
+        let live_vertices = self.overlay.num_live_vertices().max(1);
+        let damage_ratio = (damage.touched.len() as f64 / live_vertices as f64).min(1.0);
+        let decision = if !self.bootstrapped {
+            EpochDecision::Rebuild
+        } else if damage_ratio <= self.config.repair_threshold {
+            EpochDecision::Repair
+        } else if damage_ratio <= self.config.rebuild_threshold && self.duals.is_some() {
+            EpochDecision::WarmResolve
+        } else {
+            EpochDecision::Rebuild
+        };
+
+        // ---- 5. Execute the decision on the materialized live graph ----
+        let (graph, back) = self.overlay.materialize();
+        // The solver enforces its streamed-items limit against a fresh
+        // tracker, so hand it only the session's *remaining* allowance —
+        // one cumulative limit, not a fresh one per solve.
+        let streamed_so_far = self.tracker.items_streamed() + engine.tracker().items_streamed();
+        let solver_budget = match budget.max_streamed_items() {
+            Some(limit) => budget.with_max_streamed_items(limit.saturating_sub(streamed_so_far)),
+            None => *budget,
+        };
+        let executed = self.execute_decision(
+            decision,
+            &mut engine,
+            &graph,
+            &back,
+            &damage.touched,
+            &survivors,
+            &solver_budget,
+            workers,
+        );
+        let (solve, solver_rounds) = match executed {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                if let Some(previous) = rollback {
+                    self.overlay = previous;
+                }
+                return Err(err);
+            }
+        };
+        self.bootstrapped = true;
+
+        // ---- 6. Optional audit: certified cold recompute + drift ----
+        let audit = if self.config.audit_every > 0
+            && (self.epoch + 1).is_multiple_of(self.config.audit_every)
+        {
+            let oracle = DualPrimalSolver::new(self.config.solver_config(workers))?
+                .solve(&graph, &ResourceBudget::unlimited())?;
+            let fwd = forward_map(&back, self.overlay.next_edge_id());
+            let ours = to_materialized_ids(&self.matching, &fwd, &graph);
+            let cert = certify_b_matching(&graph, &ours);
+            self.tracker.merge(&oracle.tracker);
+            Some(EpochAudit {
+                oracle_weight: oracle.weight,
+                weight_drift: (oracle.weight - self.matching.weight()) / oracle.weight.max(1e-12),
+                feasible: cert.feasible,
+            })
+        } else {
+            None
+        };
+
+        // ---- 7. Ledger row ----
+        let epoch_tracker = engine.into_tracker();
+        let epoch_rounds = epoch_tracker.rounds() + solver_rounds;
+        let mut streamed = epoch_tracker.items_streamed();
+        self.tracker.merge(&epoch_tracker);
+        if let Some(report) = &solve {
+            self.tracker.merge(&report.tracker);
+            streamed += report.tracker.items_streamed();
+        }
+        let stats = EpochStats {
+            epoch: self.epoch,
+            version: self.overlay.version(),
+            updates_applied: applied,
+            updates_rejected: rejected,
+            inserts: damage.inserts,
+            deletes: damage.deletes,
+            reweights: damage.reweights,
+            vertex_ops: damage.vertex_ops,
+            capacity_ops: damage.capacity_ops,
+            touched_vertices: damage.touched.len(),
+            damage_ratio,
+            decision,
+            epoch_rounds,
+            solver_rounds,
+            streamed_items: streamed,
+            weight: self.matching.weight(),
+            matching_edges: self.matching.num_edges(),
+            audit,
+        };
+        self.stats.push(stats.clone());
+        self.epoch += 1;
+        Ok(EpochReport { stats, solve })
+    }
+
+    /// Runs the fallible core of an epoch (repair pass or solver call) and
+    /// adopts the result. Split out so [`DynamicMatcher::apply_epoch`] can
+    /// roll the journal back when any stage errors: nothing here mutates the
+    /// session before its stage has fully succeeded.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_decision(
+        &mut self,
+        decision: EpochDecision,
+        engine: &mut PassEngine,
+        graph: &Graph,
+        back: &[EdgeId],
+        touched: &[VertexId],
+        survivors: &BMatching,
+        budget: &ResourceBudget,
+        workers: usize,
+    ) -> Result<(Option<SolveReport>, usize), MwmError> {
+        match decision {
+            EpochDecision::Repair => {
+                self.matching = self.repair(engine, graph, back, touched, survivors)?;
+                Ok((None, 0))
+            }
+            EpochDecision::WarmResolve => {
+                let fwd = forward_map(back, self.overlay.next_edge_id());
+                let hint = to_materialized_ids(survivors, &fwd, graph);
+                let warm = WarmStartState {
+                    // The branch is only reachable when duals exist.
+                    duals: self.duals.clone().expect("WarmResolve requires stored duals"),
+                    hint,
+                };
+                let solver = DualPrimalSolver::new(self.config.solver_config(workers))?;
+                let report = solver.solve_warm(graph, budget, &warm)?;
+                let rounds = report.rounds();
+                self.adopt_report(&report, back);
+                Ok((Some(report), rounds))
+            }
+            EpochDecision::Rebuild => {
+                let report = match &self.rebuild_solver {
+                    Some(solver) => solver.solve(graph, budget)?,
+                    None => DualPrimalSolver::new(self.config.solver_config(workers))?
+                        .solve(graph, budget)?,
+                };
+                let rounds = report.rounds();
+                self.adopt_report(&report, back);
+                Ok((Some(report), rounds))
+            }
+        }
+    }
+
+    /// Adopts a solver report produced on the materialized graph: the matching
+    /// is remapped to stable overlay ids and the exported duals (if any)
+    /// become the next warm-start seed.
+    fn adopt_report(&mut self, report: &SolveReport, back: &[EdgeId]) {
+        let mut matching = BMatching::new();
+        for (mid, e, mult) in report.matching.iter() {
+            matching.add(back[mid], e, mult);
+        }
+        self.matching = matching;
+        self.duals = report.final_duals.clone();
+    }
+
+    /// The previous matching restricted to edges that are still alive (with
+    /// their *current* weights) and re-packed greedily — heaviest first, edge
+    /// id as the tie-break — so capacity reductions never leave an infeasible
+    /// survivor set.
+    fn surviving_matching(&self) -> BMatching {
+        let mut entries: Vec<(EdgeId, Edge, u64)> = self
+            .matching
+            .iter()
+            .filter_map(|(id, _, mult)| self.overlay.live_edge(id).map(|e| (id, e, mult)))
+            .collect();
+        entries.sort_by(|a, b| b.1.w.total_cmp(&a.1.w).then(a.0.cmp(&b.0)));
+        let slots = self.overlay.num_vertex_slots();
+        let mut residual: Vec<u64> = (0..slots)
+            .map(|v| {
+                let v = v as VertexId;
+                if self.overlay.is_live_vertex(v) {
+                    self.overlay.capacity(v)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut out = BMatching::new();
+        for (id, e, mult) in entries {
+            let take = mult.min(residual[e.u as usize]).min(residual[e.v as usize]);
+            if take > 0 {
+                residual[e.u as usize] -= take;
+                residual[e.v as usize] -= take;
+                out.add(id, e, take);
+            }
+        }
+        out
+    }
+
+    /// Localized repair: one charged sharded pass collects the candidate
+    /// edges incident to touched vertices; the 1-hop active region is then
+    /// improved by 2-swap/augmentation local search (unit capacities) or
+    /// greedy b-matching (general capacities) on top of the frozen remainder
+    /// of the surviving matching. A global greedy pass provides the ½-floor
+    /// safety net; the heavier candidate wins (repair on ties). Returns the
+    /// repaired matching in overlay ids.
+    fn repair(
+        &self,
+        engine: &mut PassEngine,
+        graph: &Graph,
+        back: &[EdgeId],
+        touched: &[VertexId],
+        survivors: &BMatching,
+    ) -> Result<BMatching, MwmError> {
+        let n = graph.num_vertices();
+        if graph.num_edges() == 0 {
+            return Ok(BMatching::new());
+        }
+        let mut active = vec![false; n];
+        for &v in touched {
+            if (v as usize) < n {
+                active[v as usize] = true;
+            }
+        }
+        let is_touched = active.clone();
+
+        // Charged pass: candidate repair edges = edges incident to touched
+        // vertices (per-shard lists merged in shard order → ascending ids).
+        let source = GraphSource::auto(graph);
+        let shards = engine.pass_shards(
+            &source,
+            |_| Vec::new(),
+            |acc: &mut Vec<EdgeId>, id, e| {
+                if is_touched[e.u as usize] || is_touched[e.v as usize] {
+                    acc.push(id);
+                }
+            },
+        )?;
+        let eligible: Vec<EdgeId> = shards.into_iter().flatten().collect();
+        for &id in &eligible {
+            let e = graph.edge(id);
+            active[e.u as usize] = true;
+            active[e.v as usize] = true;
+        }
+
+        let fwd = forward_map(back, self.overlay.next_edge_id());
+
+        // Split survivors: frozen edges (no endpoint active) keep their
+        // capacity; edges in the active region become the repair seed.
+        let mut frozen = BMatching::new();
+        let mut seed_mids: Vec<(usize, u64)> = Vec::new();
+        for (oid, e, mult) in survivors.iter() {
+            let mid = fwd[oid];
+            debug_assert!(mid != usize::MAX, "survivor edge must be alive");
+            if active[e.u as usize] || active[e.v as usize] {
+                seed_mids.push((mid, mult));
+            } else {
+                frozen.add(oid, e, mult);
+            }
+        }
+
+        // Residual capacities after the frozen part.
+        let frozen_loads = frozen.vertex_loads(n);
+        let residual: Vec<u64> =
+            (0..n).map(|v| graph.b(v as VertexId).saturating_sub(frozen_loads[v])).collect();
+
+        // The repair subgraph: candidate + seed edges whose endpoints both
+        // retain residual capacity, in ascending materialized-id order.
+        let mut ids: Vec<EdgeId> = eligible;
+        ids.extend(seed_mids.iter().map(|&(mid, _)| mid));
+        ids.sort_unstable();
+        ids.dedup();
+        let mut sub = Graph::with_capacities(residual.clone());
+        let mut sub_back: Vec<EdgeId> = Vec::new();
+        let mut sub_of = vec![usize::MAX; graph.num_edges()];
+        for &mid in &ids {
+            let e = graph.edge(mid);
+            if residual[e.u as usize] > 0 && residual[e.v as usize] > 0 {
+                sub_of[mid] = sub_back.len();
+                sub.add_edge(e.u, e.v, e.w);
+                sub_back.push(mid);
+            }
+        }
+
+        let unit_caps = (0..n).all(|v| graph.b(v as VertexId) == 1);
+        let improved_sub: BMatching = if unit_caps {
+            let mut seed = Matching::new();
+            for &(mid, _) in &seed_mids {
+                if sub_of[mid] != usize::MAX {
+                    seed.push(sub_of[mid], graph.edge(mid));
+                }
+            }
+            improve_matching(&sub, seed).to_b_matching()
+        } else {
+            // General capacities: greedy on the residual subgraph vs the seed
+            // restricted to it — take the heavier (deterministic tie: seed).
+            let greedy = greedy_b_matching(&sub);
+            let mut seed = BMatching::new();
+            for &(mid, mult) in &seed_mids {
+                if sub_of[mid] != usize::MAX {
+                    let take = mult
+                        .min(residual[graph.edge(mid).u as usize])
+                        .min(residual[graph.edge(mid).v as usize]);
+                    if take > 0 {
+                        seed.add(sub_of[mid], graph.edge(mid), take);
+                    }
+                }
+            }
+            if greedy.weight() > seed.weight() {
+                greedy
+            } else {
+                seed
+            }
+        };
+
+        let mut candidate = frozen;
+        for (sid, e, mult) in improved_sub.iter() {
+            candidate.add(back[sub_back[sid]], e, mult);
+        }
+
+        // Global safety net: one more charged pass worth of data access for a
+        // fresh greedy ½-approximation; keeps every repair epoch above half
+        // of any from-scratch solve no matter how unlucky the local region.
+        engine.tracker_mut().charge_round();
+        engine.tracker_mut().charge_stream(graph.num_edges());
+        let safety = greedy_b_matching(graph);
+        if safety.weight() > candidate.weight() {
+            let mut remapped = BMatching::new();
+            for (mid, e, mult) in safety.iter() {
+                remapped.add(back[mid], e, mult);
+            }
+            return Ok(remapped);
+        }
+        Ok(candidate)
+    }
+}
+
+/// Inverts a materialize back-map: overlay id → materialized id
+/// (`usize::MAX` for dead edges).
+fn forward_map(back: &[EdgeId], overlay_edges: usize) -> Vec<usize> {
+    let mut fwd = vec![usize::MAX; overlay_edges];
+    for (mid, &oid) in back.iter().enumerate() {
+        fwd[oid] = mid;
+    }
+    fwd
+}
+
+/// Remaps an overlay-id b-matching into materialized ids, dropping entries
+/// whose edge died (belt-and-braces; survivors are alive by construction).
+fn to_materialized_ids(bm: &BMatching, fwd: &[usize], graph: &Graph) -> BMatching {
+    let mut out = BMatching::new();
+    for (oid, _, mult) in bm.iter() {
+        if let Some(&mid) = fwd.get(oid) {
+            if mid != usize::MAX {
+                out.add(mid, graph.edge(mid), mult);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwm_graph::generators::{self, WeightModel};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn base_graph(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::gnm(40, 160, WeightModel::Uniform(1.0, 9.0), &mut rng)
+    }
+
+    fn config() -> DynamicConfig {
+        DynamicConfig { eps: 0.25, p: 2.0, seed: 7, ..Default::default() }
+    }
+
+    /// Deterministic pseudo-random update batch generator for tests.
+    fn batch(overlay_edges: usize, n: usize, seed: u64, size: usize) -> Vec<GraphUpdate> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..size)
+            .map(|_| match rng.gen_range(0..3u32) {
+                0 => GraphUpdate::InsertEdge {
+                    u: rng.gen_range(0..n as u32),
+                    v: rng.gen_range(0..n as u32),
+                    w: rng.gen_range(1.0..9.0),
+                },
+                1 => GraphUpdate::DeleteEdge { id: rng.gen_range(0..overlay_edges.max(1)) },
+                _ => GraphUpdate::ReweightEdge {
+                    id: rng.gen_range(0..overlay_edges.max(1)),
+                    w: rng.gen_range(1.0..9.0),
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn first_epoch_rebuilds_and_later_small_batches_repair() {
+        let g = base_graph(1);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        let r0 = dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(r0.stats.decision, EpochDecision::Rebuild);
+        assert!(r0.stats.weight > 0.0);
+        assert!(r0.solve.is_some());
+
+        // A two-update batch touches ≤ 4 of 40 vertices but > 5% → pick a
+        // single delete (2/40 = 5% = threshold boundary inclusive).
+        let upd = vec![GraphUpdate::DeleteEdge { id: 0 }];
+        let r1 = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(r1.stats.decision, EpochDecision::Repair);
+        assert!(r1.solve.is_none());
+        assert_eq!(r1.stats.solver_rounds, 0);
+        let (graph, _) = dm.overlay().materialize();
+        let fwd = forward_map(&dm.overlay().materialize().1, dm.overlay().next_edge_id());
+        let ours = to_materialized_ids(dm.matching(), &fwd, &graph);
+        assert!(ours.is_valid(&graph), "repaired matching must stay feasible");
+    }
+
+    #[test]
+    fn medium_damage_warm_resolves_with_fewer_rounds_than_cold() {
+        let g = base_graph(2);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        let cold = dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let cold_rounds = cold.stats.solver_rounds;
+
+        // Touch ~25% of the graph: between the thresholds → warm re-solve.
+        let upd = batch(dm.overlay().next_edge_id(), 40, 5, 8);
+        let r = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(r.stats.decision, EpochDecision::WarmResolve, "ratio {}", r.stats.damage_ratio);
+        let report = r.solve.expect("warm epochs carry a solver report");
+        assert_eq!(report.stat("warm_started"), Some(1.0));
+        assert!(
+            r.stats.solver_rounds < cold_rounds,
+            "warm rounds {} must beat cold rounds {cold_rounds}",
+            r.stats.solver_rounds
+        );
+    }
+
+    #[test]
+    fn huge_damage_rebuilds() {
+        let g = base_graph(3);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let upd = batch(dm.overlay().next_edge_id(), 40, 11, 400);
+        let r = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(r.stats.decision, EpochDecision::Rebuild, "ratio {}", r.stats.damage_ratio);
+    }
+
+    #[test]
+    fn epochs_are_bit_identical_across_parallelism() {
+        let g = base_graph(4);
+        let mut fingerprints = Vec::new();
+        for workers in [1usize, 4] {
+            let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+            let budget = ResourceBudget::unlimited().with_parallelism(workers);
+            let mut fp = Vec::new();
+            dm.apply_epoch(&[], &budget).unwrap();
+            for round in 0..4u64 {
+                let upd = batch(dm.overlay().next_edge_id(), 40, 100 + round, 12);
+                let r = dm.apply_epoch(&upd, &budget).unwrap();
+                fp.push((r.stats.decision, r.stats.weight.to_bits(), r.stats.touched_vertices));
+            }
+            let mut edges: Vec<(EdgeId, u64)> =
+                dm.matching().iter().map(|(id, _, m)| (id, m)).collect();
+            edges.sort_unstable();
+            fingerprints.push((fp, edges));
+        }
+        assert_eq!(fingerprints[0], fingerprints[1], "parallelism changed a dynamic session");
+    }
+
+    #[test]
+    fn final_matching_stays_within_floor_of_cold_solve() {
+        let g = base_graph(6);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        for round in 0..5u64 {
+            let upd = batch(dm.overlay().next_edge_id(), 40, 600 + round, 20);
+            dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        }
+        let graph = dm.current_graph();
+        let cold = DualPrimalSolver::new(dm.config().solver_config(1))
+            .unwrap()
+            .solve(&graph, &ResourceBudget::unlimited())
+            .unwrap();
+        assert!(
+            dm.weight() >= 0.66 * cold.weight,
+            "dynamic weight {} below floor of cold {}",
+            dm.weight(),
+            cold.weight
+        );
+    }
+
+    #[test]
+    fn vertex_churn_and_capacity_changes_stay_feasible() {
+        let mut g = base_graph(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        generators::randomize_capacities(&mut g, 3, &mut rng);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let upd = vec![
+            GraphUpdate::AddVertex { b: 2 },
+            GraphUpdate::InsertEdge { u: 40, v: 0, w: 8.5 },
+            GraphUpdate::SetCapacity { v: 1, b: 1 },
+            GraphUpdate::RemoveVertex { v: 2 },
+        ];
+        let r = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(r.stats.updates_applied, 4);
+        let (graph, back) = dm.overlay().materialize();
+        let fwd = forward_map(&back, dm.overlay().next_edge_id());
+        let ours = to_materialized_ids(dm.matching(), &fwd, &graph);
+        assert!(ours.is_valid(&graph));
+        assert!(!dm.overlay().is_live_vertex(2));
+    }
+
+    #[test]
+    fn rejected_updates_are_counted_not_fatal() {
+        let g = base_graph(10);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let upd = vec![
+            GraphUpdate::DeleteEdge { id: 999_999 },
+            GraphUpdate::DeleteEdge { id: 0 },
+            GraphUpdate::InsertEdge { u: 0, v: 0, w: 1.0 },
+        ];
+        let r = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(r.stats.updates_applied, 1);
+        assert_eq!(r.stats.updates_rejected, 2);
+    }
+
+    #[test]
+    fn stream_budget_interrupts_update_ingestion() {
+        let g = base_graph(12);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let already = dm.tracker().items_streamed();
+        let upd = batch(dm.overlay().next_edge_id(), 40, 13, 5_000);
+        let tight = ResourceBudget::unlimited().with_max_streamed_items(already + 100);
+        match dm.apply_epoch(&upd, &tight) {
+            Err(MwmError::BudgetExceeded { resource, .. }) => {
+                assert_eq!(resource, "streamed items");
+            }
+            other => panic!("expected BudgetExceeded, got {:?}", other.map(|r| r.stats.decision)),
+        }
+    }
+
+    #[test]
+    fn failed_epochs_roll_back_the_journal_and_retries_do_not_double_apply() {
+        let g = base_graph(18);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let version = dm.overlay().version();
+        let next_id = dm.overlay().next_edge_id();
+        let live = dm.overlay().num_live_edges();
+        let weight = dm.weight();
+
+        // A batch that passes ingestion but whose solve/repair work cannot
+        // fit the remaining allowance: the ingestion pass streams the batch,
+        // then the decision stage trips the budget.
+        let upd = batch(next_id, 40, 21, 30);
+        let limit = dm.tracker().items_streamed() + upd.len() + 8;
+        let tight = ResourceBudget::unlimited().with_max_streamed_items(limit);
+        let err = dm.apply_epoch(&upd, &tight).unwrap_err();
+        assert!(matches!(err, MwmError::BudgetExceeded { .. }));
+        assert_eq!(dm.overlay().version(), version, "failed epoch must roll back the journal");
+        assert_eq!(dm.overlay().next_edge_id(), next_id);
+        assert_eq!(dm.overlay().num_live_edges(), live);
+        assert_eq!(dm.weight(), weight);
+        assert_eq!(dm.epochs(), 1, "failed epoch is not recorded");
+
+        // The retry with room to spare applies the batch exactly once.
+        let r = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(r.stats.updates_applied + r.stats.updates_rejected, upd.len());
+        let inserts = upd.iter().filter(|u| matches!(u, GraphUpdate::InsertEdge { .. })).count();
+        assert_eq!(dm.overlay().next_edge_id(), next_id + inserts, "no double-applied inserts");
+    }
+
+    #[test]
+    fn solver_budget_is_session_cumulative() {
+        // A limit below what even the bootstrap solve needs must trip inside
+        // the solver too — the session allowance is one pool, not a fresh
+        // per-solve grant.
+        let g = base_graph(20);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        let tight = ResourceBudget::unlimited().with_max_streamed_items(50);
+        let err = dm.apply_epoch(&[], &tight).unwrap_err();
+        assert!(matches!(err, MwmError::BudgetExceeded { .. }));
+        assert_eq!(dm.epochs(), 0);
+        // With the budget lifted the same session bootstraps fine.
+        assert!(dm.apply_epoch(&[], &ResourceBudget::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn compaction_preserves_the_session_and_renumbers_the_matching() {
+        let g = base_graph(22);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let upd = batch(dm.overlay().next_edge_id(), 40, 23, 25);
+        dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        let weight = dm.weight();
+        let edges = dm.matching().num_edges();
+
+        let remap = dm.compact();
+        assert!(remap.contains(&usize::MAX), "dead edges were reclaimed");
+        assert_eq!(dm.overlay().next_edge_id(), dm.overlay().num_live_edges());
+        assert_eq!(dm.weight(), weight, "compaction must not change the matching");
+        assert_eq!(dm.matching().num_edges(), edges);
+        for (id, _, _) in dm.matching().iter() {
+            assert!(dm.overlay().live_edge(id).is_some(), "matching ids follow the remap");
+        }
+        // The session keeps working on the renumbered journal.
+        let more = batch(dm.overlay().next_edge_id(), 40, 24, 10);
+        let r = dm.apply_epoch(&more, &ResourceBudget::unlimited()).unwrap();
+        assert!(r.stats.updates_applied > 0);
+    }
+
+    #[test]
+    fn audit_records_drift_and_feasibility() {
+        let g = base_graph(14);
+        let cfg = DynamicConfig { audit_every: 2, ..config() };
+        let mut dm = DynamicMatcher::new(&g, cfg).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let upd = batch(dm.overlay().next_edge_id(), 40, 15, 10);
+        let r = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        let audit = r.stats.audit.expect("epoch 1 (2nd) must be audited");
+        assert!(audit.feasible);
+        assert!(audit.weight_drift < 0.5, "drift {} suspiciously large", audit.weight_drift);
+        assert!(dm.ledger()[0].audit.is_none());
+    }
+
+    #[test]
+    fn invalid_thresholds_are_rejected() {
+        let g = base_graph(16);
+        let bad = DynamicConfig { repair_threshold: 0.6, rebuild_threshold: 0.5, ..config() };
+        assert!(DynamicMatcher::new(&g, bad).is_err());
+        let bad2 = DynamicConfig { dual_decay: 0.0, ..config() };
+        assert!(DynamicMatcher::new(&g, bad2).is_err());
+    }
+}

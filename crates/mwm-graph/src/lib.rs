@@ -11,6 +11,8 @@
 //! * [`laminar`]: laminar families of odd sets (Theorem 22).
 //! * [`union_find`]: a union-find used by sketches, sparsifiers and connectivity.
 //! * [`odd_sets`]: odd-set utilities used by the relaxations of Section 3.
+//! * [`overlay`]: the journaled [`GraphOverlay`] + [`GraphUpdate`] delta layer
+//!   the dynamic matching subsystem edits between epochs.
 
 pub mod generators;
 pub mod graph;
@@ -18,10 +20,12 @@ pub mod laminar;
 pub mod levels;
 pub mod matching;
 pub mod odd_sets;
+pub mod overlay;
 pub mod union_find;
 
 pub use graph::{Edge, EdgeId, Graph, VertexId};
 pub use laminar::LaminarFamily;
 pub use levels::{LevelledEdge, WeightLevels};
 pub use matching::{BMatching, Matching};
+pub use overlay::{AppliedUpdate, GraphOverlay, GraphUpdate, UpdateError};
 pub use union_find::UnionFind;

@@ -1,0 +1,476 @@
+//! A journaled delta overlay on [`Graph`]: the mutable view a stream of
+//! [`GraphUpdate`]s edits between matching epochs.
+//!
+//! The paper's model treats the edge list as a read-only input; a serving
+//! system never gets that luxury — edges arrive, expire and change weight
+//! continuously. [`GraphOverlay`] keeps the canonical edge list *append-only*
+//! (edge ids are stable: base edges keep their ids, inserts append, and only
+//! an explicit [`GraphOverlay::compact`] renumbers) and records deletions,
+//! reweights, vertex additions/removals and capacity changes in place, with
+//! a monotonically increasing [`GraphOverlay::version`] bumped once per
+//! applied update. Edge updates are O(1); [`GraphUpdate::RemoveVertex`]
+//! scans the journal for incident edges (callers charging data access should
+//! account for that scan). Tombstoned deletes are kept until compaction, so
+//! a long-lived session's journal grows with total churn, not live size —
+//! epoch engines should compact periodically. An epoch engine materializes a
+//! compacted [`Graph`] of the live edges on demand, together with a back-map
+//! from materialized edge ids to stable overlay ids.
+
+use crate::graph::{Edge, EdgeId, Graph, VertexId};
+use std::fmt;
+
+/// One mutation of the evolving graph. All variants are `Copy`, so batches of
+/// updates can be sharded and streamed like edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphUpdate {
+    /// Adds an undirected edge `{u, v}` with weight `w > 0`; the new edge
+    /// receives the next stable overlay id (see [`GraphOverlay::next_edge_id`]).
+    InsertEdge {
+        /// One endpoint.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+        /// Positive finite weight.
+        w: f64,
+    },
+    /// Removes the edge with stable overlay id `id`.
+    DeleteEdge {
+        /// Stable overlay edge id.
+        id: EdgeId,
+    },
+    /// Changes the weight of the edge with stable overlay id `id` to `w > 0`.
+    ReweightEdge {
+        /// Stable overlay edge id.
+        id: EdgeId,
+        /// The new positive finite weight.
+        w: f64,
+    },
+    /// Appends a new vertex with b-matching capacity `b ≥ 1`; its id is the
+    /// current vertex count.
+    AddVertex {
+        /// Capacity of the new vertex.
+        b: u64,
+    },
+    /// Removes vertex `v` and deletes every live edge incident to it.
+    RemoveVertex {
+        /// The vertex to remove.
+        v: VertexId,
+    },
+    /// Sets the capacity of vertex `v` to `b ≥ 1`.
+    SetCapacity {
+        /// The vertex whose capacity changes.
+        v: VertexId,
+        /// The new capacity.
+        b: u64,
+    },
+}
+
+/// Why an update was rejected. Rejected updates leave the overlay unchanged;
+/// an epoch engine counts them and moves on (a malformed update in a stream
+/// of millions must not poison the epoch).
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateError {
+    /// The referenced edge id does not exist or is already deleted.
+    DeadEdge(EdgeId),
+    /// The referenced vertex does not exist or is already removed.
+    DeadVertex(VertexId),
+    /// An edge weight was non-positive or non-finite.
+    BadWeight(f64),
+    /// A capacity below 1 was requested.
+    BadCapacity(u64),
+    /// A self-loop insert was requested.
+    SelfLoop(VertexId),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::DeadEdge(id) => write!(f, "edge {id} does not exist or was deleted"),
+            UpdateError::DeadVertex(v) => write!(f, "vertex {v} does not exist or was removed"),
+            UpdateError::BadWeight(w) => write!(f, "weight {w} must be positive and finite"),
+            UpdateError::BadCapacity(b) => write!(f, "capacity {b} must be at least 1"),
+            UpdateError::SelfLoop(v) => write!(f, "self-loop at vertex {v} rejected"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// The summary of one applied update: which vertices it touched (the damage
+/// policy of the dynamic matcher is vertex-local) and whether it killed edges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AppliedUpdate {
+    /// Vertices whose incident structure changed.
+    pub touched: Vec<VertexId>,
+    /// Overlay ids of edges this update deleted (several for vertex removal).
+    pub deleted_edges: Vec<EdgeId>,
+    /// Overlay id of an edge this update inserted or reweighted.
+    pub changed_edge: Option<EdgeId>,
+}
+
+/// A journaled, versioned delta overlay over a base [`Graph`].
+#[derive(Clone, Debug)]
+pub struct GraphOverlay {
+    /// All edges ever journaled (base edges then inserts), by stable id.
+    edges: Vec<Edge>,
+    /// Liveness per stable edge id.
+    alive: Vec<bool>,
+    /// Capacities per vertex (including removed vertices, frozen at removal).
+    capacities: Vec<u64>,
+    /// Removal marker per vertex.
+    removed: Vec<bool>,
+    live_edges: usize,
+    live_vertices: usize,
+    version: u64,
+    applied: u64,
+}
+
+impl GraphOverlay {
+    /// Wraps a base graph. The base is copied once (`O(n + m)`); afterwards
+    /// the overlay is self-contained.
+    pub fn new(base: &Graph) -> Self {
+        GraphOverlay {
+            edges: base.edges().to_vec(),
+            alive: vec![true; base.num_edges()],
+            capacities: base.capacities().to_vec(),
+            removed: vec![false; base.num_vertices()],
+            live_edges: base.num_edges(),
+            live_vertices: base.num_vertices(),
+            version: 0,
+            applied: 0,
+        }
+    }
+
+    /// An overlay over an initially empty graph on `n` unit-capacity vertices.
+    pub fn empty(n: usize) -> Self {
+        Self::new(&Graph::new(n))
+    }
+
+    /// Monotone version counter: bumped once per successfully applied update.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total updates successfully applied over the overlay's lifetime.
+    pub fn updates_applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Vertex slots (live and removed); also the id the next
+    /// [`GraphUpdate::AddVertex`] will receive.
+    pub fn num_vertex_slots(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Currently live (non-removed) vertices.
+    pub fn num_live_vertices(&self) -> usize {
+        self.live_vertices
+    }
+
+    /// Currently live edges.
+    pub fn num_live_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// The stable id the next [`GraphUpdate::InsertEdge`] will receive.
+    /// Deterministic, so an update generator can pre-compute ids for deletes.
+    pub fn next_edge_id(&self) -> EdgeId {
+        self.edges.len()
+    }
+
+    /// The live edge with stable id `id`, if it exists and is alive.
+    pub fn live_edge(&self, id: EdgeId) -> Option<Edge> {
+        if self.alive.get(id).copied().unwrap_or(false) {
+            Some(self.edges[id])
+        } else {
+            None
+        }
+    }
+
+    /// True if vertex `v` exists and has not been removed.
+    pub fn is_live_vertex(&self, v: VertexId) -> bool {
+        (v as usize) < self.removed.len() && !self.removed[v as usize]
+    }
+
+    /// Capacity of vertex `v` (frozen at its last value for removed vertices).
+    pub fn capacity(&self, v: VertexId) -> u64 {
+        self.capacities[v as usize]
+    }
+
+    /// The vertices an update *would* touch, resolved against the current
+    /// state without applying anything. Used by the sharded damage pass, which
+    /// runs before the sequential apply; updates referencing ids created
+    /// later in the same batch resolve to nothing here (they are still
+    /// applied correctly by [`GraphOverlay::apply`]).
+    pub fn touched_by(&self, update: &GraphUpdate) -> Vec<VertexId> {
+        match *update {
+            GraphUpdate::InsertEdge { u, v, .. } => vec![u, v],
+            GraphUpdate::DeleteEdge { id } | GraphUpdate::ReweightEdge { id, .. } => {
+                self.live_edge(id).map(|e| vec![e.u, e.v]).unwrap_or_default()
+            }
+            GraphUpdate::AddVertex { .. } => vec![self.num_vertex_slots() as VertexId],
+            GraphUpdate::RemoveVertex { v } => {
+                let mut touched = vec![v];
+                for (id, e) in self.edges.iter().enumerate() {
+                    if self.alive[id] && e.is_incident(v) {
+                        touched.push(e.other(v));
+                    }
+                }
+                touched
+            }
+            GraphUpdate::SetCapacity { v, .. } => vec![v],
+        }
+    }
+
+    /// Applies one update, bumping the version on success. Rejected updates
+    /// (dead ids, bad weights, …) leave every field untouched.
+    pub fn apply(&mut self, update: &GraphUpdate) -> Result<AppliedUpdate, UpdateError> {
+        let applied = match *update {
+            GraphUpdate::InsertEdge { u, v, w } => {
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(UpdateError::BadWeight(w));
+                }
+                if u == v {
+                    return Err(UpdateError::SelfLoop(u));
+                }
+                if !self.is_live_vertex(u) {
+                    return Err(UpdateError::DeadVertex(u));
+                }
+                if !self.is_live_vertex(v) {
+                    return Err(UpdateError::DeadVertex(v));
+                }
+                let id = self.edges.len();
+                self.edges.push(Edge::new(u, v, w));
+                self.alive.push(true);
+                self.live_edges += 1;
+                AppliedUpdate {
+                    touched: vec![u, v],
+                    deleted_edges: Vec::new(),
+                    changed_edge: Some(id),
+                }
+            }
+            GraphUpdate::DeleteEdge { id } => {
+                let e = self.live_edge(id).ok_or(UpdateError::DeadEdge(id))?;
+                self.alive[id] = false;
+                self.live_edges -= 1;
+                AppliedUpdate {
+                    touched: vec![e.u, e.v],
+                    deleted_edges: vec![id],
+                    changed_edge: None,
+                }
+            }
+            GraphUpdate::ReweightEdge { id, w } => {
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(UpdateError::BadWeight(w));
+                }
+                let e = self.live_edge(id).ok_or(UpdateError::DeadEdge(id))?;
+                self.edges[id].w = w;
+                AppliedUpdate {
+                    touched: vec![e.u, e.v],
+                    deleted_edges: Vec::new(),
+                    changed_edge: Some(id),
+                }
+            }
+            GraphUpdate::AddVertex { b } => {
+                if b < 1 {
+                    return Err(UpdateError::BadCapacity(b));
+                }
+                let v = self.capacities.len() as VertexId;
+                self.capacities.push(b);
+                self.removed.push(false);
+                self.live_vertices += 1;
+                AppliedUpdate { touched: vec![v], deleted_edges: Vec::new(), changed_edge: None }
+            }
+            GraphUpdate::RemoveVertex { v } => {
+                if !self.is_live_vertex(v) {
+                    return Err(UpdateError::DeadVertex(v));
+                }
+                let mut deleted = Vec::new();
+                let mut touched = vec![v];
+                for id in 0..self.edges.len() {
+                    if self.alive[id] && self.edges[id].is_incident(v) {
+                        self.alive[id] = false;
+                        self.live_edges -= 1;
+                        deleted.push(id);
+                        touched.push(self.edges[id].other(v));
+                    }
+                }
+                self.removed[v as usize] = true;
+                self.live_vertices -= 1;
+                AppliedUpdate { touched, deleted_edges: deleted, changed_edge: None }
+            }
+            GraphUpdate::SetCapacity { v, b } => {
+                if b < 1 {
+                    return Err(UpdateError::BadCapacity(b));
+                }
+                if !self.is_live_vertex(v) {
+                    return Err(UpdateError::DeadVertex(v));
+                }
+                self.capacities[v as usize] = b;
+                AppliedUpdate { touched: vec![v], deleted_edges: Vec::new(), changed_edge: None }
+            }
+        };
+        self.version += 1;
+        self.applied += 1;
+        Ok(applied)
+    }
+
+    /// Compacts the journal: dead edges are reclaimed and live edges are
+    /// renumbered contiguously in order. Returns the old-id → new-id map
+    /// (`usize::MAX` for dead ids). This deliberately breaks the stable-id
+    /// contract — callers that precompute ids (update generators, stored
+    /// matchings) must consume the remap — so it is never done implicitly.
+    /// Bumps the version; vertex ids are untouched.
+    pub fn compact(&mut self) -> Vec<usize> {
+        let mut remap = vec![usize::MAX; self.edges.len()];
+        let mut live = Vec::with_capacity(self.live_edges);
+        for (id, &e) in self.edges.iter().enumerate() {
+            if self.alive[id] {
+                remap[id] = live.len();
+                live.push(e);
+            }
+        }
+        self.edges = live;
+        self.alive = vec![true; self.edges.len()];
+        self.version += 1;
+        remap
+    }
+
+    /// Materializes the current live graph plus the back-map from materialized
+    /// edge ids to stable overlay ids. Removed vertices keep their slots (with
+    /// capacity 1 and no incident edges) so vertex ids stay stable across the
+    /// overlay's whole lifetime — a dual snapshot exported three epochs ago
+    /// still names the right vertices.
+    pub fn materialize(&self) -> (Graph, Vec<EdgeId>) {
+        let caps: Vec<u64> = self
+            .capacities
+            .iter()
+            .zip(&self.removed)
+            .map(|(&b, &dead)| if dead { 1 } else { b })
+            .collect();
+        let mut g = Graph::with_capacities(caps);
+        let mut back = Vec::with_capacity(self.live_edges);
+        for (id, e) in self.edges.iter().enumerate() {
+            if self.alive[id] {
+                g.add_edge(e.u, e.v, e.w);
+                back.push(id);
+            }
+        }
+        (g, back)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 3.0);
+        g
+    }
+
+    #[test]
+    fn insert_delete_reweight_round_trip() {
+        let mut ov = GraphOverlay::new(&base());
+        assert_eq!(ov.next_edge_id(), 3);
+        let a = ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 3, w: 4.0 }).unwrap();
+        assert_eq!(a.changed_edge, Some(3));
+        assert_eq!(ov.num_live_edges(), 4);
+        ov.apply(&GraphUpdate::DeleteEdge { id: 1 }).unwrap();
+        ov.apply(&GraphUpdate::ReweightEdge { id: 0, w: 9.0 }).unwrap();
+        assert_eq!(ov.version(), 3);
+        let (g, back) = ov.materialize();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(back, vec![0, 2, 3]);
+        assert_eq!(g.edge(0).w, 9.0);
+        assert_eq!(ov.live_edge(1), None);
+    }
+
+    #[test]
+    fn vertex_lifecycle_and_capacities() {
+        let mut ov = GraphOverlay::new(&base());
+        ov.apply(&GraphUpdate::AddVertex { b: 3 }).unwrap();
+        assert_eq!(ov.num_vertex_slots(), 5);
+        assert_eq!(ov.capacity(4), 3);
+        ov.apply(&GraphUpdate::InsertEdge { u: 4, v: 0, w: 1.5 }).unwrap();
+        ov.apply(&GraphUpdate::SetCapacity { v: 4, b: 2 }).unwrap();
+        let removed = ov.apply(&GraphUpdate::RemoveVertex { v: 1 }).unwrap();
+        assert_eq!(removed.deleted_edges, vec![0, 1]);
+        assert!(removed.touched.contains(&0) && removed.touched.contains(&2));
+        assert!(!ov.is_live_vertex(1));
+        assert_eq!(ov.num_live_vertices(), 4);
+        let (g, back) = ov.materialize();
+        assert_eq!(g.num_vertices(), 5, "removed vertices keep their slots");
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(back, vec![2, 3]);
+        assert!(g.bipartition().is_some() || g.num_edges() > 0);
+    }
+
+    #[test]
+    fn rejected_updates_change_nothing() {
+        let mut ov = GraphOverlay::new(&base());
+        let v0 = ov.version();
+        assert!(matches!(
+            ov.apply(&GraphUpdate::DeleteEdge { id: 99 }),
+            Err(UpdateError::DeadEdge(99))
+        ));
+        assert!(matches!(
+            ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 0, w: 1.0 }),
+            Err(UpdateError::SelfLoop(0))
+        ));
+        assert!(matches!(
+            ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 1, w: -1.0 }),
+            Err(UpdateError::BadWeight(_))
+        ));
+        assert!(matches!(
+            ov.apply(&GraphUpdate::SetCapacity { v: 0, b: 0 }),
+            Err(UpdateError::BadCapacity(0))
+        ));
+        ov.apply(&GraphUpdate::RemoveVertex { v: 3 }).unwrap();
+        assert!(matches!(
+            ov.apply(&GraphUpdate::RemoveVertex { v: 3 }),
+            Err(UpdateError::DeadVertex(3))
+        ));
+        assert_eq!(ov.version(), v0 + 1, "only the successful removal bumped the version");
+        assert_eq!(ov.num_live_edges(), 2);
+    }
+
+    #[test]
+    fn deleting_a_deleted_edge_is_dead() {
+        let mut ov = GraphOverlay::new(&base());
+        ov.apply(&GraphUpdate::DeleteEdge { id: 0 }).unwrap();
+        assert!(ov.apply(&GraphUpdate::DeleteEdge { id: 0 }).is_err());
+        assert!(ov.apply(&GraphUpdate::ReweightEdge { id: 0, w: 2.0 }).is_err());
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_edges_and_remaps() {
+        let mut ov = GraphOverlay::new(&base());
+        ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 3, w: 4.0 }).unwrap();
+        ov.apply(&GraphUpdate::DeleteEdge { id: 1 }).unwrap();
+        let before = ov.materialize().0;
+        let remap = ov.compact();
+        assert_eq!(remap, vec![0, usize::MAX, 1, 2]);
+        assert_eq!(ov.next_edge_id(), 3, "journal shrank to the live edges");
+        assert_eq!(ov.num_live_edges(), 3);
+        let after = ov.materialize().0;
+        assert_eq!(before.num_edges(), after.num_edges());
+        assert_eq!(before.total_weight(), after.total_weight());
+        // Post-compaction ids keep working: delete the renumbered insert.
+        ov.apply(&GraphUpdate::DeleteEdge { id: remap[3] }).unwrap();
+        assert_eq!(ov.num_live_edges(), 2);
+    }
+
+    #[test]
+    fn touched_by_matches_apply() {
+        let ov = GraphOverlay::new(&base());
+        assert_eq!(ov.touched_by(&GraphUpdate::DeleteEdge { id: 1 }), vec![1, 2]);
+        assert_eq!(ov.touched_by(&GraphUpdate::DeleteEdge { id: 77 }), Vec::<VertexId>::new());
+        assert_eq!(ov.touched_by(&GraphUpdate::AddVertex { b: 1 }), vec![4]);
+        let touched = ov.touched_by(&GraphUpdate::RemoveVertex { v: 1 });
+        assert!(touched.contains(&0) && touched.contains(&2) && touched.contains(&1));
+    }
+}

@@ -17,9 +17,13 @@
 //! * [`dual_primal`] — the adaptivity ledger of the dual-primal framework:
 //!   how many *rounds of data access* versus *oracle iterations* an execution
 //!   used (Figure 1 / Corollary 2), shared by the solver and the baselines.
+//! * [`duals`] — the portable [`DualSnapshot`] export/import format for dual
+//!   points, used to warm-start one solve from the previous one (the dynamic
+//!   matching subsystem's epoch chain).
 
 pub mod covering;
 pub mod dual_primal;
+pub mod duals;
 pub mod explicit;
 pub mod packing;
 pub mod width;
@@ -29,6 +33,7 @@ pub use covering::{
     OracleCandidate,
 };
 pub use dual_primal::AdaptivityLedger;
+pub use duals::{DualSnapshot, OddSetDual, VertexDual};
 pub use explicit::{BoxBudgetPolytope, ExplicitCovering, ExplicitPacking};
 pub use packing::{solve_packing, PackingInstance, PackingOutcome, PackingParams, PackingSolution};
 pub use width::{covering_width, packing_width};

@@ -14,10 +14,11 @@
 //!   parallel reducers) plus the edge-sampling and sketching primitives the
 //!   matching algorithms actually use, each charged as one round.
 //! * [`pass_engine`] — the sharded multi-threaded [`PassEngine`] executing
-//!   semi-streaming passes over [`EdgeSource`] streams with deterministic
-//!   (shard-order) merges and mid-pass budget enforcement.
-//! * [`streaming`] — the single-threaded semi-streaming wrapper kept for
-//!   existing callers, now backed by the pass engine.
+//!   semi-streaming passes over [`EdgeSource`] streams (and, through the
+//!   item-generic [`ItemSource`], over [`UpdateSource`] update batches) with
+//!   deterministic (shard-order) merges and mid-pass budget enforcement.
+//! * [`streaming`] — the deprecated single-threaded semi-streaming wrapper,
+//!   kept one cycle for external callers; use [`PassEngine`] directly.
 //! * [`congested_clique`] — per-vertex message accounting (Section 1's
 //!   `O(n^{1/p})`-message-per-vertex corollary).
 
@@ -30,8 +31,9 @@ pub mod streaming;
 pub use congested_clique::CongestedCliqueSim;
 pub use mapreduce::{MapReduceConfig, MapReduceSim};
 pub use pass_engine::{
-    auto_shard_count, EdgeSource, GraphSource, PassBudget, PassEngine, PassError, ShardedEdgeList,
-    SyntheticStream,
+    auto_shard_count, EdgeSource, GraphSource, ItemSource, PassBudget, PassEngine, PassError,
+    ShardedEdgeList, SyntheticStream, UpdateSource,
 };
 pub use resources::ResourceTracker;
+#[allow(deprecated)]
 pub use streaming::StreamingSim;

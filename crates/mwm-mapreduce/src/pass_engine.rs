@@ -24,7 +24,7 @@
 //! machines and worker counts.
 
 use crate::resources::ResourceTracker;
-use mwm_graph::{Edge, EdgeId, Graph, VertexId};
+use mwm_graph::{Edge, EdgeId, Graph, GraphUpdate, VertexId};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -50,6 +50,54 @@ pub const MIN_PARALLEL_ITEMS: usize = 1 << 13;
 /// the worker count, so sharding (and therefore merge order) is stable.
 pub fn auto_shard_count(m: usize) -> usize {
     (m / 2048).clamp(1, MAX_AUTO_SHARDS)
+}
+
+/// A sharded stream of arbitrary items — the generalization the engine's
+/// worker loop actually runs on. [`EdgeSource`]s are adapted to it internally
+/// (item = `(EdgeId, Edge)`), and [`UpdateSource`] exposes a batch of
+/// [`GraphUpdate`]s the same way (item = `(seq, update)`), so edge passes and
+/// update passes share one scheduler, one budget enforcement path and one
+/// deterministic shard-order merge.
+pub trait ItemSource: Sync {
+    /// The per-item payload handed to the fold.
+    type Item;
+
+    /// Total number of items across all shards.
+    fn num_items(&self) -> usize;
+
+    /// Number of shards (always at least 1).
+    fn num_shards(&self) -> usize;
+
+    /// Number of items in one shard.
+    fn shard_len(&self, shard: usize) -> usize;
+
+    /// Visits the shard's items in stream order. `visit` returns `false` to
+    /// stop early (used by the engine for budget aborts).
+    fn visit_shard(&self, shard: usize, visit: &mut dyn FnMut(Self::Item) -> bool);
+}
+
+/// Internal adapter presenting an [`EdgeSource`] as an [`ItemSource`] of
+/// `(EdgeId, Edge)` pairs, so the engine has exactly one worker loop.
+struct EdgeItems<'a, S: ?Sized>(&'a S);
+
+impl<S: EdgeSource + ?Sized> ItemSource for EdgeItems<'_, S> {
+    type Item = (EdgeId, Edge);
+
+    fn num_items(&self) -> usize {
+        self.0.num_edges()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.0.num_shards()
+    }
+
+    fn shard_len(&self, shard: usize) -> usize {
+        self.0.shard_len(shard)
+    }
+
+    fn visit_shard(&self, shard: usize, visit: &mut dyn FnMut(Self::Item) -> bool) {
+        self.0.for_each_in_shard(shard, &mut |id, e| visit((id, e)));
+    }
 }
 
 /// A sharded edge stream: the read-only input of the paper's model.
@@ -265,6 +313,64 @@ impl EdgeSource for SyntheticStream {
     }
 }
 
+/// A batch of graph updates exposed as a sharded item stream, so the dynamic
+/// matching subsystem ingests update journals through the same engine (same
+/// charging, same budget enforcement, same deterministic shard-order merge)
+/// that edge passes use. Items are `(seq, update)` pairs, `seq` being the
+/// update's position in the batch — the order the sequential apply later
+/// replays.
+pub struct UpdateSource<'a> {
+    updates: &'a [GraphUpdate],
+    num_shards: usize,
+}
+
+impl<'a> UpdateSource<'a> {
+    /// Splits a batch into `num_shards` contiguous ranges
+    /// (clamped to `[1, len.max(1)]`).
+    pub fn new(updates: &'a [GraphUpdate], num_shards: usize) -> Self {
+        let num_shards = num_shards.clamp(1, updates.len().max(1));
+        UpdateSource { updates, num_shards }
+    }
+
+    /// Splits with the automatic shard count of [`auto_shard_count`] — like
+    /// edge streams, the sharding depends only on the batch length, never on
+    /// the worker count.
+    pub fn auto(updates: &'a [GraphUpdate]) -> Self {
+        Self::new(updates, auto_shard_count(updates.len()))
+    }
+
+    fn bounds(&self, shard: usize) -> (usize, usize) {
+        let m = self.updates.len();
+        (shard * m / self.num_shards, (shard + 1) * m / self.num_shards)
+    }
+}
+
+impl ItemSource for UpdateSource<'_> {
+    type Item = (usize, GraphUpdate);
+
+    fn num_items(&self) -> usize {
+        self.updates.len()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    fn shard_len(&self, shard: usize) -> usize {
+        let (lo, hi) = self.bounds(shard);
+        hi - lo
+    }
+
+    fn visit_shard(&self, shard: usize, visit: &mut dyn FnMut(Self::Item) -> bool) {
+        let (lo, hi) = self.bounds(shard);
+        for seq in lo..hi {
+            if !visit((seq, self.updates[seq])) {
+                return;
+            }
+        }
+    }
+}
+
 /// Limits enforced *while* a pass runs (checked every batch of edges).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PassBudget {
@@ -392,9 +498,28 @@ impl PassEngine {
         I: Fn(usize) -> A + Sync,
         F: Fn(&mut A, EdgeId, Edge) + Sync,
     {
+        self.pass_items(&EdgeItems(source), init, move |acc, (id, e)| fold(acc, id, e))
+    }
+
+    /// The item-generic charged pass behind [`PassEngine::pass_shards`]:
+    /// works for any [`ItemSource`] — edge streams and [`UpdateSource`]
+    /// update batches alike. One round is charged plus every item actually
+    /// visited; the budget interrupts mid-shard exactly like an edge pass.
+    pub fn pass_items<S, A, I, F>(
+        &mut self,
+        source: &S,
+        init: I,
+        fold: F,
+    ) -> Result<Vec<A>, PassError>
+    where
+        S: ItemSource + ?Sized,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, S::Item) + Sync,
+    {
         self.tracker.charge_round();
         let limit = self.budget.max_items_streamed;
-        let (accs, visited, exceeded) = self.run_shards(source, &init, &fold, limit);
+        let (accs, visited, exceeded) = self.run_items(source, &init, &fold, limit);
         self.tracker.charge_stream(visited);
         if exceeded {
             // limit is Some whenever the exceeded flag can be set.
@@ -442,7 +567,8 @@ impl PassEngine {
         I: Fn(usize) -> A + Sync,
         F: Fn(&mut A, EdgeId, Edge) + Sync,
     {
-        let (accs, _, _) = self.run_shards(source, &init, &fold, None);
+        let (accs, _, _) =
+            self.run_items(&EdgeItems(source), &init, &|acc, (id, e)| fold(acc, id, e), None);
         accs
     }
 
@@ -520,11 +646,12 @@ impl PassEngine {
         })
     }
 
-    /// The shared worker loop: shards are claimed from an atomic counter,
-    /// folded locally, and collected as `(shard, acc, visited)`; the caller
-    /// gets the accumulators sorted by shard index plus the exact total of
-    /// edges visited and whether the limit tripped.
-    fn run_shards<S, A, I, F>(
+    /// The shared worker loop, generic over the item type: shards are claimed
+    /// from an atomic counter, folded locally, and collected as
+    /// `(shard, acc, visited)`; the caller gets the accumulators sorted by
+    /// shard index plus the exact total of items visited and whether the
+    /// limit tripped.
+    fn run_items<S, A, I, F>(
         &self,
         source: &S,
         init: &I,
@@ -532,13 +659,13 @@ impl PassEngine {
         limit: Option<usize>,
     ) -> (Vec<A>, usize, bool)
     where
-        S: EdgeSource + ?Sized,
+        S: ItemSource + ?Sized,
         A: Send,
         I: Fn(usize) -> A + Sync,
-        F: Fn(&mut A, EdgeId, Edge) + Sync,
+        F: Fn(&mut A, S::Item) + Sync,
     {
         let num_shards = source.num_shards();
-        let workers = if source.num_edges() < MIN_PARALLEL_ITEMS {
+        let workers = if source.num_items() < MIN_PARALLEL_ITEMS {
             1
         } else {
             self.parallelism.min(num_shards).max(1)
@@ -558,10 +685,10 @@ impl PassEngine {
             let mut acc = init(shard);
             let mut visited = 0usize;
             let mut since_flush = 0usize;
-            source.for_each_in_shard(shard, &mut |id, e| {
+            source.visit_shard(shard, &mut |item| {
                 // Gate at the START of each batch, like the sequential path:
                 // the budget trips only when the limit is already reached AND
-                // more edges are pending. A pass whose consumption lands
+                // more items are pending. A pass whose consumption lands
                 // exactly on the limit as the stream ends succeeds.
                 if since_flush == 0 {
                     if exceeded.load(Ordering::Relaxed) {
@@ -574,7 +701,7 @@ impl PassEngine {
                         }
                     }
                 }
-                fold(&mut acc, id, e);
+                fold(&mut acc, item);
                 visited += 1;
                 since_flush += 1;
                 if since_flush == batch {
@@ -775,6 +902,63 @@ mod tests {
         let mut engine = PassEngine::new(4);
         let count = engine.pass_fold(&s1, |_| 0usize, |acc, _, _| *acc += 1, |a, b| a + b).unwrap();
         assert_eq!(count, 5000);
+    }
+
+    #[test]
+    fn update_batches_stream_like_edges() {
+        let updates: Vec<GraphUpdate> = (0..20_000)
+            .map(|i| match i % 3 {
+                0 => GraphUpdate::InsertEdge {
+                    u: (i % 50) as VertexId,
+                    v: ((i + 1) % 50) as VertexId,
+                    w: 1.0 + (i % 7) as f64,
+                },
+                1 => GraphUpdate::DeleteEdge { id: i },
+                _ => GraphUpdate::SetCapacity { v: (i % 50) as VertexId, b: 2 },
+            })
+            .collect();
+        let src = UpdateSource::auto(&updates);
+        assert!(src.num_items() >= MIN_PARALLEL_ITEMS, "force real multi-worker runs");
+        let mut reference: Option<Vec<(usize, usize)>> = None;
+        for workers in [1usize, 4] {
+            let mut engine = PassEngine::new(workers);
+            let accs = engine
+                .pass_items(
+                    &src,
+                    |_| (0usize, 0usize),
+                    |acc: &mut (usize, usize), (seq, u): (usize, GraphUpdate)| {
+                        acc.0 += 1;
+                        if matches!(u, GraphUpdate::InsertEdge { .. }) {
+                            acc.1 = acc.1.wrapping_add(seq);
+                        }
+                    },
+                )
+                .unwrap();
+            let total: usize = accs.iter().map(|a| a.0).sum();
+            assert_eq!(total, updates.len());
+            assert_eq!(engine.tracker().items_streamed(), updates.len());
+            assert_eq!(engine.passes(), 1, "one update batch is one charged pass");
+            match &reference {
+                None => reference = Some(accs),
+                Some(r) => assert_eq!(r, &accs, "workers={workers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn update_pass_respects_the_stream_budget() {
+        let updates: Vec<GraphUpdate> =
+            (0..5_000).map(|i| GraphUpdate::DeleteEdge { id: i }).collect();
+        let src = UpdateSource::new(&updates, 4);
+        let mut engine = PassEngine::new(2)
+            .with_budget(PassBudget { max_items_streamed: Some(1_000) })
+            .with_batch_size(32);
+        let err = engine
+            .pass_items(&src, |_| 0usize, |acc: &mut usize, _: (usize, GraphUpdate)| *acc += 1)
+            .unwrap_err();
+        let PassError::BudgetExceeded { used, limit, .. } = err;
+        assert_eq!(limit, 1_000);
+        assert_eq!(used, engine.tracker().items_streamed());
     }
 
     #[test]

@@ -1,13 +1,14 @@
-//! Semi-streaming pass simulator.
+//! Semi-streaming pass simulator (**deprecated**).
 //!
 //! The semi-streaming model allows `O(n · polylog n)` working memory and
 //! charges one *pass* per sequential scan of the edge list. [`StreamingSim`]
-//! is the single-threaded convenience wrapper kept for existing callers: it
-//! drives a one-shard [`GraphSource`] through a [`PassEngine`] so passes,
-//! streamed items and memory declarations land in the same ledger the engine
-//! maintains. New code that wants sharding, multi-threaded passes or mid-pass
-//! budget enforcement should use [`PassEngine`] directly (see the crate docs
-//! and `README.md`).
+//! was the single-threaded convenience wrapper for that model; every internal
+//! caller has migrated to [`PassEngine`], which additionally offers sharding,
+//! multi-threaded passes, generator-backed streams and mid-pass budget
+//! enforcement. The wrapper is kept one deprecation cycle for external code:
+//! `StreamingSim::pass`/`pass_until` correspond exactly to
+//! [`PassEngine::pass_sequential`]/[`PassEngine::pass_sequential_until`] over
+//! a `GraphSource::new(&graph, 1)` (see the README migration note).
 
 use crate::pass_engine::{GraphSource, PassEngine};
 use crate::resources::ResourceTracker;
@@ -17,11 +18,18 @@ use mwm_graph::{Edge, EdgeId, Graph};
 ///
 /// Thin wrapper over [`PassEngine`] with one shard and one worker, preserving
 /// the historical single-threaded pass semantics exactly.
+#[deprecated(
+    since = "0.2.0",
+    note = "use PassEngine::pass_sequential / pass_sequential_until over a \
+            GraphSource::new(&graph, 1) — same ledger, same semantics, plus \
+            sharding and mid-pass budgets (README: migration note)"
+)]
 pub struct StreamingSim<'a> {
     graph: &'a Graph,
     engine: PassEngine,
 }
 
+#[allow(deprecated)]
 impl<'a> StreamingSim<'a> {
     /// Creates a simulator over `graph`.
     pub fn new(graph: &'a Graph) -> Self {
@@ -75,6 +83,7 @@ impl<'a> StreamingSim<'a> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mwm_graph::generators::{self, WeightModel};

@@ -71,11 +71,15 @@ pub fn streaming_sparsify(graph: &Graph, k: usize, seed: u64) -> SparsifiedGraph
     // union-find does NOT connect its endpoints (i.e. the edge's connectivity
     // falls below k); edges that are k-connected at every level they reached
     // are dropped, matching the sampling rate 2^{-i'}.
+    // Determinism audit (PR 4): this used to be a `HashSet`. Insert-only
+    // dedup never observes iteration order, but an id-indexed bitmap is both
+    // obviously order-free and cheaper on the hot path; the remaining hash
+    // containers in mwm-sparsify/mwm-sketch live in `#[cfg(test)]` code.
     let mut out = Vec::new();
-    let mut emitted = std::collections::HashSet::new();
+    let mut emitted = vec![false; m];
     for state in &levels {
         for &(id, e, _) in &state.kept {
-            if !emitted.insert(id) {
+            if std::mem::replace(&mut emitted[id], true) {
                 continue;
             }
             // Find smallest level i' where the endpoints are separated in the

@@ -70,6 +70,7 @@
 
 pub use mwm_baselines as baselines;
 pub use mwm_core as solver;
+pub use mwm_dynamic as dynamic;
 pub use mwm_graph as graph;
 pub use mwm_lp as lp;
 pub use mwm_mapreduce as mapreduce;
@@ -82,8 +83,9 @@ pub mod engine {
     pub use mwm_baselines::{LattanziFiltering, StreamingGreedy};
     pub use mwm_core::{
         MatchingSolver, MwmError, MwmResult, OfflineSolver, OfflineStrategy, ResourceBudget,
-        SolveReport,
+        SolveReport, WarmStart, WarmStartState,
     };
+    pub use mwm_dynamic::{DynamicConfig, DynamicMatcher, EpochDecision, EpochStats};
 
     use mwm_core::{DualPrimalConfig, DualPrimalSolver};
     use mwm_graph::Graph;
@@ -183,6 +185,22 @@ pub mod engine {
             self.factories.keys().cloned().collect()
         }
 
+        /// Starts a [`DynamicMatcher`] session whose **full rebuilds** go
+        /// through the solver registered under `rebuild` (e.g.
+        /// `"lattanzi-filtering"` for cheap bulk rebuilds, `"dual-primal"` to
+        /// keep exporting warm-start duals on rebuilds too). Repair and warm
+        /// re-solve epochs always use the dual-primal machinery configured by
+        /// `config`.
+        pub fn create_dynamic(
+            &self,
+            rebuild: &str,
+            base: &Graph,
+            config: DynamicConfig,
+        ) -> Result<DynamicMatcher, MwmError> {
+            let solver = self.create_with_parallelism(rebuild, config.parallelism.max(1))?;
+            Ok(DynamicMatcher::new(base, config)?.with_rebuild_solver(solver))
+        }
+
         /// Convenience: instantiate `name` and solve `graph` within `budget`.
         /// A `budget.with_parallelism(..)` override reaches the factory, so
         /// this is the one-call path from "caller wants 8 workers" to a
@@ -211,9 +229,12 @@ pub mod prelude {
     pub use mwm_baselines::{LattanziFiltering, StreamingGreedy};
     pub use mwm_core::{
         DualPrimalConfig, DualPrimalSolver, MatchingSolver, MwmError, MwmResult, OfflineSolver,
-        OfflineStrategy, ResourceBudget, SolveReport,
+        OfflineStrategy, ResourceBudget, ResumePolicy, SolveReport, WarmStart, WarmStartState,
     };
-    pub use mwm_graph::{generators, BMatching, Edge, Graph, Matching, WeightLevels};
+    pub use mwm_dynamic::{DynamicConfig, DynamicMatcher, EpochDecision, EpochReport, EpochStats};
+    pub use mwm_graph::{
+        generators, BMatching, Edge, Graph, GraphOverlay, GraphUpdate, Matching, WeightLevels,
+    };
     pub use mwm_mapreduce::ResourceTracker;
 }
 
@@ -271,6 +292,35 @@ mod tests {
         assert!(reg.contains("custom-greedy"));
         let g = mwm_graph::Graph::new(2);
         assert!(reg.solve("custom-greedy", &g, &ResourceBudget::unlimited()).is_ok());
+    }
+
+    #[test]
+    fn dynamic_sessions_wire_rebuilds_through_the_registry() {
+        use crate::engine::{DynamicConfig, EpochDecision};
+        use mwm_graph::GraphUpdate;
+
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = generators::gnm(30, 120, WeightModel::Uniform(1.0, 9.0), &mut rng);
+        let reg = SolverRegistry::default();
+        // Bulk rebuilds through the Lattanzi baseline, per the serving story.
+        // One deleted edge touches 2/30 vertices, so the repair band must
+        // reach past 0.067.
+        let config = DynamicConfig { repair_threshold: 0.1, ..DynamicConfig::default() };
+        let mut dm = reg
+            .create_dynamic("lattanzi-filtering", &g, config)
+            .expect("registry-backed dynamic session");
+        let r0 = dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(r0.stats.decision, EpochDecision::Rebuild);
+        assert_eq!(r0.solve.as_ref().unwrap().solver, "lattanzi-filtering");
+
+        let r1 = dm
+            .apply_epoch(&[GraphUpdate::DeleteEdge { id: 0 }], &ResourceBudget::unlimited())
+            .unwrap();
+        assert_eq!(r1.stats.decision, EpochDecision::Repair);
+        assert!(dm.weight() > 0.0);
+
+        // Unknown rebuild names fail like any registry lookup.
+        assert!(reg.create_dynamic("warp-drive", &g, DynamicConfig::default()).is_err());
     }
 
     #[test]

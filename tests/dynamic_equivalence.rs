@@ -1,0 +1,158 @@
+//! Property tests for the dynamic matching subsystem: any update sequence
+//! applied through `DynamicMatcher` must (a) be bit-identical across
+//! parallelism levels, and (b) end in a certified-feasible matching whose
+//! weight is within the solver's approximation floor of a from-scratch solve
+//! on the final graph.
+
+use dual_primal_matching::engine::EpochDecision;
+use dual_primal_matching::prelude::*;
+use dual_primal_matching::solver::certify_b_matching;
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Repair epochs bottom out at localized 2-swap repair over a greedy safety
+/// net, so the session never drops below the local-search floor (≥ 2/3 of
+/// the optimum, hence ≥ 2/3 of any from-scratch approximation).
+const APPROX_FLOOR: f64 = 0.66;
+
+/// Decodes one proptest tuple into a valid-by-construction update against the
+/// current overlay state (ids wrap into the live id range, weights are
+/// positive), so almost every generated update applies.
+fn decode_update(overlay_edges: usize, n: usize, op: u32, a: u64, b: u64, w: f64) -> GraphUpdate {
+    match op {
+        0 | 1 => {
+            let u = (a % n as u64) as u32;
+            let mut v = (b % (n as u64 - 1)) as u32;
+            if v >= u {
+                v += 1;
+            }
+            GraphUpdate::InsertEdge { u, v, w }
+        }
+        2 => GraphUpdate::DeleteEdge { id: (a as usize) % overlay_edges.max(1) },
+        _ => GraphUpdate::ReweightEdge { id: (a as usize) % overlay_edges.max(1), w },
+    }
+}
+
+/// Runs one full session (bootstrap + one epoch per batch) at the given
+/// parallelism and returns a complete fingerprint of its observable history.
+#[allow(clippy::type_complexity)]
+fn run_session(
+    base: &Graph,
+    batches: &[Vec<(u32, u64, u64, f64)>],
+    workers: usize,
+) -> (DynamicMatcher, Vec<(EpochDecision, u64, usize)>, Vec<(usize, u64)>) {
+    let n = base.num_vertices();
+    let config = DynamicConfig { eps: 0.25, p: 2.0, seed: 11, ..Default::default() };
+    let mut dm = DynamicMatcher::new(base, config).expect("valid config");
+    let budget = ResourceBudget::unlimited().with_parallelism(workers);
+    let mut history = Vec::new();
+    let r0 = dm.apply_epoch(&[], &budget).expect("bootstrap epoch");
+    history.push((r0.stats.decision, r0.stats.weight.to_bits(), r0.stats.touched_vertices));
+    for raw in batches {
+        let updates: Vec<GraphUpdate> = raw
+            .iter()
+            .map(|&(op, a, b, w)| decode_update(dm.overlay().next_edge_id(), n, op, a, b, w))
+            .collect();
+        let r = dm.apply_epoch(&updates, &budget).expect("unbudgeted epoch cannot fail");
+        history.push((r.stats.decision, r.stats.weight.to_bits(), r.stats.touched_vertices));
+    }
+    let mut edges: Vec<(usize, u64)> = dm.matching().iter().map(|(id, _, m)| (id, m)).collect();
+    edges.sort_unstable();
+    (dm, history, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// The acceptance property of the dynamic subsystem: for a random base
+    /// graph and a random stream of insert/delete/reweight batches, the final
+    /// matching is certified feasible, within the approximation floor of a
+    /// cold solve on the final graph, and the whole session history is
+    /// bit-identical for parallelism ∈ {1, 4}.
+    #[test]
+    fn dynamic_sessions_match_cold_solves_and_parallelism_is_invisible(
+        graph_seed in 0u64..200,
+        raw_updates in proptest::collection::vec((0u32..4, 0u64..100_000, 0u64..100_000, 1.0f64..9.0), 4..28),
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let base = generators::gnm(24, 70, generators::WeightModel::Uniform(1.0, 9.0), &mut rng);
+        let batches: Vec<Vec<(u32, u64, u64, f64)>> =
+            raw_updates.chunks(7).map(|c| c.to_vec()).collect();
+
+        let (dm, history_1, edges_1) = run_session(&base, &batches, 1);
+        let (_, history_4, edges_4) = run_session(&base, &batches, 4);
+        prop_assert_eq!(&history_1, &history_4, "epoch history diverged across parallelism");
+        prop_assert_eq!(&edges_1, &edges_4, "final matching diverged across parallelism");
+
+        // Certified feasibility on the final graph.
+        let (final_graph, back) = dm.overlay().materialize();
+        let mut fwd = vec![usize::MAX; dm.overlay().next_edge_id()];
+        for (mid, &oid) in back.iter().enumerate() {
+            fwd[oid] = mid;
+        }
+        let mut ours = BMatching::new();
+        for (oid, _, mult) in dm.matching().iter() {
+            prop_assert!(fwd[oid] != usize::MAX, "matching references a dead edge");
+            ours.add(fwd[oid], final_graph.edge(fwd[oid]), mult);
+        }
+        let cert = certify_b_matching(&final_graph, &ours);
+        prop_assert!(cert.feasible, "final matching failed the feasibility certificate");
+
+        // Within the approximation floor of a from-scratch solve.
+        let cold = DualPrimalSolver::new(
+            DualPrimalConfig { eps: 0.25, p: 2.0, seed: 11, ..Default::default() },
+        )
+        .unwrap()
+        .solve(&final_graph, &ResourceBudget::unlimited())
+        .unwrap();
+        prop_assert!(
+            dm.weight() >= APPROX_FLOOR * cold.weight - 1e-9,
+            "dynamic weight {} below {} of cold weight {}",
+            dm.weight(),
+            APPROX_FLOOR,
+            cold.weight
+        );
+    }
+}
+
+/// Warm epochs must be cheaper in rounds than the cold bootstrap on the same
+/// stream — the round-count reduction is the subsystem's reason to exist, so
+/// it is enforced here too, not just eyeballed in E12.
+#[test]
+fn warm_epochs_use_fewer_rounds_than_the_cold_bootstrap() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let base = generators::gnm(200, 700, generators::WeightModel::Uniform(1.0, 9.0), &mut rng);
+    let config = DynamicConfig { eps: 0.25, p: 2.0, seed: 3, ..Default::default() };
+    let mut dm = DynamicMatcher::new(&base, config).unwrap();
+    let budget = ResourceBudget::unlimited();
+    let cold_rounds = dm.apply_epoch(&[], &budget).unwrap().stats.solver_rounds;
+
+    let mut warm_seen = false;
+    for round in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + round);
+        let updates: Vec<GraphUpdate> = (0..24)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    GraphUpdate::InsertEdge {
+                        u: rng.gen_range(0..200),
+                        v: rng.gen_range(0..200),
+                        w: rng.gen_range(1.0..9.0),
+                    }
+                } else {
+                    GraphUpdate::DeleteEdge { id: rng.gen_range(0..dm.overlay().next_edge_id()) }
+                }
+            })
+            .collect();
+        let r = dm.apply_epoch(&updates, &budget).unwrap();
+        if r.stats.decision == EpochDecision::WarmResolve {
+            warm_seen = true;
+            assert!(
+                r.stats.solver_rounds < cold_rounds,
+                "warm epoch used {} rounds, cold bootstrap used {cold_rounds}",
+                r.stats.solver_rounds
+            );
+        }
+    }
+    assert!(warm_seen, "the stream must trigger at least one warm re-solve");
+}
