@@ -27,10 +27,10 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// All experiment ids, in run order.
-pub const EXPERIMENT_IDS: [&str; 12] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+pub const EXPERIMENT_IDS: [&str; 13] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
 
-/// Runs one experiment by id (`"e1"` … `"e12"`), or every experiment for
+/// Runs one experiment by id (`"e1"` … `"e13"`), or every experiment for
 /// `"all"`. Unknown ids are [`MwmError::UnknownExperiment`].
 pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
     match id {
@@ -46,6 +46,7 @@ pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
         "e10" => Ok(vec![e10_lp_substrate()?]),
         "e11" => Ok(vec![e11_pass_throughput()?]),
         "e12" => Ok(vec![e12_dynamic_stream()?]),
+        "e13" => Ok(vec![e13_serving()?]),
         "all" => {
             let mut all = Vec::with_capacity(EXPERIMENT_IDS.len());
             for e in EXPERIMENT_IDS {
@@ -533,11 +534,8 @@ pub fn e12_dynamic_stream() -> Result<ExperimentReport, MwmError> {
         }
         let secs = start.elapsed().as_secs_f64().max(1e-9);
         let avg_warm_rounds = if warms > 0 { warm_rounds as f64 / warms as f64 } else { f64::NAN };
-        let mut checksum = dm.weight().to_bits();
-        for (id, _, mult) in dm.matching().iter() {
-            checksum =
-                checksum.rotate_left(7) ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ mult;
-        }
+        let checksum =
+            session_checksum(dm.weight(), dm.matching().iter().map(|(id, _, m)| (id, m)));
         rep.push_row(vec![
             format!("{workers}"),
             format!("{}", wl.batches.len()),
@@ -555,9 +553,179 @@ pub fn e12_dynamic_stream() -> Result<ExperimentReport, MwmError> {
     Ok(rep)
 }
 
+/// Fingerprint of one session's final state: weight bits folded with the
+/// matching's (stable id, multiplicity) pairs — the checksum E12/E13 use to
+/// prove sessions bit-identical across worker counts and vs serial replay.
+fn session_checksum(weight: f64, matching: impl Iterator<Item = (usize, u64)>) -> u64 {
+    let mut checksum = weight.to_bits();
+    for (id, mult) in matching {
+        checksum = checksum.rotate_left(7) ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ mult;
+    }
+    checksum
+}
+
+/// E13 — the serving layer: N sessions × sliding-window streams through a
+/// `MatchingService` at 1/2/4/8 service workers.
+///
+/// One client thread per session submits that session's epochs in order (so
+/// per-session request order is fixed) while the service's worker pool
+/// interleaves sessions freely. Reported per worker count: requests/sec,
+/// p50/p99 epoch latency, and the combined per-session `checksum` — the fold
+/// of every session's final-state fingerprint — with `=serial` confirming
+/// each session is **bit-identical** to a serial `DynamicMatcher` replay of
+/// the same stream. Equal checksums across rows prove worker count and
+/// cross-session interleaving change wall-clock behavior only, never
+/// results.
+pub fn e13_serving() -> Result<ExperimentReport, MwmError> {
+    e13_with(6, 200, 24, 3, 8)
+}
+
+/// E13 at explicit scale (the unit test runs a miniature instance).
+fn e13_with(
+    sessions: usize,
+    n: usize,
+    per_epoch: usize,
+    window: usize,
+    epochs: usize,
+) -> Result<ExperimentReport, MwmError> {
+    use mwm_dynamic::{DynamicConfig, DynamicMatcher};
+    use mwm_serve::{MatchingService, ServeError, ServiceConfig};
+    use std::time::Instant;
+
+    fn serve_err(e: ServeError) -> MwmError {
+        match e {
+            ServeError::Engine(inner) => inner,
+            other => MwmError::InvalidInput { reason: other.to_string() },
+        }
+    }
+
+    let mut rep = ExperimentReport::new(
+        "e13",
+        "serving layer (N sessions x sliding-window streams, 1/2/4/8 service workers)",
+        vec![
+            "service_workers",
+            "sessions",
+            "epochs",
+            "requests",
+            "req/s",
+            "p50_ms",
+            "p99_ms",
+            "weight_sum",
+            "checksum",
+            "=serial",
+        ],
+    );
+    let dyn_config = DynamicConfig { eps: 0.2, p: 2.0, seed: 5, ..Default::default() };
+    let wls: Vec<workloads::TemporalWorkload> = (0..sessions)
+        .map(|s| workloads::sliding_window_stream(n, per_epoch, window, epochs, 0xE13 + s as u64))
+        .collect();
+
+    // The serial oracle: each session replayed directly on a DynamicMatcher,
+    // no service in the way.
+    let mut serial: Vec<(f64, u64)> = Vec::with_capacity(sessions);
+    for wl in &wls {
+        let mut dm = DynamicMatcher::new(&wl.initial, dyn_config)?;
+        for batch in &wl.batches {
+            dm.apply_epoch(batch, &ResourceBudget::unlimited())?;
+        }
+        let checksum =
+            session_checksum(dm.weight(), dm.matching().iter().map(|(id, _, m)| (id, m)));
+        serial.push((dm.weight(), checksum));
+    }
+
+    for &workers in &[1usize, 2, 4, 8] {
+        let service = MatchingService::start(ServiceConfig {
+            workers,
+            session_defaults: dyn_config,
+            ..Default::default()
+        })?;
+        for (s, wl) in wls.iter().enumerate() {
+            service.create_session(&format!("session-{s}"), &wl.initial).map_err(serve_err)?;
+        }
+        // One client thread per session; the service interleaves sessions
+        // across its worker pool while each session's epochs stay FIFO.
+        let start = Instant::now();
+        let per_session: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|s| {
+                    let service = &service;
+                    let wl = &wls[s];
+                    scope.spawn(move || {
+                        let name = format!("session-{s}");
+                        let mut latencies = Vec::with_capacity(wl.batches.len());
+                        for batch in &wl.batches {
+                            let t0 = Instant::now();
+                            service.submit_batch(&name, batch.clone())?;
+                            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Ok::<_, ServeError>(latencies)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .map_err(serve_err)?;
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+
+        let mut latencies: Vec<f64> = per_session.into_iter().flatten().collect();
+        latencies.sort_by(f64::total_cmp);
+        let quantile = |q: f64| -> f64 {
+            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[idx]
+        };
+        let requests = sessions * epochs;
+
+        let mut combined = 0u64;
+        let mut weight_sum = 0.0;
+        let mut matches_serial = true;
+        for (s, &(serial_weight, serial_checksum)) in serial.iter().enumerate() {
+            let snap = service.matching(&format!("session-{s}")).map_err(serve_err)?;
+            let checksum =
+                session_checksum(snap.weight, snap.matching.iter().map(|(id, _, m)| (id, m)));
+            matches_serial &=
+                checksum == serial_checksum && snap.weight.to_bits() == serial_weight.to_bits();
+            combined = combined.rotate_left(9) ^ checksum;
+            weight_sum += snap.weight;
+        }
+        service.shutdown();
+
+        rep.push_row(vec![
+            format!("{workers}"),
+            format!("{sessions}"),
+            format!("{epochs}"),
+            format!("{requests}"),
+            format!("{:.1}", requests as f64 / secs),
+            format!("{:.2}", quantile(0.50)),
+            format!("{:.2}", quantile(0.99)),
+            format!("{weight_sum:.2}"),
+            format!("{combined:016x}"),
+            if matches_serial { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    Ok(rep)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e13_sessions_are_bit_identical_to_serial_replay_at_every_worker_count() {
+        let rep = e13_with(3, 80, 12, 2, 5).unwrap();
+        assert_eq!(rep.rows.len(), 4, "one row per service worker count");
+        let reference = rep.cell(0, "checksum").unwrap().to_string();
+        for row in 0..rep.rows.len() {
+            assert_eq!(rep.cell(row, "=serial"), Some("yes"), "row {row} diverged from serial");
+            assert_eq!(
+                rep.cell(row, "checksum"),
+                Some(reference.as_str()),
+                "row {row}: worker count changed a session result"
+            );
+        }
+    }
 
     #[test]
     fn experiment_ids_dispatch() {

@@ -109,6 +109,40 @@ impl ResourceBudget {
         self.parallelism
     }
 
+    /// The pointwise intersection of two budgets: every limit is the tighter
+    /// of the two (a limit present on either side is enforced), and the
+    /// parallelism knob keeps `self`'s override, falling back to `other`'s.
+    ///
+    /// This is the admission-control combinator of the serving layer: a
+    /// service combines its per-epoch policy budget with the budget derived
+    /// from its shared resource pool, and the result is at least as strict as
+    /// both.
+    ///
+    /// ```
+    /// use mwm_core::ResourceBudget;
+    /// let policy = ResourceBudget::unlimited().with_max_rounds(40);
+    /// let pool = ResourceBudget::unlimited().with_max_streamed_items(10_000);
+    /// let effective = policy.intersect(&pool);
+    /// assert_eq!(effective.max_rounds(), Some(40));
+    /// assert_eq!(effective.max_streamed_items(), Some(10_000));
+    /// ```
+    pub fn intersect(&self, other: &ResourceBudget) -> ResourceBudget {
+        fn tighter(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        ResourceBudget {
+            max_rounds: tighter(self.max_rounds, other.max_rounds),
+            max_central_space: tighter(self.max_central_space, other.max_central_space),
+            max_oracle_iterations: tighter(self.max_oracle_iterations, other.max_oracle_iterations),
+            max_streamed_items: tighter(self.max_streamed_items, other.max_streamed_items),
+            parallelism: self.parallelism.or(other.parallelism),
+        }
+    }
+
     /// The in-pass portion of this budget, for a `PassEngine` that has
     /// `already_streamed` items charged outside the engine.
     pub fn pass_budget(&self, already_streamed: usize) -> PassBudget {
@@ -232,6 +266,31 @@ mod tests {
         assert!(b.is_unlimited(), "parallelism alone must not count as a limit");
         let t = ResourceTracker::new();
         assert!(b.check_tracker(&t).is_ok());
+    }
+
+    #[test]
+    fn intersect_takes_the_tighter_limit_per_resource() {
+        let a = ResourceBudget::unlimited()
+            .with_max_rounds(10)
+            .with_max_streamed_items(500)
+            .with_parallelism(4);
+        let b = ResourceBudget::unlimited()
+            .with_max_rounds(20)
+            .with_max_central_space(1_000)
+            .with_max_streamed_items(200);
+        let c = a.intersect(&b);
+        assert_eq!(c.max_rounds(), Some(10));
+        assert_eq!(c.max_central_space(), Some(1_000));
+        assert_eq!(c.max_streamed_items(), Some(200));
+        assert_eq!(c.max_oracle_iterations(), None);
+        assert_eq!(c.parallelism(), Some(4), "self's parallelism override wins");
+        // Commutative on limits, left-biased on the knob.
+        let d = b.intersect(&a);
+        assert_eq!(d.max_rounds(), c.max_rounds());
+        assert_eq!(d.max_streamed_items(), c.max_streamed_items());
+        assert_eq!(d.parallelism(), Some(4), "falls back to other's knob");
+        // Unlimited is the identity.
+        assert_eq!(a.intersect(&ResourceBudget::unlimited()), a);
     }
 
     #[test]

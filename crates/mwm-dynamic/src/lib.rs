@@ -44,6 +44,7 @@ use mwm_lp::DualSnapshot;
 use mwm_mapreduce::{GraphSource, PassEngine, ResourceTracker, UpdateSource};
 use mwm_matching::{greedy_b_matching, improve_matching};
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
 /// Configuration of a [`DynamicMatcher`] session.
 #[derive(Clone, Copy, Debug)]
@@ -203,6 +204,47 @@ pub struct EpochAudit {
     pub feasible: bool,
 }
 
+/// The state of a session at its last **committed** epoch boundary.
+///
+/// Snapshots are immutable values published atomically when an epoch (or a
+/// compaction) fully commits — a failed epoch rolls back without publishing,
+/// so a snapshot never exposes a mid-epoch or torn state. Edge ids are the
+/// session's stable overlay ids as of `version`.
+#[derive(Clone, Debug)]
+pub struct CommittedSnapshot {
+    /// Number of committed epochs (0 before the bootstrap epoch).
+    pub epoch: usize,
+    /// Overlay version at the commit point.
+    pub version: u64,
+    /// Weight of the committed matching.
+    pub weight: f64,
+    /// The committed matching, in stable overlay edge ids.
+    pub matching: BMatching,
+    /// The ledger row of the last committed epoch (`None` before bootstrap).
+    pub last_stats: Option<EpochStats>,
+}
+
+/// A cheap, clonable handle onto a session's last committed state.
+///
+/// [`CommittedView::load`] is a read-lock plus an `Arc` clone — O(1), never
+/// blocked behind an in-flight epoch — so any number of reader threads can
+/// query a live session (the serving layer's snapshot-consistent reads)
+/// while its owner applies updates. Readers always observe a complete
+/// committed epoch, never a partial one: the owning [`DynamicMatcher`]
+/// publishes a fresh immutable [`CommittedSnapshot`] only after an epoch has
+/// fully succeeded.
+#[derive(Clone, Debug)]
+pub struct CommittedView {
+    slot: Arc<RwLock<Arc<CommittedSnapshot>>>,
+}
+
+impl CommittedView {
+    /// The latest committed snapshot (shared, immutable).
+    pub fn load(&self) -> Arc<CommittedSnapshot> {
+        self.slot.read().expect("committed-view lock poisoned").clone()
+    }
+}
+
 /// What [`DynamicMatcher::apply_epoch`] returns: the ledger row plus the
 /// solver report when the epoch re-solved (absent for repair epochs).
 #[derive(Clone, Debug)]
@@ -263,12 +305,24 @@ pub struct DynamicMatcher {
     stats: Vec<EpochStats>,
     tracker: ResourceTracker,
     bootstrapped: bool,
+    /// The published committed-state slot behind every [`CommittedView`].
+    committed: Arc<RwLock<Arc<CommittedSnapshot>>>,
 }
 
 impl DynamicMatcher {
     /// Starts a session over `base` (validated config).
     pub fn new(base: &Graph, config: DynamicConfig) -> Result<Self, MwmError> {
         config.validate()?;
+        // The weight comes from the (empty) matching itself so a reader
+        // recomputing it sees the same bits (an empty float sum is -0.0).
+        let matching = BMatching::new();
+        let initial = Arc::new(CommittedSnapshot {
+            epoch: 0,
+            version: 0,
+            weight: matching.weight(),
+            matching,
+            last_stats: None,
+        });
         Ok(DynamicMatcher {
             config,
             overlay: GraphOverlay::new(base),
@@ -279,6 +333,7 @@ impl DynamicMatcher {
             stats: Vec::new(),
             tracker: ResourceTracker::new(),
             bootstrapped: false,
+            committed: Arc::new(RwLock::new(initial)),
         })
     }
 
@@ -331,6 +386,34 @@ impl DynamicMatcher {
         &self.tracker
     }
 
+    /// A handle onto the session's last committed state, safe to hand to any
+    /// number of reader threads. Loads are O(1) and never observe a mid-epoch
+    /// state: the matcher publishes a fresh snapshot only after an epoch (or
+    /// compaction) fully commits, and failed epochs publish nothing.
+    pub fn committed_view(&self) -> CommittedView {
+        CommittedView { slot: Arc::clone(&self.committed) }
+    }
+
+    /// The latest committed snapshot (equivalent to
+    /// `self.committed_view().load()`).
+    pub fn committed(&self) -> Arc<CommittedSnapshot> {
+        self.committed.read().expect("committed-view lock poisoned").clone()
+    }
+
+    /// Publishes the current session state as the committed snapshot. Only
+    /// called once per fully successful epoch/compaction, so readers see
+    /// epoch boundaries and nothing else.
+    fn publish(&self) {
+        let snap = Arc::new(CommittedSnapshot {
+            epoch: self.epoch,
+            version: self.overlay.version(),
+            weight: self.matching.weight(),
+            matching: self.matching.clone(),
+            last_stats: self.stats.last().cloned(),
+        });
+        *self.committed.write().expect("committed-view lock poisoned") = snap;
+    }
+
     /// Materializes the current live graph (compacted ids; see
     /// [`GraphOverlay::materialize`] for the id back-map).
     pub fn current_graph(&self) -> Graph {
@@ -353,6 +436,7 @@ impl DynamicMatcher {
             matching.add(remap[id], e, mult);
         }
         self.matching = matching;
+        self.publish();
         remap
     }
 
@@ -520,6 +604,7 @@ impl DynamicMatcher {
         };
         self.stats.push(stats.clone());
         self.epoch += 1;
+        self.publish();
         Ok(EpochReport { stats, solve })
     }
 
@@ -1034,6 +1119,46 @@ mod tests {
     }
 
     #[test]
+    fn compaction_is_invisible_to_subsequent_insert_only_epochs() {
+        // Two sessions consume the same stream; one compacts mid-way. Since
+        // compaction only renumbers ids (the materialized live graph — edge
+        // order included — is unchanged), insert-only epochs afterwards must
+        // produce bit-identical weights and decisions in both sessions.
+        let g = base_graph(26);
+        let mut with_compact = DynamicMatcher::new(&g, config()).unwrap();
+        let mut without = DynamicMatcher::new(&g, config()).unwrap();
+        let budget = ResourceBudget::unlimited();
+        for dm in [&mut with_compact, &mut without] {
+            dm.apply_epoch(&[], &budget).unwrap();
+            let upd = batch(dm.overlay().next_edge_id(), 40, 27, 20);
+            dm.apply_epoch(&upd, &budget).unwrap();
+        }
+        with_compact.compact();
+        let (ga, _) = with_compact.overlay().materialize();
+        let (gb, _) = without.overlay().materialize();
+        assert_eq!(ga.num_edges(), gb.num_edges());
+        assert_eq!(ga.total_weight().to_bits(), gb.total_weight().to_bits());
+
+        let mut rng = StdRng::seed_from_u64(28);
+        let inserts: Vec<GraphUpdate> = (0..12)
+            .map(|_| {
+                let u = rng.gen_range(0..40u32);
+                let mut v = rng.gen_range(0..39u32);
+                if v >= u {
+                    v += 1;
+                }
+                GraphUpdate::InsertEdge { u, v, w: rng.gen_range(1.0..9.0) }
+            })
+            .collect();
+        let ra = with_compact.apply_epoch(&inserts, &budget).unwrap();
+        let rb = without.apply_epoch(&inserts, &budget).unwrap();
+        assert_eq!(ra.stats.decision, rb.stats.decision);
+        assert_eq!(ra.stats.weight.to_bits(), rb.stats.weight.to_bits());
+        assert_eq!(ra.stats.touched_vertices, rb.stats.touched_vertices);
+        assert_eq!(with_compact.weight().to_bits(), without.weight().to_bits());
+    }
+
+    #[test]
     fn audit_records_drift_and_feasibility() {
         let g = base_graph(14);
         let cfg = DynamicConfig { audit_every: 2, ..config() };
@@ -1045,6 +1170,76 @@ mod tests {
         assert!(audit.feasible);
         assert!(audit.weight_drift < 0.5, "drift {} suspiciously large", audit.weight_drift);
         assert!(dm.ledger()[0].audit.is_none());
+    }
+
+    #[test]
+    fn committed_view_publishes_only_at_epoch_boundaries() {
+        let g = base_graph(30);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        let view = dm.committed_view();
+        let s0 = view.load();
+        assert_eq!((s0.epoch, s0.version), (0, 0));
+        assert!(s0.matching.is_empty() && s0.last_stats.is_none());
+
+        let r = dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        let s1 = view.load();
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.version, dm.overlay().version());
+        assert_eq!(s1.weight.to_bits(), dm.weight().to_bits());
+        assert_eq!(s1.matching.num_edges(), dm.matching().num_edges());
+        assert_eq!(s1.last_stats.as_ref().map(|s| s.decision), Some(r.stats.decision));
+
+        // A failed epoch rolls back without publishing: readers keep seeing
+        // the previous committed state, never a torn one.
+        let upd = batch(dm.overlay().next_edge_id(), 40, 31, 2_000);
+        let tight =
+            ResourceBudget::unlimited().with_max_streamed_items(dm.tracker().items_streamed() + 10);
+        assert!(dm.apply_epoch(&upd, &tight).is_err());
+        let s_after_fail = view.load();
+        assert_eq!(s_after_fail.epoch, 1);
+        assert_eq!(s_after_fail.weight.to_bits(), s1.weight.to_bits());
+
+        // Compaction republishes under the renumbered ids.
+        let upd = batch(dm.overlay().next_edge_id(), 40, 32, 15);
+        dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        dm.compact();
+        let s2 = view.load();
+        assert_eq!(s2.epoch, 2);
+        for (id, _, _) in s2.matching.iter() {
+            assert!(dm.overlay().live_edge(id).is_some(), "snapshot follows the remap");
+        }
+    }
+
+    #[test]
+    fn committed_view_is_readable_while_the_session_advances() {
+        // A reader thread hammering the view while the owner applies epochs
+        // must only ever observe fully committed states (weight and matching
+        // agree with each other).
+        let g = base_graph(33);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        let view = dm.committed_view();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let view = view.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observed = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = view.load();
+                    let recomputed: f64 = s.matching.weight();
+                    assert_eq!(s.weight.to_bits(), recomputed.to_bits(), "torn snapshot");
+                    observed += 1;
+                }
+                observed
+            })
+        };
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        for round in 0..3u64 {
+            let upd = batch(dm.overlay().next_edge_id(), 40, 300 + round, 10);
+            dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(reader.join().expect("reader panicked") > 0);
     }
 
     #[test]

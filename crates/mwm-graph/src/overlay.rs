@@ -465,6 +465,94 @@ mod tests {
     }
 
     #[test]
+    fn compact_remap_is_total_order_preserving_and_weight_exact() {
+        // A heavily churned journal: interleaved inserts, deletes (including
+        // re-deleting via vertex removal) and reweights.
+        let mut ov = GraphOverlay::new(&base());
+        for i in 0..40u32 {
+            ov.apply(&GraphUpdate::InsertEdge { u: i % 4, v: (i + 1) % 4, w: 1.0 + i as f64 })
+                .unwrap();
+        }
+        for id in (0..ov.next_edge_id()).step_by(3) {
+            let _ = ov.apply(&GraphUpdate::DeleteEdge { id });
+        }
+        for id in (1..ov.next_edge_id()).step_by(5) {
+            let _ = ov.apply(&GraphUpdate::ReweightEdge { id, w: 0.5 + id as f64 });
+        }
+        let live_before = ov.num_live_edges();
+        let survivors: Vec<(EdgeId, Edge)> =
+            (0..ov.next_edge_id()).filter_map(|id| ov.live_edge(id).map(|e| (id, e))).collect();
+
+        let journal_len = ov.next_edge_id();
+        let remap = ov.compact();
+        // Total: every pre-compaction id has an entry; dead ids map to MAX,
+        // live ids biject onto 0..live in their original relative order.
+        assert_eq!(remap.len(), journal_len);
+        let mapped: Vec<usize> = survivors.iter().map(|&(id, _)| remap[id]).collect();
+        assert_eq!(mapped, (0..live_before).collect::<Vec<_>>(), "order-preserving bijection");
+        for (old, &new) in remap.iter().enumerate() {
+            if new == usize::MAX {
+                continue;
+            }
+            let e_new = ov.live_edge(new).expect("remapped id is live");
+            let (_, e_old) = survivors.iter().find(|&&(id, _)| id == old).unwrap();
+            assert_eq!(
+                (e_new.u, e_new.v, e_new.w.to_bits()),
+                (e_old.u, e_old.v, e_old.w.to_bits())
+            );
+        }
+        // Tombstones are gone: the journal holds exactly the live edges.
+        assert_eq!(ov.next_edge_id(), live_before);
+        assert_eq!(ov.num_live_edges(), live_before);
+    }
+
+    #[test]
+    fn compact_is_idempotent_once_tombstones_are_reclaimed() {
+        let mut ov = GraphOverlay::new(&base());
+        ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 2, w: 5.0 }).unwrap();
+        ov.apply(&GraphUpdate::DeleteEdge { id: 0 }).unwrap();
+        let first = ov.compact();
+        assert!(first.contains(&usize::MAX));
+        let (g_first, _) = ov.materialize();
+        // With no tombstones left, a second compaction is the identity remap
+        // and changes nothing but the version.
+        let v = ov.version();
+        let second = ov.compact();
+        assert_eq!(second, (0..ov.next_edge_id()).collect::<Vec<_>>());
+        assert_eq!(ov.version(), v + 1);
+        let (g_second, back) = ov.materialize();
+        assert_eq!(g_first.num_edges(), g_second.num_edges());
+        assert_eq!(g_first.total_weight().to_bits(), g_second.total_weight().to_bits());
+        assert_eq!(back, (0..ov.num_live_edges()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compaction_preserves_vertex_state_and_future_updates() {
+        // Vertex removals and capacities are orthogonal to edge compaction:
+        // the journal shrinks, vertex ids and capacities stay put, and the
+        // overlay keeps accepting updates against the renumbered ids.
+        let mut ov = GraphOverlay::new(&base());
+        ov.apply(&GraphUpdate::AddVertex { b: 3 }).unwrap();
+        ov.apply(&GraphUpdate::InsertEdge { u: 4, v: 0, w: 2.5 }).unwrap();
+        ov.apply(&GraphUpdate::RemoveVertex { v: 1 }).unwrap();
+        let live_vertices = ov.num_live_vertices();
+        let remap = ov.compact();
+        assert_eq!(ov.num_live_vertices(), live_vertices);
+        assert!(!ov.is_live_vertex(1) && ov.is_live_vertex(4));
+        assert_eq!(ov.capacity(4), 3);
+        // The renumbered insert is addressable through the remap.
+        let new_id = remap[3];
+        assert!(ov.live_edge(new_id).is_some());
+        ov.apply(&GraphUpdate::ReweightEdge { id: new_id, w: 9.0 }).unwrap();
+        assert_eq!(ov.live_edge(new_id).unwrap().w, 9.0);
+        // Dead-vertex inserts stay rejected after compaction.
+        assert!(matches!(
+            ov.apply(&GraphUpdate::InsertEdge { u: 1, v: 0, w: 1.0 }),
+            Err(UpdateError::DeadVertex(1))
+        ));
+    }
+
+    #[test]
     fn touched_by_matches_apply() {
         let ov = GraphOverlay::new(&base());
         assert_eq!(ov.touched_by(&GraphUpdate::DeleteEdge { id: 1 }), vec![1, 2]);

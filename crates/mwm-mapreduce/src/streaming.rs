@@ -82,61 +82,113 @@ impl<'a> StreamingSim<'a> {
     }
 }
 
+// The module tests primarily exercise the engine paths the deprecated
+// wrapper maps to (see the migration note above and in the README); one
+// narrowly-scoped guard test covers the wrapper's delegation itself for the
+// remainder of its deprecation cycle. The workspace builds warning-clean
+// under `-D warnings`.
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use mwm_graph::generators::{self, WeightModel};
     use rand::prelude::*;
     use rand::rngs::StdRng;
 
+    /// The one-shard, one-worker engine configuration the wrapper wraps.
+    fn engine_and_source(g: &Graph) -> (PassEngine, GraphSource<'_>) {
+        (PassEngine::new(1), GraphSource::new(g, 1))
+    }
+
     #[test]
-    fn passes_visit_every_edge_in_order() {
+    fn single_shard_sequential_passes_visit_every_edge_in_order() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::gnm(20, 80, WeightModel::Unit, &mut rng);
-        let mut sim = StreamingSim::new(&g);
+        let (mut engine, source) = engine_and_source(&g);
         let mut seen = Vec::new();
-        sim.pass(|id, _| seen.push(id));
+        engine.pass_sequential(&source, |id, _| seen.push(id)).unwrap();
         assert_eq!(seen.len(), g.num_edges());
         assert_eq!(seen, (0..g.num_edges()).collect::<Vec<_>>());
-        assert_eq!(sim.passes(), 1);
+        assert_eq!(engine.passes(), 1);
     }
 
     #[test]
     fn early_exit_still_charges_a_pass() {
         let mut rng = StdRng::seed_from_u64(2);
         let g = generators::gnm(20, 80, WeightModel::Unit, &mut rng);
-        let mut sim = StreamingSim::new(&g);
+        let (mut engine, source) = engine_and_source(&g);
         let mut count = 0;
-        sim.pass_until(|_, _| {
-            count += 1;
-            count < 5
-        });
+        engine
+            .pass_sequential_until(&source, |_, _| {
+                count += 1;
+                count < 5
+            })
+            .unwrap();
         assert_eq!(count, 5);
-        assert_eq!(sim.passes(), 1);
-        assert_eq!(sim.tracker().items_streamed(), g.num_edges(), "pass charged in full");
+        assert_eq!(engine.passes(), 1);
+        assert_eq!(engine.tracker().items_streamed(), g.num_edges(), "pass charged in full");
     }
 
     #[test]
     fn memory_declarations_track_peak() {
         let mut rng = StdRng::seed_from_u64(3);
         let g = generators::gnm(30, 100, WeightModel::Unit, &mut rng);
+        let (mut engine, _) = engine_and_source(&g);
+        engine.declare_memory(500);
+        engine.declare_memory(100);
+        engine.declare_memory(300);
+        assert_eq!(engine.tracker().peak_central_space(), 500);
+        assert_eq!(engine.tracker().current_central_space(), 300);
+    }
+
+    /// Deprecation-cycle guard: until the wrapper is removed, it must keep
+    /// its exact historical delegation semantics (the README promises as
+    /// much to external callers). This is the single intentional use of the
+    /// deprecated type left in the workspace, scoped under one narrow
+    /// `allow(deprecated)`.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_delegates_with_historical_semantics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::gnm(20, 80, WeightModel::Unit, &mut rng);
         let mut sim = StreamingSim::new(&g);
-        sim.declare_memory(500);
-        sim.declare_memory(100);
-        sim.declare_memory(300);
-        assert_eq!(sim.tracker().peak_central_space(), 500);
-        assert_eq!(sim.tracker().current_central_space(), 300);
+        let mut seen = Vec::new();
+        sim.pass(|id, _| seen.push(id));
+        assert_eq!(seen, (0..g.num_edges()).collect::<Vec<_>>());
+        let mut count = 0;
+        sim.pass_until(|_, _| {
+            count += 1;
+            count < 5
+        });
+        assert_eq!(count, 5);
+        assert_eq!(sim.passes(), 2);
+        assert_eq!(sim.tracker().items_streamed(), 2 * g.num_edges(), "passes charged in full");
+        sim.declare_memory(100); // under n ln^2 n ~ 179 for n = 20
+        assert!(sim.within_semi_streaming_budget(1.0));
+        sim.declare_memory(10_000_000);
+        assert!(!sim.within_semi_streaming_budget(1.0));
+
+        // Ledger parity with the engine path the migration note maps to.
+        let (mut engine, source) = engine_and_source(&g);
+        engine.pass_sequential(&source, |_, _| {}).unwrap();
+        engine.pass_sequential_until(&source, |_, _| false).unwrap();
+        assert_eq!(engine.tracker().items_streamed(), 2 * g.num_edges());
+        assert_eq!(engine.passes(), sim.passes());
     }
 
     #[test]
-    fn semi_streaming_budget_check() {
+    fn semi_streaming_budget_check_via_the_engine_ledger() {
         let mut rng = StdRng::seed_from_u64(4);
         let g = generators::gnm(100, 1000, WeightModel::Unit, &mut rng);
-        let mut sim = StreamingSim::new(&g);
-        sim.declare_memory(200); // well under n log^2 n
-        assert!(sim.within_semi_streaming_budget(1.0));
-        sim.declare_memory(1_000_000);
-        assert!(!sim.within_semi_streaming_budget(1.0));
+        let (mut engine, _) = engine_and_source(&g);
+        // The wrapper's `within_semi_streaming_budget(c)` is this check over
+        // the engine's peak central space.
+        let budget = |engine: &PassEngine, constant: f64| {
+            let n = g.num_vertices().max(2) as f64;
+            (engine.tracker().peak_central_space() as f64) <= constant * n * n.ln() * n.ln()
+        };
+        engine.declare_memory(200); // well under n log^2 n
+        assert!(budget(&engine, 1.0));
+        engine.declare_memory(1_000_000);
+        assert!(!budget(&engine, 1.0));
     }
 }

@@ -75,6 +75,7 @@ pub use mwm_graph as graph;
 pub use mwm_lp as lp;
 pub use mwm_mapreduce as mapreduce;
 pub use mwm_matching as matching;
+pub use mwm_serve as serve;
 pub use mwm_sketch as sketch;
 pub use mwm_sparsify as sparsify;
 
@@ -85,7 +86,12 @@ pub mod engine {
         MatchingSolver, MwmError, MwmResult, OfflineSolver, OfflineStrategy, ResourceBudget,
         SolveReport, WarmStart, WarmStartState,
     };
-    pub use mwm_dynamic::{DynamicConfig, DynamicMatcher, EpochDecision, EpochStats};
+    pub use mwm_dynamic::{
+        CommittedSnapshot, CommittedView, DynamicConfig, DynamicMatcher, EpochDecision, EpochStats,
+    };
+    pub use mwm_serve::{
+        MatchingService, Request, Response, ServeError, ServiceConfig, SessionStats, Ticket,
+    };
 
     use mwm_core::{DualPrimalConfig, DualPrimalSolver};
     use mwm_graph::Graph;
@@ -231,11 +237,17 @@ pub mod prelude {
         DualPrimalConfig, DualPrimalSolver, MatchingSolver, MwmError, MwmResult, OfflineSolver,
         OfflineStrategy, ResourceBudget, ResumePolicy, SolveReport, WarmStart, WarmStartState,
     };
-    pub use mwm_dynamic::{DynamicConfig, DynamicMatcher, EpochDecision, EpochReport, EpochStats};
+    pub use mwm_dynamic::{
+        CommittedSnapshot, CommittedView, DynamicConfig, DynamicMatcher, EpochDecision,
+        EpochReport, EpochStats,
+    };
     pub use mwm_graph::{
         generators, BMatching, Edge, Graph, GraphOverlay, GraphUpdate, Matching, WeightLevels,
     };
     pub use mwm_mapreduce::ResourceTracker;
+    pub use mwm_serve::{
+        MatchingService, Request, Response, ServeError, ServiceConfig, SessionStats,
+    };
 }
 
 #[cfg(test)]
