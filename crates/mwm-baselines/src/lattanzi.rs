@@ -15,19 +15,22 @@
 
 use mwm_core::{MatchingSolver, MwmError, ResourceBudget, SolveReport};
 use mwm_graph::{EdgeId, Graph, Matching, WeightLevels};
-use mwm_mapreduce::{GraphSource, MapReduceConfig, MapReduceSim, PassEngine, ResourceTracker};
+use mwm_mapreduce::{
+    ExecutionMode, GraphSource, MapReduceConfig, MapReduceSim, PassEngine, ResourceTracker,
+};
 
 /// The filtering algorithm behind the engine API: an `O(p)`-round,
 /// `O(n^{1+1/p})`-space, `O(1)`-approximation [`MatchingSolver`].
 ///
 /// Construct with [`LattanziFiltering::new`], which validates the parameters;
 /// [`Default`] uses the paper's comparison setting (`p = 2`, `eps = 0.2`).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LattanziFiltering {
     p: f64,
     eps: f64,
     seed: u64,
     parallelism: usize,
+    execution: ExecutionMode,
 }
 
 impl LattanziFiltering {
@@ -47,7 +50,7 @@ impl LattanziFiltering {
                 requirement: "must lie in (0, 1)",
             });
         }
-        Ok(LattanziFiltering { p, eps, seed, parallelism: 1 })
+        Ok(LattanziFiltering { p, eps, seed, parallelism: 1, execution: ExecutionMode::default() })
     }
 
     /// Sets the pass-engine worker cap used by the weight-class bucketing
@@ -57,11 +60,28 @@ impl LattanziFiltering {
         self.parallelism = workers.max(1);
         self
     }
+
+    /// Sets the bucketing engine's execution mode (builder style). The
+    /// bucketing pass folds edge ids through a closure, which cannot cross a
+    /// process boundary, so it always runs at the coordinator; the mode is
+    /// carried so registry-level configuration reaches every solver
+    /// uniformly and kernel passes added later dispatch like the rest of the
+    /// workspace.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
 }
 
 impl Default for LattanziFiltering {
     fn default() -> Self {
-        LattanziFiltering { p: 2.0, eps: 0.2, seed: 0x1A77, parallelism: 1 }
+        LattanziFiltering {
+            p: 2.0,
+            eps: 0.2,
+            seed: 0x1A77,
+            parallelism: 1,
+            execution: ExecutionMode::default(),
+        }
     }
 }
 
@@ -72,7 +92,8 @@ impl MatchingSolver for LattanziFiltering {
 
     fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
         let workers = budget.parallelism().unwrap_or(self.parallelism);
-        let res = run_filtering(graph, self.p, self.eps, self.seed, workers, budget)?;
+        let res =
+            run_filtering(graph, self.p, self.eps, self.seed, workers, &self.execution, budget)?;
         budget.check_tracker(&res.tracker)?;
         Ok(SolveReport::new(self.name(), res.matching.to_b_matching(), res.tracker)
             .with_stat("p", self.p)
@@ -103,7 +124,7 @@ pub struct LattanziResult {
 /// a typed error instead.
 pub fn lattanzi_filtering(graph: &Graph, p: f64, eps: f64, seed: u64) -> LattanziResult {
     assert!(p > 1.0);
-    run_filtering(graph, p, eps, seed, 1, &ResourceBudget::unlimited())
+    run_filtering(graph, p, eps, seed, 1, &ExecutionMode::InProcess, &ResourceBudget::unlimited())
         .expect("an unlimited budget cannot interrupt the bucketing pass")
 }
 
@@ -118,6 +139,7 @@ fn run_filtering(
     eps: f64,
     seed: u64,
     workers: usize,
+    mode: &ExecutionMode,
     res_budget: &ResourceBudget,
 ) -> Result<LattanziResult, MwmError> {
     let n = graph.num_vertices();
@@ -129,7 +151,9 @@ fn run_filtering(
 
     // One pass over the sharded stream splits it into weight classes.
     let source = GraphSource::auto(graph);
-    let mut engine = PassEngine::new(workers).with_budget(res_budget.pass_budget(0));
+    let mut engine = PassEngine::new(workers)
+        .with_budget(res_budget.pass_budget(0))
+        .with_execution_mode(mode.clone());
     let num_levels = levels.num_levels();
     let mut buckets: Vec<Vec<EdgeId>> = vec![Vec::new(); num_levels];
     if num_levels > 0 {

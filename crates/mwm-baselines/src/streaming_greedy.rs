@@ -17,17 +17,18 @@
 
 use mwm_core::{MatchingSolver, MwmError, ResourceBudget, SolveReport};
 use mwm_graph::{EdgeId, Graph, Matching};
-use mwm_mapreduce::{GraphSource, PassEngine, ResourceTracker};
+use mwm_mapreduce::{ExecutionMode, GraphSource, PassEngine, ResourceTracker};
 
 /// The one-pass replacement algorithm behind the engine API: 1 pass, `O(n)`
 /// memory, constant-approximation [`MatchingSolver`].
 ///
 /// Construct with [`StreamingGreedy::new`], which validates the improvement
 /// factor; [`Default`] uses the classical `γ = √2 - 1 ≈ 0.414`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StreamingGreedy {
     gamma_improve: f64,
     parallelism: usize,
+    execution: ExecutionMode,
 }
 
 impl StreamingGreedy {
@@ -40,7 +41,7 @@ impl StreamingGreedy {
                 requirement: "must be non-negative and finite",
             });
         }
-        Ok(StreamingGreedy { gamma_improve, parallelism: 1 })
+        Ok(StreamingGreedy { gamma_improve, parallelism: 1, execution: ExecutionMode::default() })
     }
 
     /// Sets the pass-engine worker cap (builder style). The replacement pass
@@ -51,11 +52,25 @@ impl StreamingGreedy {
         self.parallelism = workers.max(1);
         self
     }
+
+    /// Sets the engine's execution mode (builder style). The replacement
+    /// pass is sequential by nature and always runs at the coordinator; the
+    /// mode is carried so any kernel passes added to this loop dispatch like
+    /// the rest of the workspace, and so registry-level configuration reaches
+    /// every solver uniformly.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
 }
 
 impl Default for StreamingGreedy {
     fn default() -> Self {
-        StreamingGreedy { gamma_improve: 0.414, parallelism: 1 }
+        StreamingGreedy {
+            gamma_improve: 0.414,
+            parallelism: 1,
+            execution: ExecutionMode::default(),
+        }
     }
 }
 
@@ -66,7 +81,8 @@ impl MatchingSolver for StreamingGreedy {
 
     fn solve(&self, graph: &Graph, budget: &ResourceBudget) -> Result<SolveReport, MwmError> {
         let workers = budget.parallelism().unwrap_or(self.parallelism);
-        let res = run_replacement_pass(graph, self.gamma_improve, workers, budget)?;
+        let res =
+            run_replacement_pass(graph, self.gamma_improve, workers, &self.execution, budget)?;
         budget.check_tracker(&res.tracker)?;
         Ok(SolveReport::new(self.name(), res.matching.to_b_matching(), res.tracker)
             .with_stat("gamma_improve", self.gamma_improve)
@@ -96,8 +112,14 @@ pub struct StreamingGreedyResult {
 /// and returns a typed error instead.
 pub fn streaming_greedy_matching(graph: &Graph, gamma_improve: f64) -> StreamingGreedyResult {
     assert!(gamma_improve >= 0.0);
-    run_replacement_pass(graph, gamma_improve, 1, &ResourceBudget::unlimited())
-        .expect("an unlimited budget cannot interrupt the pass")
+    run_replacement_pass(
+        graph,
+        gamma_improve,
+        1,
+        &ExecutionMode::InProcess,
+        &ResourceBudget::unlimited(),
+    )
+    .expect("an unlimited budget cannot interrupt the pass")
 }
 
 /// The engine-driven pass shared by the free function and the trait impl. A
@@ -107,11 +129,14 @@ fn run_replacement_pass(
     graph: &Graph,
     gamma_improve: f64,
     workers: usize,
+    mode: &ExecutionMode,
     budget: &ResourceBudget,
 ) -> Result<StreamingGreedyResult, MwmError> {
     let n = graph.num_vertices();
     let source = GraphSource::auto(graph);
-    let mut engine = PassEngine::new(workers).with_budget(budget.pass_budget(0));
+    let mut engine = PassEngine::new(workers)
+        .with_budget(budget.pass_budget(0))
+        .with_execution_mode(mode.clone());
     // matched_edge[v] = edge id currently matching v.
     let mut matched_edge: Vec<Option<EdgeId>> = vec![None; n];
     let mut in_matching: std::collections::BTreeMap<EdgeId, f64> =
@@ -236,10 +261,23 @@ mod tests {
     fn parallelism_cannot_change_the_arrival_order() {
         let mut rng = StdRng::seed_from_u64(11);
         let g = generators::gnm(80, 2500, WeightModel::Uniform(1.0, 9.0), &mut rng);
-        let base = run_replacement_pass(&g, 0.414, 1, &ResourceBudget::unlimited()).unwrap();
+        let base = run_replacement_pass(
+            &g,
+            0.414,
+            1,
+            &ExecutionMode::InProcess,
+            &ResourceBudget::unlimited(),
+        )
+        .unwrap();
         for workers in [2usize, 8] {
-            let res =
-                run_replacement_pass(&g, 0.414, workers, &ResourceBudget::unlimited()).unwrap();
+            let res = run_replacement_pass(
+                &g,
+                0.414,
+                workers,
+                &ExecutionMode::InProcess,
+                &ResourceBudget::unlimited(),
+            )
+            .unwrap();
             let mut a: Vec<EdgeId> = base.matching.edges().iter().map(|&(id, _)| id).collect();
             let mut b: Vec<EdgeId> = res.matching.edges().iter().map(|&(id, _)| id).collect();
             a.sort_unstable();
@@ -254,7 +292,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let g = generators::gnm(60, 1200, WeightModel::Uniform(1.0, 9.0), &mut rng);
         let budget = ResourceBudget::unlimited().with_max_streamed_items(100);
-        let err = run_replacement_pass(&g, 0.414, 1, &budget).unwrap_err();
+        let err =
+            run_replacement_pass(&g, 0.414, 1, &ExecutionMode::InProcess, &budget).unwrap_err();
         match err {
             MwmError::BudgetExceeded { resource: "streamed items", used, limit: 100 } => {
                 assert!(used >= 100);

@@ -4,17 +4,24 @@
 //! ```text
 //! cargo run --release -p mwm-bench --bin experiments -- --exp all
 //! cargo run --release -p mwm-bench --bin experiments -- --exp e3
+//! cargo run --release -p mwm-bench --bin experiments -- --exp e11,e14 --json out.json
 //! ```
+//!
+//! `--exp` takes a single id, a comma-separated list, or `all`; `--json`
+//! additionally writes every report as a flat machine-readable metrics file
+//! (see `mwm_bench::json`) for the CI regression comparison.
 //!
 //! Exit codes: 0 on success, 1 when an experiment fails, 2 on bad arguments
 //! or an unknown experiment id.
 
-use mwm_bench::run_experiment;
+use mwm_bench::{json, ExperimentReport};
 use mwm_core::MwmError;
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut exp = "all".to_string();
+    let mut json_path: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -23,12 +30,21 @@ fn main() {
                     exp = args[i + 1].clone();
                     i += 1;
                 } else {
-                    eprintln!("--exp requires a value (e1..e11 or all)");
+                    eprintln!("--exp requires a value (e1..e14, a comma list, or all)");
+                    std::process::exit(2);
+                }
+            }
+            "--json" => {
+                if i + 1 < args.len() {
+                    json_path = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                } else {
+                    eprintln!("--json requires an output path");
                     std::process::exit(2);
                 }
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--exp e1..e11|all]");
+                println!("usage: experiments [--exp e1..e14|e1,e2,...|all] [--json <path>]");
                 return;
             }
             other => {
@@ -38,22 +54,37 @@ fn main() {
         }
         i += 1;
     }
-    match run_experiment(&exp) {
-        Ok(reports) => {
-            for report in &reports {
-                for line in report.render() {
-                    println!("{line}");
-                }
-                println!();
+
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    for id in exp.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match mwm_bench::run_experiment(id) {
+            Ok(batch) => reports.extend(batch),
+            Err(err @ MwmError::UnknownExperiment { .. }) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+            Err(err) => {
+                eprintln!("experiment {id} failed: {err}");
+                std::process::exit(1);
             }
         }
-        Err(err @ MwmError::UnknownExperiment { .. }) => {
-            eprintln!("{err}");
-            std::process::exit(2);
+    }
+    if reports.is_empty() {
+        eprintln!("--exp selected no experiments");
+        std::process::exit(2);
+    }
+
+    for report in &reports {
+        for line in report.render() {
+            println!("{line}");
         }
-        Err(err) => {
-            eprintln!("experiment {exp} failed: {err}");
+        println!();
+    }
+    if let Some(path) = json_path {
+        if let Err(err) = json::write_json(&path, &reports) {
+            eprintln!("failed to write {}: {err}", path.display());
             std::process::exit(1);
         }
+        println!("wrote {} metrics to {}", json::metrics_for(&reports).len(), path.display());
     }
 }

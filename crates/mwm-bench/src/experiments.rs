@@ -27,8 +27,8 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// All experiment ids, in run order.
-pub const EXPERIMENT_IDS: [&str; 13] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
+pub const EXPERIMENT_IDS: [&str; 14] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"];
 
 /// Runs one experiment by id (`"e1"` … `"e13"`), or every experiment for
 /// `"all"`. Unknown ids are [`MwmError::UnknownExperiment`].
@@ -47,6 +47,7 @@ pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
         "e11" => Ok(vec![e11_pass_throughput()?]),
         "e12" => Ok(vec![e12_dynamic_stream()?]),
         "e13" => Ok(vec![e13_serving()?]),
+        "e14" => Ok(vec![e14_out_of_core()?]),
         "all" => {
             let mut all = Vec::with_capacity(EXPERIMENT_IDS.len());
             for e in EXPERIMENT_IDS {
@@ -708,6 +709,138 @@ fn e13_with(
     Ok(rep)
 }
 
+/// E14 — out-of-core solve: a `2^27`-edge synthetic stream spilled to disk
+/// and solved under a fixed resident-edge budget, at 1/2/4/8 worker
+/// processes.
+///
+/// The stream never materializes in memory: it is spilled shard-by-shard,
+/// then each pass streams the shard files back batch-at-a-time (in-process or
+/// in worker processes). The budget is a [`ResourceBudget`] central-space cap
+/// far below the stream size, enforced against the engine's ledger (readback
+/// buffers and the coordinator's candidate working set are both charged), so
+/// a row only appears if the solve genuinely stayed within it. The `checksum`
+/// column must equal the in-memory single-process run's on every row — the
+/// bit-identical-across-execution-modes guarantee.
+///
+/// `MWM_E14_EDGES_LOG2` overrides the stream size (CI smoke uses a small
+/// value; the committed `BENCH_6.json` records the full 2^27 run).
+pub fn e14_out_of_core() -> Result<ExperimentReport, MwmError> {
+    let log2 = std::env::var("MWM_E14_EDGES_LOG2")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(27)
+        .clamp(12, 30);
+    e14_with(1usize << log2, &[1, 2, 4, 8], true)
+}
+
+/// The parameterized E14 body: `procs` selects the worker-process counts;
+/// with `require_worker` false, rows whose worker binary cannot be found are
+/// skipped instead of failing (used by the unit test, which cannot guarantee
+/// build order).
+fn e14_with(m: usize, procs: &[usize], require_worker: bool) -> Result<ExperimentReport, MwmError> {
+    use mwm_external::{discover_worker_binary, out_of_core_matching, ProcessPool, SpillWriter};
+    use mwm_mapreduce::{PassEngine, SyntheticStream};
+    use std::time::Instant;
+
+    let n = (m >> 11).max(64);
+    let shards = 64usize;
+    let gamma = 0.05;
+    let parallelism = 2usize;
+    // The resident-edge ceiling: ~3% of the stream. Everything held in memory
+    // during a spilled solve — readback buffers and the coordinator's
+    // candidate set — is charged against it and verified by the ledger. The
+    // floor keeps miniature (test/smoke) streams solvable: two readers' 8192-
+    // edge readback batches plus the candidate set must fit even when m/32 is
+    // tiny.
+    let resident_budget_edges = (m / 32).max(1 << 15);
+    let budget = ResourceBudget::unlimited().with_max_central_space(resident_budget_edges);
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+
+    let mut rep = ExperimentReport::new(
+        "e14",
+        format!(
+            "out-of-core solve ({m} edges spilled, resident budget {resident_budget_edges} \
+             edges, 1/2/4/8 worker processes)"
+        ),
+        vec![
+            "mode",
+            "procs",
+            "cores",
+            "edges",
+            "spill_mb",
+            "peak_resident",
+            "medges/s",
+            "weight",
+            "checksum",
+            "=memory",
+        ],
+    );
+    let stream = SyntheticStream::with_shards(n, m, 0xE14, shards);
+
+    // Reference row: the whole stream consumed in memory, single process.
+    let start = Instant::now();
+    let mut engine = PassEngine::new(parallelism);
+    let reference = out_of_core_matching(&mut engine, &stream, gamma)?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    budget.check_tracker(engine.tracker())?;
+    rep.push_row(vec![
+        "memory".to_string(),
+        "0".to_string(),
+        format!("{cores}"),
+        format!("{m}"),
+        "0.0".to_string(),
+        format!("{}", engine.tracker().peak_central_space()),
+        format!("{:.1}", m as f64 / secs / 1e6),
+        format!("{:.2}", reference.weight),
+        format!("{:016x}", reference.checksum()),
+        "yes".to_string(),
+    ]);
+
+    // Spill once; every process count reads the same files.
+    let dir = std::env::temp_dir().join(format!("mwm-e14-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spill_result = (|| -> Result<ExperimentReport, MwmError> {
+        let spilled = SpillWriter::spill_edge_source(&dir, &stream)
+            .map_err(mwm_mapreduce::PassError::from)?;
+        let spill_mb = spilled.bytes_on_disk() as f64 / (1 << 20) as f64;
+        let worker_bin = discover_worker_binary();
+        // procs = 0: the spilled stream read back in-process — the spill
+        // overhead alone, no IPC. procs >= 1: worker processes own the shards.
+        for &workers in [0usize].iter().chain(procs) {
+            if workers > 0 && worker_bin.is_none() && !require_worker {
+                continue;
+            }
+            let mut engine = PassEngine::new(parallelism).with_budget(budget.pass_budget(0));
+            if workers > 0 {
+                let pool = ProcessPool::new(workers);
+                engine = engine.with_execution_mode(pool.into_execution_mode(false));
+            }
+            let start = Instant::now();
+            let m14 = out_of_core_matching(&mut engine, &spilled, gamma)?;
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            spilled.charge_io(engine.tracker_mut());
+            budget.check_tracker(engine.tracker())?;
+            let identical = m14.checksum() == reference.checksum()
+                && m14.weight.to_bits() == reference.weight.to_bits();
+            rep.push_row(vec![
+                "spill".to_string(),
+                format!("{workers}"),
+                format!("{cores}"),
+                format!("{m}"),
+                format!("{spill_mb:.1}"),
+                format!("{}", engine.tracker().peak_central_space()),
+                format!("{:.1}", m as f64 / secs / 1e6),
+                format!("{:.2}", m14.weight),
+                format!("{:016x}", m14.checksum()),
+                if identical { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        Ok(rep)
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    spill_result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,6 +857,21 @@ mod tests {
                 Some(reference.as_str()),
                 "row {row}: worker count changed a session result"
             );
+        }
+    }
+
+    #[test]
+    fn e14_spilled_rows_match_the_in_memory_checksum() {
+        // Miniature stream; worker-process rows are skipped when the worker
+        // binary has not been built yet (unit tests cannot order builds) —
+        // CI exercises the multi-process rows after a full build.
+        let rep = e14_with(1 << 14, &[1, 2], false).unwrap();
+        assert!(!rep.rows.is_empty());
+        assert_eq!(rep.cell(0, "mode"), Some("memory"));
+        let reference = rep.cell(0, "checksum").unwrap().to_string();
+        for row in 0..rep.rows.len() {
+            assert_eq!(rep.cell(row, "=memory"), Some("yes"), "row {row}");
+            assert_eq!(rep.cell(row, "checksum"), Some(reference.as_str()), "row {row}");
         }
     }
 

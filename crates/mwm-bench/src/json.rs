@@ -1,0 +1,200 @@
+//! Machine-readable experiment output (`experiments --json <path>`).
+//!
+//! The workspace deliberately carries no serde; this module hand-writes a
+//! small, stable JSON document so CI can diff runs across commits. The
+//! document is formatted **one metric per line** so the companion
+//! `bench_compare` binary can scan it line-by-line without a JSON parser:
+//!
+//! ```text
+//! {
+//!   "schema": "mwm-bench-v1",
+//!   "host_cores": 8,
+//!   "experiments": ["e1", "e11"],
+//!   "metrics": {
+//!     "e11.r0.medges_per_s": 42.1,
+//!     "e11.r0.checksum": "00ab34cd56ef0712",
+//!     ...
+//!   }
+//! }
+//! ```
+//!
+//! Metric keys are `"<experiment>.r<row>.<column>"` with the column name
+//! sanitized to an identifier (`medges/s` → `medges_per_s`, `=memory` →
+//! `eq_memory`). Numeric-looking cells are emitted as bare JSON numbers; all
+//! other cells (checksums, labels, yes/no flags) as strings. Checksum columns
+//! are always strings — a 16-hex-digit value that happens to be all decimal
+//! digits must not be rounded through an f64.
+
+use crate::report::ExperimentReport;
+use std::io::Write;
+use std::path::Path;
+
+/// Sanitizes a column name into a metric-key segment: `/` becomes `_per_`,
+/// `=` becomes `eq_`, `%` becomes `pct_`, any other non-alphanumeric byte
+/// becomes `_`.
+pub fn sanitize_key(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        match ch {
+            '/' => out.push_str("_per_"),
+            '=' => out.push_str("eq_"),
+            '%' => out.push_str("pct_"),
+            c if c.is_ascii_alphanumeric() => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// True when a cell should be emitted as a bare JSON number: a plain decimal
+/// (optional leading `-`, digits, at most one `.`), nothing else. Hex
+/// checksums, `yes`/`no`, and workload labels all fail this test.
+fn is_decimal(cell: &str) -> bool {
+    let body = cell.strip_prefix('-').unwrap_or(cell);
+    let mut dots = 0usize;
+    let mut digits = 0usize;
+    for ch in body.chars() {
+        match ch {
+            '0'..='9' => digits += 1,
+            '.' => dots += 1,
+            _ => return false,
+        }
+    }
+    digits > 0 && dots <= 1
+}
+
+/// Flattens reports into `(key, json_value)` pairs, where `json_value` is
+/// already encoded (a bare number or a quoted string).
+pub fn metrics_for(reports: &[ExperimentReport]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for rep in reports {
+        for (row_idx, row) in rep.rows.iter().enumerate() {
+            for (col_idx, cell) in row.iter().enumerate() {
+                let col = rep.columns[col_idx];
+                let key = format!("{}.r{row_idx}.{}", rep.id, sanitize_key(col));
+                let numeric = !col.contains("checksum") && is_decimal(cell);
+                let value =
+                    if numeric { cell.clone() } else { format!("\"{}\"", json_escape(cell)) };
+                out.push((key, value));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the full JSON document for a set of reports.
+pub fn render_json(reports: &[ExperimentReport]) -> String {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let ids: Vec<String> = reports.iter().map(|r| format!("\"{}\"", json_escape(r.id))).collect();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mwm-bench-v1\",\n");
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str(&format!("  \"experiments\": [{}],\n", ids.join(", ")));
+    out.push_str("  \"metrics\": {\n");
+    let metrics = metrics_for(reports);
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\": {value}{comma}\n", json_escape(key)));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the JSON document to `path`, creating parent directories as needed.
+pub fn write_json(path: &Path, reports: &[ExperimentReport]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(render_json(reports).as_bytes())?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new(
+            "e99",
+            "sample",
+            vec!["workload", "medges/s", "p99_ms", "checksum", "=memory"],
+        );
+        r.push_row(vec![
+            "gnm(n=200)".to_string(),
+            "42.5".to_string(),
+            "1.25".to_string(),
+            "1234567890123456".to_string(),
+            "yes".to_string(),
+        ]);
+        r
+    }
+
+    #[test]
+    fn keys_are_sanitized_and_values_typed() {
+        let metrics = metrics_for(&[sample()]);
+        let get = |k: &str| {
+            metrics
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or_else(|| panic!("missing {k} in {metrics:?}"))
+        };
+        assert_eq!(get("e99.r0.medges_per_s"), "42.5");
+        assert_eq!(get("e99.r0.p99_ms"), "1.25");
+        // All-decimal checksum must stay a string: f64 would round it.
+        assert_eq!(get("e99.r0.checksum"), "\"1234567890123456\"");
+        assert_eq!(get("e99.r0.eq_memory"), "\"yes\"");
+        assert_eq!(get("e99.r0.workload"), "\"gnm(n=200)\"");
+    }
+
+    #[test]
+    fn the_document_is_one_metric_per_line() {
+        let doc = render_json(&[sample()]);
+        assert!(doc.starts_with("{\n"));
+        assert!(doc.ends_with("}\n"));
+        assert!(doc.contains("\"schema\": \"mwm-bench-v1\""));
+        assert!(doc.contains("\"host_cores\": "));
+        assert!(doc.contains("\"experiments\": [\"e99\"]"));
+        // Each metric sits alone on its line, scannable without a parser.
+        let metric_lines: Vec<&str> =
+            doc.lines().filter(|l| l.trim_start().starts_with("\"e99.")).collect();
+        assert_eq!(metric_lines.len(), 5);
+        for line in &metric_lines[..4] {
+            assert!(line.ends_with(','), "non-final metric lines end with a comma: {line}");
+        }
+        assert!(!metric_lines[4].ends_with(','), "the final metric has no trailing comma");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control_bytes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert!(is_decimal("-3.5"));
+        assert!(!is_decimal("1.2.3"));
+        assert!(!is_decimal("0xff"));
+        assert!(!is_decimal(""));
+        assert!(!is_decimal("."));
+    }
+}

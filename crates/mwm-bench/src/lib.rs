@@ -10,6 +10,7 @@
 //! underlying kernels.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod workloads;
 

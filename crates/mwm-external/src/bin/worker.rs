@@ -1,0 +1,103 @@
+//! The shard-executor worker process.
+//!
+//! Speaks the length-prefixed frame protocol of `mwm_external::process` over
+//! stdin/stdout: for each task request it opens the named spill directory,
+//! runs the requested kernel over its assigned shards, replies with one shard
+//! frame per shard and a done frame. Clean EOF on stdin is the shutdown
+//! signal. Every failure is reported as an error frame (the coordinator turns
+//! it into a typed `PassError`); the process itself only exits non-zero when
+//! its own stdout pipe breaks.
+
+use mwm_external::kernels::run_registered_kernel;
+use mwm_external::process::{
+    decode_request, encode_reply, read_frame, write_frame, WorkerReply, WHOLE_TASK,
+};
+use mwm_external::spill::SpilledShards;
+use mwm_mapreduce::EdgeSource;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn serve(input: &mut impl io::Read, output: &mut impl Write) -> io::Result<()> {
+    loop {
+        let Some(payload) = read_frame(input)? else {
+            return Ok(()); // clean EOF: the coordinator is done with us
+        };
+        fn reply(output: &mut impl Write, reply: &WorkerReply) -> io::Result<()> {
+            write_frame(output, &encode_reply(reply))
+        }
+        match decode_request(&payload) {
+            Err(reason) => {
+                reply(
+                    output,
+                    &WorkerReply::Error {
+                        shard: WHOLE_TASK,
+                        message: format!("malformed task request: {reason}"),
+                    },
+                )?;
+            }
+            Ok(task) => match SpilledShards::open(&task.dir) {
+                Err(err) => {
+                    reply(
+                        output,
+                        &WorkerReply::Error { shard: WHOLE_TASK, message: err.to_string() },
+                    )?;
+                }
+                Ok(spilled) => {
+                    for &shard in &task.shards {
+                        if shard as usize >= spilled.num_shards() {
+                            reply(
+                                output,
+                                &WorkerReply::Error {
+                                    shard,
+                                    message: format!(
+                                        "spill has only {} shards",
+                                        spilled.num_shards()
+                                    ),
+                                },
+                            )?;
+                            break;
+                        }
+                        match run_registered_kernel(
+                            &task.kernel,
+                            &task.params,
+                            &spilled,
+                            shard as usize,
+                        ) {
+                            Ok(run) => reply(
+                                output,
+                                &WorkerReply::Shard {
+                                    shard,
+                                    visited: run.visited as u64,
+                                    acc: run.acc,
+                                },
+                            )?,
+                            Err(err) => {
+                                reply(
+                                    output,
+                                    &WorkerReply::Error { shard, message: err.to_string() },
+                                )?;
+                                break;
+                            }
+                        }
+                    }
+                }
+            },
+        }
+        reply(output, &WorkerReply::Done)?;
+        output.flush()?;
+    }
+}
+
+fn main() -> ExitCode {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut input = BufReader::new(stdin.lock());
+    let mut output = BufWriter::new(stdout.lock());
+    match serve(&mut input, &mut output) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("mwm-external-worker: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The out-of-core distributed solve: per-shard local matchings merged at a
+//! coordinator.
+//!
+//! This is the two-level greedy of the shared-nothing setting: every shard
+//! computes a local replacement matching over its own edges (possibly in a
+//! worker process reading spilled files), and the coordinator re-offers the
+//! surviving candidates — shard by shard in shard-index order, ascending id
+//! within a shard — through the **same** replacement rule. Both levels being
+//! pure functions of the (ordered) stream makes the result bit-identical
+//! across worker counts and across in-process vs multi-process execution,
+//! which is what experiment E14 verifies by checksum.
+
+use crate::kernels::{LocalMatchingKernel, ReplacementMatcher};
+use mwm_graph::{Edge, EdgeId};
+use mwm_mapreduce::{EdgeSource, PassEngine, PassError};
+
+/// The coordinator's merged matching plus its provenance counters.
+#[derive(Clone, Debug)]
+pub struct OutOfCoreMatching {
+    /// Matched edges in ascending-id order.
+    pub edges: Vec<(EdgeId, Edge)>,
+    /// Total matched weight.
+    pub weight: f64,
+    /// Candidate edges the shards surfaced to the coordinator (the
+    /// coordinator's working-set size, charged to central space).
+    pub candidate_edges: usize,
+}
+
+impl OutOfCoreMatching {
+    /// An order-sensitive checksum of the matching: weight bits folded with
+    /// every `(id, weight-bits)` pair in ascending-id order. Equal checksums
+    /// mean bit-identical matchings.
+    pub fn checksum(&self) -> u64 {
+        let mut acc = self.weight.to_bits();
+        for &(id, e) in &self.edges {
+            acc = acc.rotate_left(7) ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            acc = acc.rotate_left(7) ^ e.w.to_bits();
+        }
+        acc
+    }
+}
+
+/// Runs one local-matching pass over `source` through `engine` (honouring its
+/// execution mode: in-process, or worker processes when the source is
+/// spilled) and merges the shard candidates at the coordinator.
+///
+/// The coordinator's working set — every candidate edge it holds while
+/// merging — is declared to the engine's ledger, so a
+/// `ResourceBudget::with_max_central_space` cap genuinely constrains the
+/// out-of-core solve.
+pub fn out_of_core_matching<S>(
+    engine: &mut PassEngine,
+    source: &S,
+    gamma: f64,
+) -> Result<OutOfCoreMatching, PassError>
+where
+    S: EdgeSource + ?Sized,
+{
+    let kernel = LocalMatchingKernel { gamma };
+    let locals = engine.pass_kernel(source, &kernel)?;
+    let candidate_edges: usize = locals.iter().map(ReplacementMatcher::len).sum();
+    engine.declare_memory(candidate_edges);
+    let mut merged = ReplacementMatcher::new(gamma);
+    for local in locals {
+        for (id, e) in local.into_edges() {
+            merged.offer(id, e);
+        }
+    }
+    let weight = merged.weight();
+    let edges = merged.into_edges();
+    engine.declare_memory(edges.len());
+    Ok(OutOfCoreMatching { edges, weight, candidate_edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spill::SpillWriter;
+    use mwm_mapreduce::SyntheticStream;
+    use std::collections::BTreeSet;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mwm-distributed-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn the_merged_matching_is_valid_and_parallelism_independent() {
+        let stream = SyntheticStream::with_shards(300, 40_000, 77, 8);
+        let mut reference = None;
+        for workers in [1usize, 2, 4] {
+            let mut engine = PassEngine::new(workers);
+            let m = out_of_core_matching(&mut engine, &stream, 0.05).unwrap();
+            assert!(!m.edges.is_empty());
+            assert!(m.candidate_edges >= m.edges.len());
+            let mut endpoints = BTreeSet::new();
+            for &(_, e) in &m.edges {
+                assert!(endpoints.insert(e.u), "vertex {} matched twice", e.u);
+                assert!(endpoints.insert(e.v), "vertex {} matched twice", e.v);
+            }
+            assert_eq!(engine.passes(), 1);
+            assert_eq!(engine.tracker().items_streamed(), stream.num_edges());
+            assert!(engine.tracker().peak_central_space() >= m.candidate_edges);
+            let checksum = m.checksum();
+            match reference {
+                None => reference = Some(checksum),
+                Some(r) => assert_eq!(r, checksum, "workers={workers} changed the matching"),
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_and_in_memory_solves_agree_bit_for_bit() {
+        let stream = SyntheticStream::with_shards(150, 20_000, 13, 6);
+        let dir = temp_dir("agree");
+        let spilled = SpillWriter::spill_edge_source(&dir, &stream).unwrap().with_io_batch(500);
+        let mem = out_of_core_matching(&mut PassEngine::new(2), &stream, 0.1).unwrap();
+        let disk = out_of_core_matching(&mut PassEngine::new(2), &spilled, 0.1).unwrap();
+        assert_eq!(mem.checksum(), disk.checksum());
+        assert_eq!(mem.weight.to_bits(), disk.weight.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,575 @@
+//! Multi-process shard execution: a shared-nothing worker pool over pipes.
+//!
+//! The coordinator spawns `mwm-external-worker` processes (plain
+//! `std::process`, no extra runtime) and speaks a length-prefixed frame
+//! protocol over their stdin/stdout:
+//!
+//! ```text
+//! frame        len u32 | payload (len bytes, len <= MAX_FRAME_BYTES)
+//! request  (1) tag u8 | kernel u16+utf8 | params u32+bytes
+//!              | dir u32+utf8 | shard count u32 | shard u32 × count
+//! shard    (2) tag u8 | shard u32 | visited u64 | acc u32+bytes
+//! error    (3) tag u8 | shard u32 (u32::MAX = whole task) | message u32+utf8
+//! done     (4) tag u8
+//! ```
+//!
+//! Each pass sends one request per worker; worker `w` of `W` owns shards
+//! `w, w + W, w + 2W, …` (deterministic round-robin), streams them from the
+//! spill directory, and replies with one shard frame per shard followed by a
+//! done frame. The coordinator hands the outcomes to
+//! `PassEngine::pass_kernel`, which re-sorts them into shard-index order
+//! before merging — so results are bit-identical at every worker count.
+//!
+//! Failures are typed, never panics: a dead worker or broken pipe is
+//! [`PassError::WorkerFailed`], a malformed frame is [`PassError::Protocol`].
+//! After any failure the pool kills and forgets its processes, so the next
+//! pass (after an in-process fallback or a caller retry) starts clean.
+
+use mwm_mapreduce::{ExecutionMode, PassError, ShardExecutor, ShardOutcome};
+use std::collections::BTreeSet;
+use std::io::{self, BufReader, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable overriding worker-binary discovery.
+pub const WORKER_ENV: &str = "MWM_WORKER_BIN";
+/// File name of the worker binary (without the platform suffix).
+pub const WORKER_BIN_NAME: &str = "mwm-external-worker";
+/// Upper bound on one frame's payload; larger prefixes are a protocol error.
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+const TAG_REQUEST: u8 = 1;
+const TAG_SHARD: u8 = 2;
+const TAG_ERROR: u8 = 3;
+const TAG_DONE: u8 = 4;
+
+/// Sentinel shard index in an error reply that concerns the whole task.
+pub const WHOLE_TASK: u32 = u32::MAX;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is clean end-of-stream (EOF
+/// exactly at a frame boundary); an oversized length prefix is
+/// `ErrorKind::InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One pass task for one worker: run `kernel` over `shards` of the spill at
+/// `dir`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskRequest {
+    /// Registered kernel name (see `kernels::run_registered_kernel`).
+    pub kernel: String,
+    /// The kernel's encoded parameters.
+    pub params: Vec<u8>,
+    /// Spill directory to read shards from.
+    pub dir: PathBuf,
+    /// Shard indices this worker owns for the pass.
+    pub shards: Vec<u32>,
+}
+
+/// Encodes a [`TaskRequest`] frame payload.
+pub fn encode_request(req: &TaskRequest) -> Vec<u8> {
+    let dir = req.dir.to_string_lossy();
+    let mut out = Vec::with_capacity(16 + req.kernel.len() + req.params.len() + dir.len());
+    out.push(TAG_REQUEST);
+    out.extend_from_slice(&(req.kernel.len() as u16).to_le_bytes());
+    out.extend_from_slice(req.kernel.as_bytes());
+    out.extend_from_slice(&(req.params.len() as u32).to_le_bytes());
+    out.extend_from_slice(&req.params);
+    out.extend_from_slice(&(dir.len() as u32).to_le_bytes());
+    out.extend_from_slice(dir.as_bytes());
+    out.extend_from_slice(&(req.shards.len() as u32).to_le_bytes());
+    for &s in &req.shards {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// A cursor over a frame payload that fails with a description instead of
+/// panicking on truncation.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.at..end];
+                self.at = end;
+                Ok(slice)
+            }
+            None => Err(format!("frame truncated while reading {what}")),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn utf8(&mut self, n: usize, what: &str) -> Result<&'a str, String> {
+        std::str::from_utf8(self.take(n, what)?).map_err(|_| format!("{what} is not UTF-8"))
+    }
+
+    fn finish(self, what: &str) -> Result<(), String> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after {what}", self.buf.len() - self.at))
+        }
+    }
+}
+
+/// Decodes a [`TaskRequest`] frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<TaskRequest, String> {
+    let mut c = Cursor { buf: payload, at: 0 };
+    let tag = c.u8("request tag")?;
+    if tag != TAG_REQUEST {
+        return Err(format!("expected a request frame (tag {TAG_REQUEST}), got tag {tag}"));
+    }
+    let kernel_len = c.u16("kernel-name length")? as usize;
+    let kernel = c.utf8(kernel_len, "kernel name")?.to_string();
+    let params_len = c.u32("parameter length")? as usize;
+    let params = c.take(params_len, "parameters")?.to_vec();
+    let dir_len = c.u32("directory length")? as usize;
+    let dir = PathBuf::from(c.utf8(dir_len, "spill directory")?);
+    let count = c.u32("shard count")? as usize;
+    let mut shards = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        shards.push(c.u32("shard index")?);
+    }
+    c.finish("request")?;
+    Ok(TaskRequest { kernel, params, dir, shards })
+}
+
+/// One reply frame from a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerReply {
+    /// A finished shard: its index, visited-edge count, encoded accumulator.
+    Shard {
+        /// Shard index.
+        shard: u32,
+        /// Edges streamed through the kernel on this shard.
+        visited: u64,
+        /// The kernel's encoded accumulator.
+        acc: Vec<u8>,
+    },
+    /// A failed shard (or whole task when `shard == WHOLE_TASK`).
+    Error {
+        /// Shard index or [`WHOLE_TASK`].
+        shard: u32,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// The task is complete; no further frames follow for it.
+    Done,
+}
+
+/// Encodes a [`WorkerReply`] frame payload.
+pub fn encode_reply(reply: &WorkerReply) -> Vec<u8> {
+    match reply {
+        WorkerReply::Shard { shard, visited, acc } => {
+            let mut out = Vec::with_capacity(17 + acc.len());
+            out.push(TAG_SHARD);
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&visited.to_le_bytes());
+            out.extend_from_slice(&(acc.len() as u32).to_le_bytes());
+            out.extend_from_slice(acc);
+            out
+        }
+        WorkerReply::Error { shard, message } => {
+            let mut out = Vec::with_capacity(9 + message.len());
+            out.push(TAG_ERROR);
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+            out.extend_from_slice(message.as_bytes());
+            out
+        }
+        WorkerReply::Done => vec![TAG_DONE],
+    }
+}
+
+/// Decodes a [`WorkerReply`] frame payload.
+pub fn decode_reply(payload: &[u8]) -> Result<WorkerReply, String> {
+    let mut c = Cursor { buf: payload, at: 0 };
+    match c.u8("reply tag")? {
+        TAG_SHARD => {
+            let shard = c.u32("shard index")?;
+            let visited = c.u64("visited count")?;
+            let acc_len = c.u32("accumulator length")? as usize;
+            let acc = c.take(acc_len, "accumulator")?.to_vec();
+            c.finish("shard reply")?;
+            Ok(WorkerReply::Shard { shard, visited, acc })
+        }
+        TAG_ERROR => {
+            let shard = c.u32("shard index")?;
+            let len = c.u32("message length")? as usize;
+            let message = c.utf8(len, "error message")?.to_string();
+            c.finish("error reply")?;
+            Ok(WorkerReply::Error { shard, message })
+        }
+        TAG_DONE => {
+            c.finish("done reply")?;
+            Ok(WorkerReply::Done)
+        }
+        tag => Err(format!("unknown reply tag {tag}")),
+    }
+}
+
+/// Locates the worker binary: the [`WORKER_ENV`] override first, then next to
+/// the current executable, then one directory up (test binaries live in
+/// `target/<profile>/deps`, the worker in `target/<profile>`).
+pub fn discover_worker_binary() -> Option<PathBuf> {
+    if let Some(path) = std::env::var_os(WORKER_ENV) {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Some(path);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("{WORKER_BIN_NAME}{}", std::env::consts::EXE_SUFFIX);
+    let dir = exe.parent()?;
+    [dir.join(&name), dir.parent()?.join(&name)].into_iter().find(|candidate| candidate.is_file())
+}
+
+struct WorkerHandle {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerHandle {
+    fn kill(mut self) {
+        drop(self.stdin); // EOF asks the worker to exit…
+        let _ = self.child.kill(); // …and the kill guarantees it.
+        let _ = self.child.wait();
+    }
+}
+
+/// A pool of worker processes implementing [`ShardExecutor`].
+///
+/// Processes are spawned lazily on the first pass and reused across passes.
+/// After any failed pass the pool kills and forgets its processes; the next
+/// pass respawns a clean set.
+pub struct ProcessPool {
+    workers: usize,
+    binary: Option<PathBuf>,
+    pool: Mutex<Vec<WorkerHandle>>,
+}
+
+impl std::fmt::Debug for ProcessPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessPool")
+            .field("workers", &self.workers)
+            .field("binary", &self.binary)
+            .field("spawned", &self.pool.lock().map(|p| p.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+impl ProcessPool {
+    /// A pool of `workers` processes (clamped to ≥ 1) using binary discovery
+    /// (see [`discover_worker_binary`]).
+    pub fn new(workers: usize) -> Self {
+        ProcessPool { workers: workers.max(1), binary: None, pool: Mutex::new(Vec::new()) }
+    }
+
+    /// Overrides the worker binary (builder style). Used by tests to point at
+    /// doubles like `/bin/cat`; production callers rely on discovery.
+    pub fn with_binary(mut self, path: impl Into<PathBuf>) -> Self {
+        self.binary = Some(path.into());
+        self
+    }
+
+    /// Wraps the pool into a `PassEngine` execution mode.
+    pub fn into_execution_mode(self, fallback_in_process: bool) -> ExecutionMode {
+        ExecutionMode::External { executor: Arc::new(self), fallback_in_process }
+    }
+
+    /// Number of worker processes currently alive.
+    pub fn spawned_workers(&self) -> usize {
+        self.pool.lock().map(|p| p.len()).unwrap_or(0)
+    }
+
+    fn spawn_one(binary: &Path, worker: usize) -> Result<WorkerHandle, PassError> {
+        let fail = |reason: String| PassError::WorkerFailed { worker, reason };
+        let mut child = Command::new(binary)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| fail(format!("spawning {}: {e}", binary.display())))?;
+        let stdin = child.stdin.take().ok_or_else(|| fail("no stdin pipe".to_string()))?;
+        let stdout = child.stdout.take().ok_or_else(|| fail("no stdout pipe".to_string()))?;
+        Ok(WorkerHandle { child, stdin, stdout: BufReader::new(stdout) })
+    }
+
+    fn ensure_spawned(&self, pool: &mut Vec<WorkerHandle>) -> Result<(), PassError> {
+        if !pool.is_empty() {
+            return Ok(());
+        }
+        let binary = match &self.binary {
+            Some(path) => path.clone(),
+            None => discover_worker_binary().ok_or_else(|| PassError::WorkerFailed {
+                worker: 0,
+                reason: format!(
+                    "worker binary {WORKER_BIN_NAME:?} not found (set {WORKER_ENV} or build \
+                     the workspace binaries first)"
+                ),
+            })?,
+        };
+        for worker in 0..self.workers {
+            match Self::spawn_one(&binary, worker) {
+                Ok(handle) => pool.push(handle),
+                Err(err) => {
+                    for handle in pool.drain(..) {
+                        handle.kill();
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn interact(
+        worker: usize,
+        handle: &mut WorkerHandle,
+        request: &[u8],
+        assigned: &[u32],
+    ) -> Result<Vec<ShardOutcome>, PassError> {
+        let died = |reason: String| PassError::WorkerFailed { worker, reason };
+        write_frame(&mut handle.stdin, request)
+            .and_then(|_| handle.stdin.flush())
+            .map_err(|e| died(format!("writing task: {e}")))?;
+        let mut remaining: BTreeSet<u32> = assigned.iter().copied().collect();
+        let mut outcomes = Vec::with_capacity(assigned.len());
+        loop {
+            let payload = match read_frame(&mut handle.stdout) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return Err(died("worker closed its pipe mid-task".to_string())),
+                Err(e) if e.kind() == ErrorKind::InvalidData => {
+                    return Err(PassError::Protocol { reason: format!("worker {worker}: {e}") })
+                }
+                Err(e) => return Err(died(format!("reading reply: {e}"))),
+            };
+            let reply = decode_reply(&payload).map_err(|reason| PassError::Protocol {
+                reason: format!("worker {worker}: {reason}"),
+            })?;
+            match reply {
+                WorkerReply::Shard { shard, visited, acc } => {
+                    if !remaining.remove(&shard) {
+                        return Err(PassError::Protocol {
+                            reason: format!(
+                                "worker {worker} replied for shard {shard}, which it does not \
+                                 own (or already answered)"
+                            ),
+                        });
+                    }
+                    outcomes.push(ShardOutcome {
+                        shard: shard as usize,
+                        visited: visited as usize,
+                        acc,
+                    });
+                }
+                WorkerReply::Error { shard, message } => {
+                    let reason = if shard == WHOLE_TASK {
+                        message
+                    } else {
+                        format!("shard {shard}: {message}")
+                    };
+                    return Err(died(reason));
+                }
+                WorkerReply::Done => {
+                    if !remaining.is_empty() {
+                        return Err(PassError::Protocol {
+                            reason: format!(
+                                "worker {worker} finished with shards {remaining:?} unanswered"
+                            ),
+                        });
+                    }
+                    return Ok(outcomes);
+                }
+            }
+        }
+    }
+}
+
+impl ShardExecutor for ProcessPool {
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn run_pass(
+        &self,
+        locator: &Path,
+        kernel: &str,
+        params: &[u8],
+        num_shards: usize,
+    ) -> Result<Vec<ShardOutcome>, PassError> {
+        let mut pool = self.pool.lock().map_err(|_| PassError::WorkerFailed {
+            worker: 0,
+            reason: "worker pool poisoned by an earlier panic".to_string(),
+        })?;
+        self.ensure_spawned(&mut pool)?;
+        // Deterministic round-robin ownership: worker w gets w, w+W, w+2W, …
+        let assignments: Vec<Vec<u32>> = (0..self.workers)
+            .map(|w| ((w as u32)..num_shards as u32).step_by(self.workers).collect())
+            .collect();
+        let requests: Vec<Vec<u8>> = assignments
+            .iter()
+            .map(|shards| {
+                encode_request(&TaskRequest {
+                    kernel: kernel.to_string(),
+                    params: params.to_vec(),
+                    dir: locator.to_path_buf(),
+                    shards: shards.clone(),
+                })
+            })
+            .collect();
+        let mut results: Vec<Result<Vec<ShardOutcome>, PassError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = pool
+                .iter_mut()
+                .zip(assignments.iter().zip(requests.iter()))
+                .enumerate()
+                .map(|(worker, (handle, (assigned, request)))| {
+                    scope.spawn(move || Self::interact(worker, handle, request, assigned))
+                })
+                .collect();
+            results.extend(joins.into_iter().map(|j| {
+                j.join().unwrap_or_else(|_| {
+                    Err(PassError::WorkerFailed {
+                        worker: usize::MAX,
+                        reason: "coordinator thread panicked".to_string(),
+                    })
+                })
+            }));
+        });
+        let mut outcomes = Vec::with_capacity(num_shards);
+        let mut first_err = None;
+        for result in results {
+            match result {
+                Ok(part) => outcomes.extend(part),
+                Err(err) => {
+                    first_err.get_or_insert(err);
+                }
+            }
+        }
+        if let Some(err) = first_err {
+            // A failed pass poisons the pipes' framing; restart from scratch.
+            for handle in pool.drain(..) {
+                handle.kill();
+            }
+            return Err(err);
+        }
+        Ok(outcomes)
+    }
+}
+
+impl Drop for ProcessPool {
+    fn drop(&mut self) {
+        if let Ok(mut pool) = self.pool.lock() {
+            for handle in pool.drain(..) {
+                handle.kill();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF is Ok(None)");
+
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        let err = read_frame(&mut &huge[..]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+
+        let torn = [5u8, 0, 0, 0, b'x'];
+        assert!(read_frame(&mut &torn[..]).is_err(), "mid-frame EOF is an error");
+    }
+
+    #[test]
+    fn request_and_reply_payloads_round_trip() {
+        let req = TaskRequest {
+            kernel: "local-matching".to_string(),
+            params: vec![1, 2, 3],
+            dir: PathBuf::from("/tmp/spill-x"),
+            shards: vec![0, 3, 6],
+        };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+
+        for reply in [
+            WorkerReply::Shard { shard: 7, visited: 1234, acc: vec![9, 9] },
+            WorkerReply::Error { shard: WHOLE_TASK, message: "boom".to_string() },
+            WorkerReply::Done,
+        ] {
+            assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_described_not_panicked() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[TAG_SHARD]).is_err(), "wrong tag");
+        let mut truncated = encode_request(&TaskRequest {
+            kernel: "k".to_string(),
+            params: vec![],
+            dir: PathBuf::from("/d"),
+            shards: vec![1, 2],
+        });
+        truncated.truncate(truncated.len() - 3);
+        assert!(decode_request(&truncated).unwrap_err().contains("truncated"));
+
+        assert!(decode_reply(&[99]).unwrap_err().contains("unknown reply tag"));
+        let mut trailing = encode_reply(&WorkerReply::Done);
+        trailing.push(0);
+        assert!(decode_reply(&trailing).unwrap_err().contains("trailing"));
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`odd_sets`]: odd-set utilities used by the relaxations of Section 3.
 //! * [`overlay`]: the journaled [`GraphOverlay`] + [`GraphUpdate`] delta layer
 //!   the dynamic matching subsystem edits between epochs.
+//! * [`wire`]: the fixed-width `(EdgeId, Edge)` record codec shared by the
+//!   out-of-core spill format and the multi-process shard protocol.
 
 pub mod generators;
 pub mod graph;
@@ -22,6 +24,7 @@ pub mod matching;
 pub mod odd_sets;
 pub mod overlay;
 pub mod union_find;
+pub mod wire;
 
 pub use graph::{Edge, EdgeId, Graph, VertexId};
 pub use laminar::LaminarFamily;

@@ -16,24 +16,27 @@
 //! * [`pass_engine`] — the sharded multi-threaded [`PassEngine`] executing
 //!   semi-streaming passes over [`EdgeSource`] streams (and, through the
 //!   item-generic [`ItemSource`], over [`UpdateSource`] update batches) with
-//!   deterministic (shard-order) merges and mid-pass budget enforcement.
-//! * [`streaming`] — the deprecated single-threaded semi-streaming wrapper,
-//!   kept one cycle for external callers; use [`PassEngine`] directly.
+//!   deterministic (shard-order) merges, mid-pass budget enforcement, and an
+//!   [`ExecutionMode`] knob dispatching named [`PassKernel`] passes to an
+//!   external [`ShardExecutor`] (worker processes over spilled shards).
 //! * [`congested_clique`] — per-vertex message accounting (Section 1's
 //!   `O(n^{1/p})`-message-per-vertex corollary).
+//!
+//! The deprecated single-threaded `StreamingSim` wrapper completed its
+//! deprecation cycle and was removed; use [`PassEngine::pass_sequential`] /
+//! [`PassEngine::pass_sequential_until`] over a `GraphSource::new(&graph, 1)`
+//! (see the README migration note).
 
 pub mod congested_clique;
 pub mod mapreduce;
 pub mod pass_engine;
 pub mod resources;
-pub mod streaming;
 
 pub use congested_clique::CongestedCliqueSim;
 pub use mapreduce::{MapReduceConfig, MapReduceSim};
 pub use pass_engine::{
-    auto_shard_count, EdgeSource, GraphSource, ItemSource, PassBudget, PassEngine, PassError,
-    ShardedEdgeList, SyntheticStream, UpdateSource,
+    auto_shard_count, EdgeSource, ExecutionMode, GraphSource, ItemSource, PassBudget, PassEngine,
+    PassError, PassKernel, ShardExecutor, ShardOutcome, ShardedEdgeList, SyntheticStream,
+    UpdateSource,
 };
 pub use resources::ResourceTracker;
-#[allow(deprecated)]
-pub use streaming::StreamingSim;

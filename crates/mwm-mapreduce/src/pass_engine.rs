@@ -26,8 +26,9 @@
 use crate::resources::ResourceTracker;
 use mwm_graph::{Edge, EdgeId, Graph, GraphUpdate, VertexId};
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default number of edges folded between two budget checks (and the batch
 /// granularity of the shared streamed-items counter).
@@ -122,6 +123,15 @@ pub trait EdgeSource: Sync {
     /// Visits the shard's edges in stream order. `visit` returns `false` to
     /// stop early (used by the engine for budget aborts and early exits).
     fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool);
+
+    /// A filesystem locator for sources whose shards are **addressable
+    /// out-of-process** (a spill directory another process can open). In-memory
+    /// sources return `None`, which confines every pass to this process;
+    /// `Some(dir)` lets [`PassEngine::pass_kernel`] hand whole shards to an
+    /// external [`ShardExecutor`].
+    fn locator(&self) -> Option<&Path> {
+        None
+    }
 }
 
 /// An in-memory [`Graph`] exposed as contiguous edge-id ranges.
@@ -378,8 +388,8 @@ pub struct PassBudget {
     pub max_items_streamed: Option<usize>,
 }
 
-/// A pass interrupted by the engine. Converted to the engine API's
-/// `MwmError::BudgetExceeded` by `mwm-core`.
+/// A pass interrupted or failed by the engine. Converted to the engine API's
+/// typed errors by `mwm-core`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PassError {
     /// The [`PassBudget`] ran out mid-pass. `used` is the exact number of
@@ -392,6 +402,27 @@ pub enum PassError {
         /// The configured limit.
         limit: usize,
     },
+    /// An I/O failure while reading or writing spilled shards (including a
+    /// truncated or corrupted shard file detected at open or mid-read).
+    Io {
+        /// What was being done and what went wrong.
+        context: String,
+    },
+    /// A worker process died, could not be spawned, or reported a per-shard
+    /// failure.
+    WorkerFailed {
+        /// Index of the worker within its pool.
+        worker: usize,
+        /// The failure as observed by the coordinator.
+        reason: String,
+    },
+    /// A malformed frame on the coordinator side of the worker protocol
+    /// (bad tag, impossible length, wrong shard coverage, undecodable
+    /// accumulator bytes).
+    Protocol {
+        /// What the coordinator could not parse.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PassError {
@@ -400,28 +431,134 @@ impl fmt::Display for PassError {
             PassError::BudgetExceeded { resource, used, limit } => {
                 write!(f, "pass interrupted: {resource} used {used} > limit {limit}")
             }
+            PassError::Io { context } => write!(f, "pass I/O failure: {context}"),
+            PassError::WorkerFailed { worker, reason } => {
+                write!(f, "worker {worker} failed: {reason}")
+            }
+            PassError::Protocol { reason } => write!(f, "worker protocol violation: {reason}"),
         }
     }
 }
 
 impl std::error::Error for PassError {}
 
+/// A pass kernel: a named, parameterized per-edge fold whose accumulator can
+/// cross a process boundary. Unlike the closure-based [`PassEngine::pass_shards`],
+/// a kernel is identified by [`PassKernel::name`] and reconstructed from
+/// [`PassKernel::params`] on the far side, so a worker process can run the
+/// same fold over shards it owns and ship the encoded accumulator back.
+///
+/// The contract that keeps spilled multi-process passes bit-identical to
+/// in-memory ones: `decode_acc(encode_acc(a))` must reproduce `a` exactly,
+/// and `fold` must be a pure function of `(acc, id, edge)`.
+pub trait PassKernel: Sync {
+    /// The per-shard accumulator.
+    type Acc: Send;
+
+    /// Registry name of the kernel (workers resolve the fold by this name).
+    fn name(&self) -> &'static str;
+
+    /// Serialized kernel parameters shipped with each task frame.
+    fn params(&self) -> Vec<u8>;
+
+    /// Seeds the accumulator for one shard.
+    fn init(&self, shard: usize) -> Self::Acc;
+
+    /// Folds one edge into the accumulator.
+    fn fold(&self, acc: &mut Self::Acc, id: EdgeId, e: Edge);
+
+    /// Encodes an accumulator for the wire.
+    fn encode_acc(&self, acc: &Self::Acc) -> Vec<u8>;
+
+    /// Decodes an accumulator received from a worker.
+    fn decode_acc(&self, bytes: &[u8]) -> Result<Self::Acc, PassError>;
+}
+
+/// The result of one shard run by an external executor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// The shard index this outcome belongs to.
+    pub shard: usize,
+    /// Edges the worker actually visited (merged into the coordinator ledger).
+    pub visited: usize,
+    /// The kernel accumulator, encoded by [`PassKernel::encode_acc`].
+    pub acc: Vec<u8>,
+}
+
+/// An executor that runs named kernels over shards of a spilled source
+/// **outside** the calling process (the `ProcessPool` of `mwm-external` is
+/// the canonical implementation). The coordinator sorts the outcomes by
+/// shard index before decoding, so an executor may return them in any order.
+pub trait ShardExecutor: Send + Sync {
+    /// Number of parallel workers the executor drives.
+    fn workers(&self) -> usize;
+
+    /// Runs `kernel` (resolved by name, reconstructed from `params`) over
+    /// every shard of the spilled source at `locator`, returning one outcome
+    /// per shard in `0..num_shards`.
+    fn run_pass(
+        &self,
+        locator: &Path,
+        kernel: &str,
+        params: &[u8],
+        num_shards: usize,
+    ) -> Result<Vec<ShardOutcome>, PassError>;
+}
+
+/// How [`PassEngine::pass_kernel`] executes a kernel pass.
+///
+/// Closure-based passes always run in-process; kernel passes additionally
+/// accept `External`, which dispatches shards of **locator-addressable**
+/// sources (see [`EdgeSource::locator`]) to a [`ShardExecutor`]. Sources
+/// without a locator, and external failures under `fallback_in_process`,
+/// degrade to the ordinary in-process fold — same accumulators, same
+/// shard-order merge, bit-identical results.
+#[derive(Clone, Default)]
+pub enum ExecutionMode {
+    /// Fold every shard on this process's worker threads (the default).
+    #[default]
+    InProcess,
+    /// Dispatch kernel passes over locator-addressable sources to `executor`.
+    External {
+        /// The external shard executor (e.g. a process pool).
+        executor: Arc<dyn ShardExecutor>,
+        /// On worker death, protocol violations or I/O failures, rerun the
+        /// pass in-process instead of surfacing the error.
+        fallback_in_process: bool,
+    },
+}
+
+impl fmt::Debug for ExecutionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionMode::InProcess => write!(f, "InProcess"),
+            ExecutionMode::External { executor, fallback_in_process } => f
+                .debug_struct("External")
+                .field("workers", &executor.workers())
+                .field("fallback_in_process", fallback_in_process)
+                .finish(),
+        }
+    }
+}
+
 /// Executes sharded semi-streaming passes with resource accounting.
 pub struct PassEngine {
     parallelism: usize,
     budget: PassBudget,
     batch: usize,
+    mode: ExecutionMode,
     tracker: ResourceTracker,
 }
 
 impl PassEngine {
     /// An engine that uses up to `parallelism` worker threads per pass
-    /// (clamped to at least 1) and no budget.
+    /// (clamped to at least 1), no budget, and in-process execution.
     pub fn new(parallelism: usize) -> Self {
         PassEngine {
             parallelism: parallelism.max(1),
             budget: PassBudget::default(),
             batch: DEFAULT_BATCH,
+            mode: ExecutionMode::InProcess,
             tracker: ResourceTracker::new(),
         }
     }
@@ -436,6 +573,18 @@ impl PassEngine {
     pub fn with_batch_size(mut self, batch: usize) -> Self {
         self.batch = batch.max(1);
         self
+    }
+
+    /// Sets how kernel passes execute (builder style). Closure-based passes
+    /// are unaffected; see [`ExecutionMode`].
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn execution_mode(&self) -> &ExecutionMode {
+        &self.mode
     }
 
     /// The configured worker-thread cap.
@@ -554,6 +703,88 @@ impl PassEngine {
         // num_shards >= 1 for every source, so the first accumulator exists.
         let first = iter.next().expect("every EdgeSource has at least one shard");
         Ok(iter.fold(first, &mut merge))
+    }
+
+    /// One charged **kernel** pass: like [`PassEngine::pass_shards`], but the
+    /// fold is a named [`PassKernel`], which lets the pass leave the process.
+    ///
+    /// Dispatch rules, in order:
+    /// 1. [`ExecutionMode::InProcess`], or a source without a
+    ///    [`EdgeSource::locator`]: fold in-process (identical to
+    ///    `pass_shards(source, kernel.init, kernel.fold)`).
+    /// 2. [`ExecutionMode::External`] over a locator-addressable source whose
+    ///    full pass fits the remaining stream budget: ship
+    ///    `(locator, name, params)` to the executor, merge its outcomes in
+    ///    shard-index order, charge one round plus the items the workers
+    ///    visited. Results are bit-identical to the in-process fold.
+    /// 3. External execution failing with `fallback_in_process` set: rerun
+    ///    in-process. Without the fallback the typed error surfaces.
+    ///
+    /// A pass that could trip the stream budget mid-way always runs
+    /// in-process (external workers do not share the coordinator's mid-pass
+    /// counter, and budget enforcement must stay exact).
+    pub fn pass_kernel<S, K>(&mut self, source: &S, kernel: &K) -> Result<Vec<K::Acc>, PassError>
+    where
+        S: EdgeSource + ?Sized,
+        K: PassKernel,
+    {
+        if let ExecutionMode::External { executor, fallback_in_process } = &self.mode {
+            let fits_budget = match self.budget.max_items_streamed {
+                Some(lim) => {
+                    self.tracker.items_streamed().saturating_add(source.num_edges()) <= lim
+                }
+                None => true,
+            };
+            if let (Some(locator), true) = (source.locator(), fits_budget) {
+                let executor = Arc::clone(executor);
+                let fallback = *fallback_in_process;
+                match self.run_external(source, kernel, locator, &executor) {
+                    Ok(accs) => return Ok(accs),
+                    Err(e @ PassError::BudgetExceeded { .. }) => return Err(e),
+                    Err(e) if !fallback => return Err(e),
+                    Err(_) => {} // fall through to the in-process fold
+                }
+            }
+        }
+        self.pass_shards(source, |shard| kernel.init(shard), |acc, id, e| kernel.fold(acc, id, e))
+    }
+
+    /// The external arm of [`PassEngine::pass_kernel`]: dispatch, validate
+    /// shard coverage, decode in shard order, charge the ledger.
+    fn run_external<S, K>(
+        &mut self,
+        source: &S,
+        kernel: &K,
+        locator: &Path,
+        executor: &Arc<dyn ShardExecutor>,
+    ) -> Result<Vec<K::Acc>, PassError>
+    where
+        S: EdgeSource + ?Sized,
+        K: PassKernel,
+    {
+        let num_shards = source.num_shards();
+        let mut outcomes =
+            executor.run_pass(locator, kernel.name(), &kernel.params(), num_shards)?;
+        outcomes.sort_unstable_by_key(|o| o.shard);
+        let covered =
+            outcomes.len() == num_shards && outcomes.iter().enumerate().all(|(i, o)| o.shard == i);
+        if !covered {
+            let shards: Vec<usize> = outcomes.iter().map(|o| o.shard).collect();
+            return Err(PassError::Protocol {
+                reason: format!("executor covered shards {shards:?}, expected 0..{num_shards}"),
+            });
+        }
+        let mut accs = Vec::with_capacity(num_shards);
+        let mut visited = 0usize;
+        for outcome in &outcomes {
+            accs.push(kernel.decode_acc(&outcome.acc)?);
+            visited += outcome.visited;
+        }
+        // Charge only once the pass is known good, so a fallback rerun after
+        // a failed dispatch does not double-charge the ledger.
+        self.tracker.charge_round();
+        self.tracker.charge_stream(visited);
+        Ok(accs)
     }
 
     /// An **uncharged** sharded fold over the source: same fan-out and
@@ -835,6 +1066,7 @@ mod tests {
                 // Overshoot is bounded by one batch per worker.
                 assert!(used <= limit + 2 * 16 + 2, "used {used} overshoots too far");
             }
+            other => panic!("expected a budget interrupt, got {other:?}"),
         }
         assert_eq!(engine.passes(), 1, "the interrupted pass is still one round");
     }
@@ -868,7 +1100,9 @@ mod tests {
             .with_budget(PassBudget { max_items_streamed: Some(64) })
             .with_batch_size(8);
         let err = engine.pass_sequential(&src, |_, _| {}).unwrap_err();
-        let PassError::BudgetExceeded { used, .. } = err;
+        let PassError::BudgetExceeded { used, .. } = err else {
+            panic!("expected a budget interrupt, got {err:?}");
+        };
         assert_eq!(used, engine.tracker().items_streamed());
         assert!((64..64 + 8).contains(&used));
     }
@@ -956,9 +1190,21 @@ mod tests {
         let err = engine
             .pass_items(&src, |_| 0usize, |acc: &mut usize, _: (usize, GraphUpdate)| *acc += 1)
             .unwrap_err();
-        let PassError::BudgetExceeded { used, limit, .. } = err;
+        let PassError::BudgetExceeded { used, limit, .. } = err else {
+            panic!("expected a budget interrupt, got {err:?}");
+        };
         assert_eq!(limit, 1_000);
         assert_eq!(used, engine.tracker().items_streamed());
+    }
+
+    #[test]
+    fn memory_declarations_track_peak() {
+        let mut engine = PassEngine::new(1);
+        engine.declare_memory(500);
+        engine.declare_memory(100);
+        engine.declare_memory(300);
+        assert_eq!(engine.tracker().peak_central_space(), 500);
+        assert_eq!(engine.tracker().current_central_space(), 300);
     }
 
     #[test]
@@ -967,6 +1213,184 @@ mod tests {
         assert_eq!(auto_shard_count(100), 1);
         assert!(auto_shard_count(1 << 20) <= MAX_AUTO_SHARDS);
         assert_eq!(auto_shard_count(50_000), auto_shard_count(50_000));
+    }
+
+    /// A toy kernel (weight sum per shard) for the execution-mode tests.
+    struct SumKernel;
+
+    impl PassKernel for SumKernel {
+        type Acc = f64;
+        fn name(&self) -> &'static str {
+            "test-sum"
+        }
+        fn params(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn init(&self, _shard: usize) -> f64 {
+            0.0
+        }
+        fn fold(&self, acc: &mut f64, _id: EdgeId, e: Edge) {
+            *acc += e.w;
+        }
+        fn encode_acc(&self, acc: &f64) -> Vec<u8> {
+            acc.to_bits().to_le_bytes().to_vec()
+        }
+        fn decode_acc(&self, bytes: &[u8]) -> Result<f64, PassError> {
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| PassError::Protocol { reason: "bad acc length".to_string() })?;
+            Ok(f64::from_bits(u64::from_le_bytes(arr)))
+        }
+    }
+
+    /// Wraps a stream with a (dummy) locator so kernel passes may dispatch.
+    struct Located(SyntheticStream);
+
+    impl EdgeSource for Located {
+        fn num_vertices(&self) -> usize {
+            self.0.num_vertices()
+        }
+        fn num_edges(&self) -> usize {
+            self.0.num_edges()
+        }
+        fn num_shards(&self) -> usize {
+            self.0.num_shards()
+        }
+        fn shard_len(&self, shard: usize) -> usize {
+            self.0.shard_len(shard)
+        }
+        fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool) {
+            self.0.for_each_in_shard(shard, visit)
+        }
+        fn locator(&self) -> Option<&Path> {
+            Some(Path::new("/nonexistent/test-locator"))
+        }
+    }
+
+    /// A mock executor that runs `SumKernel` over its own copy of the stream
+    /// (standing in for a worker process that opened the spill directory).
+    struct MockExecutor {
+        stream: SyntheticStream,
+        fail_with: Option<PassError>,
+    }
+
+    impl ShardExecutor for MockExecutor {
+        fn workers(&self) -> usize {
+            1
+        }
+        fn run_pass(
+            &self,
+            _locator: &Path,
+            kernel: &str,
+            _params: &[u8],
+            num_shards: usize,
+        ) -> Result<Vec<ShardOutcome>, PassError> {
+            if let Some(err) = &self.fail_with {
+                return Err(err.clone());
+            }
+            assert_eq!(kernel, "test-sum");
+            let k = SumKernel;
+            Ok((0..num_shards)
+                .map(|shard| {
+                    let mut acc = k.init(shard);
+                    let mut visited = 0usize;
+                    self.stream.for_each_in_shard(shard, &mut |id, e| {
+                        k.fold(&mut acc, id, e);
+                        visited += 1;
+                        true
+                    });
+                    ShardOutcome { shard, visited, acc: k.encode_acc(&acc) }
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn kernel_pass_in_process_matches_pass_shards() {
+        let src = SyntheticStream::new(100, 20_000, 77);
+        let mut a = PassEngine::new(2);
+        let by_kernel = a.pass_kernel(&src, &SumKernel).unwrap();
+        let mut b = PassEngine::new(2);
+        let by_closure = b.pass_shards(&src, |_| 0.0f64, |acc, _, e| *acc += e.w).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&by_kernel), bits(&by_closure));
+        assert_eq!(a.tracker().items_streamed(), b.tracker().items_streamed());
+        assert_eq!(a.passes(), 1);
+    }
+
+    #[test]
+    fn external_kernel_pass_is_bit_identical_and_charged() {
+        let src = Located(SyntheticStream::new(100, 20_000, 78));
+        let executor = Arc::new(MockExecutor {
+            stream: SyntheticStream::new(100, 20_000, 78),
+            fail_with: None,
+        });
+        let mut ext = PassEngine::new(1)
+            .with_execution_mode(ExecutionMode::External { executor, fallback_in_process: false });
+        let external = ext.pass_kernel(&src, &SumKernel).unwrap();
+        let mut inp = PassEngine::new(4);
+        let in_process = inp.pass_kernel(&src, &SumKernel).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&external), bits(&in_process));
+        assert_eq!(ext.passes(), 1);
+        assert_eq!(ext.tracker().items_streamed(), src.num_edges());
+    }
+
+    #[test]
+    fn external_failure_surfaces_typed_or_falls_back() {
+        let src = Located(SyntheticStream::new(100, 20_000, 79));
+        let failing = |fallback| {
+            PassEngine::new(1).with_execution_mode(ExecutionMode::External {
+                executor: Arc::new(MockExecutor {
+                    stream: SyntheticStream::new(2, 1, 0),
+                    fail_with: Some(PassError::WorkerFailed {
+                        worker: 0,
+                        reason: "killed for the test".to_string(),
+                    }),
+                }),
+                fallback_in_process: fallback,
+            })
+        };
+        let mut strict = failing(false);
+        match strict.pass_kernel(&src, &SumKernel) {
+            Err(PassError::WorkerFailed { worker: 0, .. }) => {}
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+        assert_eq!(strict.passes(), 0, "a failed dispatch must not charge a round");
+
+        let mut lenient = failing(true);
+        let accs = lenient.pass_kernel(&src, &SumKernel).unwrap();
+        let mut reference = PassEngine::new(1);
+        let expected = reference.pass_kernel(&src, &SumKernel).unwrap();
+        assert_eq!(
+            accs.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            expected.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(lenient.passes(), 1, "the fallback pass is charged exactly once");
+    }
+
+    #[test]
+    fn budget_threatened_kernel_pass_stays_in_process() {
+        // The stream budget could trip mid-pass, so the engine must refuse to
+        // dispatch externally (workers cannot enforce the coordinator budget)
+        // and instead enforce it exactly in-process.
+        let src = Located(SyntheticStream::new(100, 20_000, 80));
+        let mut engine = PassEngine::new(1)
+            .with_execution_mode(ExecutionMode::External {
+                executor: Arc::new(MockExecutor {
+                    stream: SyntheticStream::new(2, 1, 0),
+                    fail_with: Some(PassError::Protocol { reason: "must not be called".into() }),
+                }),
+                fallback_in_process: false,
+            })
+            .with_budget(PassBudget { max_items_streamed: Some(1000) })
+            .with_batch_size(64);
+        match engine.pass_kernel(&src, &SumKernel) {
+            Err(PassError::BudgetExceeded { used, limit: 1000, .. }) => {
+                assert_eq!(used, engine.tracker().items_streamed());
+            }
+            other => panic!("expected an exact in-process budget stop, got {other:?}"),
+        }
     }
 
     #[test]

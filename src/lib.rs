@@ -58,6 +58,8 @@
 //! * [`lp`] — fractional covering/packing and the dual-primal engine ([`mwm_lp`]).
 //! * [`matching`] — offline matching substrates ([`mwm_matching`]).
 //! * [`mapreduce`] — MapReduce / streaming / congested-clique simulators ([`mwm_mapreduce`]).
+//! * [`external`] — out-of-core spilled edge storage and the multi-process
+//!   shard executor ([`mwm_external`]).
 //! * [`solver`] — the paper's contribution: the resource-constrained
 //!   `(1-ε)`-approximate weighted b-matching solver, plus the engine API's
 //!   trait, error, budget and report types ([`mwm_core`]).
@@ -71,6 +73,7 @@
 pub use mwm_baselines as baselines;
 pub use mwm_core as solver;
 pub use mwm_dynamic as dynamic;
+pub use mwm_external as external;
 pub use mwm_graph as graph;
 pub use mwm_lp as lp;
 pub use mwm_mapreduce as mapreduce;
@@ -241,10 +244,11 @@ pub mod prelude {
         CommittedSnapshot, CommittedView, DynamicConfig, DynamicMatcher, EpochDecision,
         EpochReport, EpochStats,
     };
+    pub use mwm_external::{out_of_core_matching, ProcessPool, SpillWriter, SpilledShards};
     pub use mwm_graph::{
         generators, BMatching, Edge, Graph, GraphOverlay, GraphUpdate, Matching, WeightLevels,
     };
-    pub use mwm_mapreduce::ResourceTracker;
+    pub use mwm_mapreduce::{ExecutionMode, ResourceTracker};
     pub use mwm_serve::{
         MatchingService, Request, Response, ServeError, ServiceConfig, SessionStats,
     };

@@ -25,7 +25,9 @@ fn engine_interrupt_leaves_an_accurate_partial_ledger() {
         let mut engine =
             PassEngine::new(workers).with_budget(PassBudget { max_items_streamed: Some(limit) });
         let err = engine.pass_shards(&src, |_| 0usize, |acc, _, _| *acc += 1).unwrap_err();
-        let PassError::BudgetExceeded { resource, used, limit: reported } = err;
+        let PassError::BudgetExceeded { resource, used, limit: reported } = err else {
+            panic!("workers={workers}: expected a budget interrupt, got {err:?}");
+        };
         assert_eq!(resource, "streamed items");
         assert_eq!(reported, limit);
         assert_eq!(
