@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p mwm-bench --bin experiments -- --exp all
 //! cargo run --release -p mwm-bench --bin experiments -- --exp e3
-//! cargo run --release -p mwm-bench --bin experiments -- --exp e11,e14 --json out.json
+//! cargo run --release -p mwm-bench --bin experiments -- --exp e11,e15 --json out.json
 //! ```
 //!
 //! `--exp` takes a single id, a comma-separated list, or `all`; `--json`
@@ -30,7 +30,7 @@ fn main() {
                     exp = args[i + 1].clone();
                     i += 1;
                 } else {
-                    eprintln!("--exp requires a value (e1..e14, a comma list, or all)");
+                    eprintln!("--exp requires a value (e1..e15, a comma list, or all)");
                     std::process::exit(2);
                 }
             }
@@ -44,7 +44,7 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--exp e1..e14|e1,e2,...|all] [--json <path>]");
+                println!("usage: experiments [--exp e1..e15|e1,e2,...|all] [--json <path>]");
                 return;
             }
             other => {

@@ -1,4 +1,4 @@
-//! The experiment implementations E1–E10 (see `EXPERIMENTS.md`).
+//! The experiment implementations E1–E15 (see `EXPERIMENTS.md`).
 //!
 //! Every experiment returns a structured [`ExperimentReport`] (id, title,
 //! columns, raw cells) instead of pre-formatted strings, so integration tests
@@ -27,8 +27,9 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// All experiment ids, in run order.
-pub const EXPERIMENT_IDS: [&str; 14] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"];
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+];
 
 /// Runs one experiment by id (`"e1"` … `"e13"`), or every experiment for
 /// `"all"`. Unknown ids are [`MwmError::UnknownExperiment`].
@@ -48,6 +49,7 @@ pub fn run_experiment(id: &str) -> Result<Vec<ExperimentReport>, MwmError> {
         "e12" => Ok(vec![e12_dynamic_stream()?]),
         "e13" => Ok(vec![e13_serving()?]),
         "e14" => Ok(vec![e14_out_of_core()?]),
+        "e15" => Ok(vec![e15_hibernation()?]),
         "all" => {
             let mut all = Vec::with_capacity(EXPERIMENT_IDS.len());
             for e in EXPERIMENT_IDS {
@@ -841,6 +843,224 @@ fn e14_with(m: usize, procs: &[usize], require_worker: bool) -> Result<Experimen
     spill_result
 }
 
+/// E15 — hibernation at scale: many named sessions under a resident cap far
+/// below the session count, Zipf-skewed activity, transparent revive.
+///
+/// Two rows over the identical Zipf(1.0) request schedule: `resident` keeps
+/// every session in memory (no store — the oracle), `capped` runs the same
+/// schedule with a session store and `max_resident_sessions` far below the
+/// session count, so the service must hibernate LRU overflow to disk and
+/// revive sessions on demand. The `checksum` column folds every session's
+/// final matching fingerprint with its dual-vector fingerprint; `=resident`
+/// confirms each capped session finishes **bit-identical** (weight bits,
+/// matching, duals) to the always-resident run. Revives and their p50/p99
+/// latency are sampled during the request phase only — the verification
+/// sweep at the end (which itself revives every hibernated session) is
+/// excluded, so the columns describe steady-state serving.
+///
+/// `MWM_E15_SESSIONS` / `MWM_E15_REQUESTS` / `MWM_E15_CAP` override the
+/// scale (CI smoke shrinks all three so eviction still happens; the
+/// committed `BENCH_7.json` records the full 10k-session run).
+pub fn e15_hibernation() -> Result<ExperimentReport, MwmError> {
+    let env = |key: &str, default: usize| {
+        std::env::var(key).ok().and_then(|s| s.parse::<usize>().ok()).unwrap_or(default)
+    };
+    let sessions = env("MWM_E15_SESSIONS", 10_000).max(2);
+    let requests = env("MWM_E15_REQUESTS", 30_000).max(1);
+    let cap = env("MWM_E15_CAP", 256).max(1);
+    e15_with(sessions, requests, cap)
+}
+
+/// The parameterized E15 body (the unit test runs a miniature instance).
+fn e15_with(sessions: usize, requests: usize, cap: usize) -> Result<ExperimentReport, MwmError> {
+    use mwm_dynamic::DynamicConfig;
+    use mwm_serve::{MatchingService, ServeError, ServiceConfig};
+    use std::path::PathBuf;
+    use std::time::Instant;
+
+    fn serve_err(e: ServeError) -> MwmError {
+        match e {
+            ServeError::Engine(inner) => inner,
+            other => MwmError::InvalidInput { reason: other.to_string() },
+        }
+    }
+
+    struct E15Run {
+        /// Per session: (weight bits, matching checksum, duals checksum).
+        per_session: Vec<(u64, u64, u64)>,
+        weight_sum: f64,
+        req_s: f64,
+        revives: usize,
+        revive_p50_ms: f64,
+        revive_p99_ms: f64,
+    }
+
+    // The Zipf(1.0) request schedule, shared verbatim by both rows: session i
+    // is drawn with probability proportional to 1/(i+1) (inverse CDF over the
+    // cumulative harmonic weights). Hot sessions stay resident under the cap;
+    // the long tail hibernates and must revive on its next request.
+    let mut rng = StdRng::seed_from_u64(0xE15);
+    let mut cumulative = Vec::with_capacity(sessions);
+    let mut total = 0.0f64;
+    for i in 0..sessions {
+        total += 1.0 / (i + 1) as f64;
+        cumulative.push(total);
+    }
+    let schedule: Vec<usize> = (0..requests)
+        .map(|_| {
+            let u = rng.gen::<f64>() * total;
+            cumulative.partition_point(|&c| c < u).min(sessions - 1)
+        })
+        .collect();
+    let mut counts = vec![0usize; sessions];
+    for &s in &schedule {
+        counts[s] += 1;
+    }
+
+    // Tiny per-session graphs (the experiment stresses session *count*, not
+    // per-session size) with exactly as many batches as the schedule draws.
+    let wls: Vec<workloads::TemporalWorkload> = counts
+        .iter()
+        .enumerate()
+        .map(|(s, &c)| workloads::sliding_window_stream(12, 4, 3, c, 0xE15_0000 + s as u64))
+        .collect();
+
+    let dyn_config = DynamicConfig { eps: 0.2, p: 2.0, seed: 15, ..Default::default() };
+    let client_threads = 4usize;
+    let workers = 4usize;
+
+    let run = |store_dir: Option<PathBuf>| -> Result<E15Run, MwmError> {
+        let capped = store_dir.is_some();
+        let service = MatchingService::start(ServiceConfig {
+            workers,
+            session_defaults: dyn_config,
+            max_resident_sessions: capped.then_some(cap),
+            store_dir,
+            ..Default::default()
+        })?;
+        for (s, wl) in wls.iter().enumerate() {
+            service.create_session(&format!("s-{s}"), &wl.initial).map_err(serve_err)?;
+        }
+
+        // Client threads partition sessions by index, so each session's
+        // batches arrive in schedule order while threads race freely.
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..client_threads)
+                .map(|t| {
+                    let service = &service;
+                    let (schedule, wls) = (&schedule, &wls);
+                    scope.spawn(move || {
+                        let mut next = vec![0usize; sessions];
+                        for &s in schedule.iter().filter(|&&s| s % client_threads == t) {
+                            let batch = wls[s].batches[next[s]].clone();
+                            next[s] += 1;
+                            service.submit_batch(&format!("s-{s}"), batch)?;
+                        }
+                        Ok::<_, ServeError>(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .map_err(serve_err)?;
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+
+        // Steady-state revive stats, captured before the verification sweep
+        // below revives every hibernated session once more.
+        let revives = service.revives();
+        let mut revive_ms = service.revive_latencies_ms();
+        revive_ms.sort_by(f64::total_cmp);
+        let quantile = |q: f64| -> f64 {
+            if revive_ms.is_empty() {
+                return f64::NAN;
+            }
+            revive_ms[((revive_ms.len() - 1) as f64 * q).round() as usize]
+        };
+        let (revive_p50_ms, revive_p99_ms) = (quantile(0.50), quantile(0.99));
+
+        let mut per_session = Vec::with_capacity(sessions);
+        let mut weight_sum = 0.0;
+        for s in 0..sessions {
+            let name = format!("s-{s}");
+            let snap = service.matching(&name).map_err(serve_err)?;
+            let stats = service.session_stats(&name).map_err(serve_err)?;
+            let checksum =
+                session_checksum(snap.weight, snap.matching.iter().map(|(id, _, m)| (id, m)));
+            per_session.push((snap.weight.to_bits(), checksum, stats.duals_checksum));
+            weight_sum += snap.weight;
+        }
+        service.shutdown();
+        Ok(E15Run {
+            per_session,
+            weight_sum,
+            req_s: requests as f64 / secs,
+            revives,
+            revive_p50_ms,
+            revive_p99_ms,
+        })
+    };
+
+    let mut rep = ExperimentReport::new(
+        "e15",
+        format!(
+            "session hibernation ({sessions} sessions, Zipf(1.0) activity, resident cap {cap})"
+        ),
+        vec![
+            "mode",
+            "sessions",
+            "resident_cap",
+            "requests",
+            "req/s",
+            "revives",
+            "revive_p50_ms",
+            "revive_p99_ms",
+            "weight_sum",
+            "checksum",
+            "=resident",
+        ],
+    );
+
+    let fold = |r: &E15Run| -> u64 {
+        r.per_session
+            .iter()
+            .fold(0u64, |acc, &(_, cs, duals)| (acc.rotate_left(9) ^ cs).rotate_left(9) ^ duals)
+    };
+    let mut push = |mode: &str, resident_cap: usize, r: &E15Run, identical: bool| {
+        rep.push_row(vec![
+            mode.to_string(),
+            format!("{sessions}"),
+            format!("{resident_cap}"),
+            format!("{requests}"),
+            format!("{:.1}", r.req_s),
+            format!("{}", r.revives),
+            format!("{:.2}", r.revive_p50_ms),
+            format!("{:.2}", r.revive_p99_ms),
+            format!("{:.2}", r.weight_sum),
+            format!("{:016x}", fold(r)),
+            if identical { "yes" } else { "no" }.to_string(),
+        ]);
+    };
+
+    // Reference row: every session resident for the whole run, no store.
+    let resident = run(None)?;
+    push("resident", sessions, &resident, true);
+
+    // Capped row: same schedule under the cap; the store directory is torn
+    // down afterwards whatever happened.
+    let dir = std::env::temp_dir().join(format!("mwm-e15-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let capped = run(Some(dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let capped = capped?;
+    let identical = capped.per_session == resident.per_session;
+    push("capped", cap, &capped, identical);
+    Ok(rep)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -858,6 +1078,24 @@ mod tests {
                 "row {row}: worker count changed a session result"
             );
         }
+    }
+
+    #[test]
+    fn e15_capped_sessions_match_the_always_resident_run() {
+        // 24 sessions over 4 workers with a service-wide cap of 4 → per-worker
+        // cap 1, so eviction and transparent revive both genuinely happen.
+        let rep = e15_with(24, 200, 4).unwrap();
+        assert_eq!(rep.rows.len(), 2);
+        assert_eq!(rep.cell(0, "mode"), Some("resident"));
+        assert_eq!(rep.cell(1, "mode"), Some("capped"));
+        let revives: usize = rep.cell(1, "revives").unwrap().parse().unwrap();
+        assert!(revives > 0, "the resident cap must actually evict and revive");
+        assert_eq!(
+            rep.cell(1, "=resident"),
+            Some("yes"),
+            "a hibernated/revived session diverged from the always-resident oracle"
+        );
+        assert_eq!(rep.cell(0, "checksum"), rep.cell(1, "checksum"));
     }
 
     #[test]

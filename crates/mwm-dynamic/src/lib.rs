@@ -39,9 +39,11 @@ use mwm_core::{
     certify_b_matching, DualPrimalConfig, DualPrimalSolver, MatchingSolver, MwmError,
     ResourceBudget, ResumePolicy, SolveReport, WarmStart, WarmStartState,
 };
-use mwm_graph::{BMatching, Edge, EdgeId, Graph, GraphOverlay, GraphUpdate, Matching, VertexId};
+use mwm_graph::{
+    BMatching, Edge, EdgeId, Graph, GraphOverlay, GraphUpdate, Matching, OverlayState, VertexId,
+};
 use mwm_lp::DualSnapshot;
-use mwm_mapreduce::{GraphSource, PassEngine, ResourceTracker, UpdateSource};
+use mwm_mapreduce::{GraphSource, PassEngine, ResourceTracker, TrackerCounters, UpdateSource};
 use mwm_matching::{greedy_b_matching, improve_matching};
 use std::fmt;
 use std::sync::{Arc, RwLock};
@@ -290,6 +292,36 @@ impl DamageSummary {
     }
 }
 
+/// The full exported state of a [`DynamicMatcher`] session, public field by
+/// field, so a persistence layer can serialize it without this crate knowing
+/// about any on-disk format. [`DynamicMatcher::export_state`] and
+/// [`DynamicMatcher::import_state`] round-trip bit-identically.
+///
+/// The injected rebuild solver (a trait object) is deliberately **not** part
+/// of the state: an imported session uses the default dual-primal rebuild
+/// path until the owner re-injects one via
+/// [`DynamicMatcher::with_rebuild_solver`].
+#[derive(Clone, Debug)]
+pub struct SessionState {
+    /// The session configuration.
+    pub config: DynamicConfig,
+    /// The journaled overlay (base graph + full update journal).
+    pub overlay: OverlayState,
+    /// The maintained matching as `(stable overlay id, edge, multiplicity)`
+    /// entries, in ascending id order.
+    pub matching: Vec<(EdgeId, Edge, u64)>,
+    /// The last solve's exported duals (the next warm-start seed), if any.
+    pub duals: Option<DualSnapshot>,
+    /// Committed epochs.
+    pub epoch: u64,
+    /// Whether the bootstrap epoch has run.
+    pub bootstrapped: bool,
+    /// The per-epoch ledger (one row per committed epoch).
+    pub ledger: Vec<EpochStats>,
+    /// The cumulative resource ledger.
+    pub tracker: TrackerCounters,
+}
+
 /// An epoch-based incremental matching session over an evolving graph.
 pub struct DynamicMatcher {
     config: DynamicConfig,
@@ -384,6 +416,83 @@ impl DynamicMatcher {
     /// Cumulative resource ledger across all epochs.
     pub fn tracker(&self) -> &ResourceTracker {
         &self.tracker
+    }
+
+    /// The duals exported by the last solve (the next warm-start seed), if
+    /// the session has any. Repair-only histories and baseline rebuild
+    /// solvers leave this `None`.
+    pub fn duals(&self) -> Option<&DualSnapshot> {
+        self.duals.as_ref()
+    }
+
+    /// Exports the complete session state for persistence (`O(journal +
+    /// matching + ledger)` copy). [`DynamicMatcher::import_state`] restores a
+    /// session that behaves bit-identically from this point on.
+    pub fn export_state(&self) -> SessionState {
+        SessionState {
+            config: self.config,
+            overlay: self.overlay.export_state(),
+            matching: self.matching.iter().collect(),
+            duals: self.duals.clone(),
+            epoch: self.epoch as u64,
+            bootstrapped: self.bootstrapped,
+            ledger: self.stats.clone(),
+            tracker: self.tracker.counters(),
+        }
+    }
+
+    /// Rebuilds a session from an exported state, validating the config, the
+    /// overlay invariants, the epoch/ledger agreement, and that every
+    /// matching entry names a live overlay edge with the exact recorded
+    /// endpoints and weight bits. The committed snapshot is republished, so
+    /// [`DynamicMatcher::committed_view`] handles taken afterwards see the
+    /// restored state immediately.
+    pub fn import_state(state: SessionState) -> Result<Self, MwmError> {
+        state.config.validate()?;
+        let invalid = |reason: String| MwmError::InvalidInput { reason };
+        let overlay = GraphOverlay::from_state(state.overlay)
+            .map_err(|e| invalid(format!("session overlay: {e}")))?;
+        if state.epoch as usize != state.ledger.len() {
+            return Err(invalid(format!(
+                "epoch counter {} disagrees with ledger of {} rows",
+                state.epoch,
+                state.ledger.len()
+            )));
+        }
+        let mut matching = BMatching::new();
+        for &(id, e, mult) in &state.matching {
+            let live = overlay.live_edge(id).ok_or_else(|| {
+                invalid(format!("matching entry {id} references a dead or unknown edge"))
+            })?;
+            if live.u != e.u || live.v != e.v || live.w.to_bits() != e.w.to_bits() {
+                return Err(invalid(format!(
+                    "matching entry {id} disagrees with the journaled edge"
+                )));
+            }
+            if mult == 0 {
+                return Err(invalid(format!("matching entry {id} has multiplicity 0")));
+            }
+            matching.add(id, e, mult);
+        }
+        let committed = Arc::new(CommittedSnapshot {
+            epoch: state.epoch as usize,
+            version: overlay.version(),
+            weight: matching.weight(),
+            matching: matching.clone(),
+            last_stats: state.ledger.last().cloned(),
+        });
+        Ok(DynamicMatcher {
+            config: state.config,
+            overlay,
+            rebuild_solver: None,
+            matching,
+            duals: state.duals,
+            epoch: state.epoch as usize,
+            stats: state.ledger,
+            tracker: ResourceTracker::from_counters(state.tracker),
+            bootstrapped: state.bootstrapped,
+            committed: Arc::new(RwLock::new(committed)),
+        })
     }
 
     /// A handle onto the session's last committed state, safe to hand to any
@@ -1240,6 +1349,70 @@ mod tests {
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         assert!(reader.join().expect("reader panicked") > 0);
+    }
+
+    #[test]
+    fn export_import_restores_a_bit_identical_session() {
+        let g = base_graph(40);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        for round in 0..3u64 {
+            let upd = batch(dm.overlay().next_edge_id(), 40, 400 + round, 12);
+            dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        }
+        let state = dm.export_state();
+        let mut back = DynamicMatcher::import_state(state).unwrap();
+
+        assert_eq!(back.weight().to_bits(), dm.weight().to_bits());
+        assert_eq!(back.epochs(), dm.epochs());
+        assert_eq!(back.overlay().version(), dm.overlay().version());
+        assert_eq!(back.ledger().len(), dm.ledger().len());
+        assert_eq!(back.tracker().counters(), dm.tracker().counters());
+        assert_eq!(
+            back.duals().map(|d| d.fingerprint()),
+            dm.duals().map(|d| d.fingerprint()),
+            "warm-start duals must survive the round trip bit-exactly"
+        );
+        let snap = back.committed();
+        assert_eq!(snap.epoch, dm.epochs());
+        assert_eq!(snap.weight.to_bits(), dm.weight().to_bits());
+
+        // Both sessions keep evolving identically from the restore point.
+        let upd = batch(dm.overlay().next_edge_id(), 40, 999, 15);
+        let ra = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        let rb = back.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(ra.stats.decision, rb.stats.decision);
+        assert_eq!(ra.stats.weight.to_bits(), rb.stats.weight.to_bits());
+        let a: Vec<(EdgeId, u64)> = dm.matching().iter().map(|(id, _, m)| (id, m)).collect();
+        let b: Vec<(EdgeId, u64)> = back.matching().iter().map(|(id, _, m)| (id, m)).collect();
+        assert_eq!(a, b, "post-restore epochs must stay bit-identical");
+    }
+
+    #[test]
+    fn import_rejects_inconsistent_states() {
+        let g = base_graph(42);
+        let mut dm = DynamicMatcher::new(&g, config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+
+        let mut state = dm.export_state();
+        state.epoch = 7;
+        assert!(DynamicMatcher::import_state(state).is_err(), "epoch/ledger mismatch");
+
+        let mut state = dm.export_state();
+        if let Some(first) = state.matching.first_mut() {
+            first.0 = usize::MAX >> 8;
+        }
+        assert!(DynamicMatcher::import_state(state).is_err(), "dead matching edge");
+
+        let mut state = dm.export_state();
+        if let Some(first) = state.matching.first_mut() {
+            first.1.w += 1.0;
+        }
+        assert!(DynamicMatcher::import_state(state).is_err(), "weight bits disagree");
+
+        let mut state = dm.export_state();
+        state.overlay.alive.pop();
+        assert!(DynamicMatcher::import_state(state).is_err(), "broken overlay invariant");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use mwm_mapreduce::{ExecutionMode, PassError, ShardExecutor, ShardOutcome};
 use std::collections::BTreeSet;
-use std::io::{self, BufReader, ErrorKind, Read, Write};
+use std::io::{BufReader, ErrorKind, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::{Arc, Mutex};
@@ -36,8 +36,11 @@ use std::sync::{Arc, Mutex};
 pub const WORKER_ENV: &str = "MWM_WORKER_BIN";
 /// File name of the worker binary (without the platform suffix).
 pub const WORKER_BIN_NAME: &str = "mwm-external-worker";
-/// Upper bound on one frame's payload; larger prefixes are a protocol error.
-pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+// The length-prefixed frame codec lives in `mwm_graph::wire`, shared with the
+// persistence layer's image/journal format and the serving front door; the
+// re-export keeps this module the one-stop home of the shard protocol.
+pub use mwm_graph::wire::{read_frame, write_frame, MAX_FRAME_BYTES};
 
 const TAG_REQUEST: u8 = 1;
 const TAG_SHARD: u8 = 2;
@@ -46,34 +49,6 @@ const TAG_DONE: u8 = 4;
 
 /// Sentinel shard index in an error reply that concerns the whole task.
 pub const WHOLE_TASK: u32 = u32::MAX;
-
-/// Writes one length-prefixed frame.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)
-}
-
-/// Reads one length-prefixed frame. `Ok(None)` is clean end-of-stream (EOF
-/// exactly at a frame boundary); an oversized length prefix is
-/// `ErrorKind::InvalidData`.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
-}
 
 /// One pass task for one worker: run `kernel` over `shards` of the spill at
 /// `dir`.

@@ -13,8 +13,9 @@
 //! * [`odd_sets`]: odd-set utilities used by the relaxations of Section 3.
 //! * [`overlay`]: the journaled [`GraphOverlay`] + [`GraphUpdate`] delta layer
 //!   the dynamic matching subsystem edits between epochs.
-//! * [`wire`]: the fixed-width `(EdgeId, Edge)` record codec shared by the
-//!   out-of-core spill format and the multi-process shard protocol.
+//! * [`wire`]: the fixed-width `(EdgeId, Edge)` record codec and the
+//!   length-prefixed frame codec shared by the out-of-core spill format, the
+//!   multi-process shard protocol, and the persistence/serving wire formats.
 
 pub mod generators;
 pub mod graph;
@@ -30,5 +31,6 @@ pub use graph::{Edge, EdgeId, Graph, VertexId};
 pub use laminar::LaminarFamily;
 pub use levels::{LevelledEdge, WeightLevels};
 pub use matching::{BMatching, Matching};
-pub use overlay::{AppliedUpdate, GraphOverlay, GraphUpdate, UpdateError};
+pub use overlay::{AppliedUpdate, GraphOverlay, GraphUpdate, OverlayState, UpdateError};
 pub use union_find::UnionFind;
+pub use wire::{read_frame, write_frame, MAX_FRAME_BYTES};

@@ -108,6 +108,27 @@ pub struct AppliedUpdate {
     pub changed_edge: Option<EdgeId>,
 }
 
+/// The full exported state of a [`GraphOverlay`], public field by field, so
+/// a persistence layer can serialize it without this crate knowing about any
+/// on-disk format. [`GraphOverlay::export_state`] and
+/// [`GraphOverlay::from_state`] round-trip bit-identically (weights travel as
+/// `f64` values whose bit patterns are preserved by the caller's codec).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlayState {
+    /// All journaled edges by stable id (base edges then inserts).
+    pub edges: Vec<Edge>,
+    /// Liveness per stable edge id (`edges.len()` entries).
+    pub alive: Vec<bool>,
+    /// Capacities per vertex slot, including removed vertices.
+    pub capacities: Vec<u64>,
+    /// Removal marker per vertex slot (`capacities.len()` entries).
+    pub removed: Vec<bool>,
+    /// Monotone version counter at export time.
+    pub version: u64,
+    /// Total updates applied at export time.
+    pub applied: u64,
+}
+
 /// A journaled, versioned delta overlay over a base [`Graph`].
 #[derive(Clone, Debug)]
 pub struct GraphOverlay {
@@ -336,6 +357,62 @@ impl GraphOverlay {
         remap
     }
 
+    /// Exports the complete overlay state for persistence. The copy is
+    /// `O(n + m)`; [`GraphOverlay::from_state`] restores an overlay that is
+    /// indistinguishable from this one.
+    pub fn export_state(&self) -> OverlayState {
+        OverlayState {
+            edges: self.edges.clone(),
+            alive: self.alive.clone(),
+            capacities: self.capacities.clone(),
+            removed: self.removed.clone(),
+            version: self.version,
+            applied: self.applied,
+        }
+    }
+
+    /// Rebuilds an overlay from an exported state, re-deriving the live
+    /// counters and validating the cross-array invariants (parallel lengths,
+    /// live edges referencing existing vertex slots). Errors are strings:
+    /// the caller (a persistence codec) wraps them in its own error type.
+    pub fn from_state(state: OverlayState) -> Result<Self, String> {
+        if state.alive.len() != state.edges.len() {
+            return Err(format!(
+                "alive has {} entries for {} edges",
+                state.alive.len(),
+                state.edges.len()
+            ));
+        }
+        if state.removed.len() != state.capacities.len() {
+            return Err(format!(
+                "removed has {} entries for {} vertex slots",
+                state.removed.len(),
+                state.capacities.len()
+            ));
+        }
+        let slots = state.capacities.len() as u64;
+        for (id, (e, &alive)) in state.edges.iter().zip(&state.alive).enumerate() {
+            if alive && (u64::from(e.u) >= slots || u64::from(e.v) >= slots) {
+                return Err(format!("live edge {id} references a vertex outside {slots} slots"));
+            }
+        }
+        if state.capacities.iter().zip(&state.removed).any(|(&b, &dead)| !dead && b < 1) {
+            return Err("live vertex with capacity below 1".to_string());
+        }
+        let live_edges = state.alive.iter().filter(|&&a| a).count();
+        let live_vertices = state.removed.iter().filter(|&&r| !r).count();
+        Ok(GraphOverlay {
+            edges: state.edges,
+            alive: state.alive,
+            capacities: state.capacities,
+            removed: state.removed,
+            live_edges,
+            live_vertices,
+            version: state.version,
+            applied: state.applied,
+        })
+    }
+
     /// Materializes the current live graph plus the back-map from materialized
     /// edge ids to stable overlay ids. Removed vertices keep their slots (with
     /// capacity 1 and no incident edges) so vertex ids stay stable across the
@@ -550,6 +627,46 @@ mod tests {
             ov.apply(&GraphUpdate::InsertEdge { u: 1, v: 0, w: 1.0 }),
             Err(UpdateError::DeadVertex(1))
         ));
+    }
+
+    #[test]
+    fn export_import_round_trips_bit_exactly() {
+        let mut ov = GraphOverlay::new(&base());
+        ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 3, w: 0.1 + 0.2 }).unwrap();
+        ov.apply(&GraphUpdate::DeleteEdge { id: 1 }).unwrap();
+        ov.apply(&GraphUpdate::AddVertex { b: 2 }).unwrap();
+        ov.apply(&GraphUpdate::RemoveVertex { v: 2 }).unwrap();
+        let state = ov.export_state();
+        let restored = GraphOverlay::from_state(state.clone()).unwrap();
+        assert_eq!(restored.export_state(), state, "export ∘ import ∘ export is a fixed point");
+        assert_eq!(restored.num_live_edges(), ov.num_live_edges());
+        assert_eq!(restored.num_live_vertices(), ov.num_live_vertices());
+        assert_eq!(restored.version(), ov.version());
+        assert_eq!(restored.updates_applied(), ov.updates_applied());
+        let (g1, b1) = ov.materialize();
+        let (g2, b2) = restored.materialize();
+        assert_eq!(b1, b2);
+        assert_eq!(g1.total_weight().to_bits(), g2.total_weight().to_bits());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_arrays() {
+        let ov = GraphOverlay::new(&base());
+        let mut state = ov.export_state();
+        state.alive.pop();
+        assert!(GraphOverlay::from_state(state).is_err());
+
+        let mut state = ov.export_state();
+        state.removed.push(false);
+        assert!(GraphOverlay::from_state(state).is_err());
+
+        let mut state = ov.export_state();
+        state.edges[0].u = 99;
+        assert!(GraphOverlay::from_state(state).is_err(), "live edge past vertex slots");
+
+        let mut state = ov.export_state();
+        state.capacities[0] = 0;
+        assert!(GraphOverlay::from_state(state).is_err(), "live vertex with zero capacity");
     }
 
     #[test]

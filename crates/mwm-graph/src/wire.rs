@@ -8,10 +8,60 @@
 //! round-tripping the weight through its bit pattern keeps spilled passes
 //! bit-identical to in-memory ones.
 
+use std::io::{self, Read, Write};
+
 use crate::graph::{Edge, EdgeId};
 
 /// Size of one encoded `(EdgeId, Edge)` record in bytes.
 pub const EDGE_RECORD_BYTES: usize = 24;
+
+/// Upper bound on a single length-prefixed frame payload (256 MiB). A frame
+/// larger than this is a protocol violation, not a legitimate message, so
+/// readers reject it before allocating.
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+/// Writes one length-prefixed frame: `len: u32` (LE) followed by the payload.
+///
+/// Shared by the multi-process shard protocol (`mwm-external`), the session
+/// image / write-ahead journal format (`mwm-persist`), and the socket front
+/// door (`mwm-serve`), so all on-disk and on-wire framing stays identical.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame written by [`write_frame`].
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary; an EOF in the middle
+/// of a frame is an error (`UnexpectedEof`), and a length prefix above
+/// [`MAX_FRAME_BYTES`] is rejected as `InvalidData` before allocation.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof inside frame length prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
 
 /// Encodes one `(id, edge)` record into `buf`.
 pub fn encode_edge_record(id: EdgeId, e: Edge, buf: &mut [u8; EDGE_RECORD_BYTES]) {
@@ -48,6 +98,27 @@ mod tests {
             assert_eq!((e2.u, e2.v), (u, v));
             assert_eq!(e2.w.to_bits(), w.to_bits(), "weight bits must survive the codec");
         }
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"beta").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"beta"[..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF ends the stream");
+
+        let oversize = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        let err = read_frame(&mut &oversize[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let torn = [5u8, 0, 0, 0, b'x'];
+        let err = read_frame(&mut &torn[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "mid-frame EOF is an error");
     }
 
     #[test]

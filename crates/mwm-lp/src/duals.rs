@@ -108,6 +108,39 @@ impl DualSnapshot {
         self.vertex_duals.sort_by_key(|vd| (vd.vertex, vd.level));
         self.odd_sets.sort_by(|a, b| (a.level, &a.members).cmp(&(b.level, &b.members)));
     }
+
+    /// A 64-bit fingerprint of the snapshot, folding every field through its
+    /// exact bit pattern (floats via `to_bits`). Two snapshots fingerprint
+    /// equal iff they are bit-identical — the persistence layer uses this as
+    /// the "revived duals match the always-resident duals" witness.
+    pub fn fingerprint(&self) -> u64 {
+        const K: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |x: u64| {
+            h = (h.rotate_left(7) ^ x).wrapping_mul(K);
+        };
+        fold(self.eps.to_bits());
+        fold(self.scale.to_bits());
+        fold(self.num_levels as u64);
+        fold(self.vertex_duals.len() as u64);
+        for vd in &self.vertex_duals {
+            fold(u64::from(vd.vertex));
+            fold(vd.level as u64);
+            fold(vd.level_weight.to_bits());
+            fold(vd.value.to_bits());
+        }
+        fold(self.odd_sets.len() as u64);
+        for os in &self.odd_sets {
+            fold(os.level as u64);
+            fold(os.level_weight.to_bits());
+            fold(os.members.len() as u64);
+            for &m in &os.members {
+                fold(u64::from(m));
+            }
+            fold(os.value.to_bits());
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +182,22 @@ mod tests {
         assert!(s.odd_sets.is_empty(), "the set {{1,2,3}} contained vertex 2");
         s.retain_live_vertices(|v| v == 0);
         assert_eq!(s.vertex_duals.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_bitwise_differences() {
+        let s = snapshot();
+        assert_eq!(s.fingerprint(), snapshot().fingerprint(), "deterministic");
+        let mut t = snapshot();
+        t.vertex_duals[0].value = f64::from_bits(2.0f64.to_bits() + 1);
+        assert_ne!(s.fingerprint(), t.fingerprint(), "one ULP must change the fingerprint");
+        let mut u = snapshot();
+        u.odd_sets[0].members.pop();
+        assert_ne!(s.fingerprint(), u.fingerprint());
+        assert_ne!(
+            DualSnapshot::empty(0.1, 2).fingerprint(),
+            DualSnapshot::empty(0.1, 3).fingerprint()
+        );
     }
 
     #[test]

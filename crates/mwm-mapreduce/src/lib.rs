@@ -39,4 +39,4 @@ pub use pass_engine::{
     PassError, PassKernel, ShardExecutor, ShardOutcome, ShardedEdgeList, SyntheticStream,
     UpdateSource,
 };
-pub use resources::ResourceTracker;
+pub use resources::{ResourceTracker, TrackerCounters};

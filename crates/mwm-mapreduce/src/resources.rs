@@ -18,10 +18,55 @@ pub struct ResourceTracker {
     items_streamed: usize,
 }
 
+/// A plain-data snapshot of a [`ResourceTracker`], public field by field, so
+/// a persistence layer can serialize the ledger without this crate knowing
+/// about any on-disk format.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrackerCounters {
+    /// Rounds charged.
+    pub rounds: u64,
+    /// Central space currently held, in items.
+    pub current_central_space: u64,
+    /// Peak central space, in items.
+    pub peak_central_space: u64,
+    /// Total key-value pairs shuffled.
+    pub shuffle_volume: u64,
+    /// Peak per-machine space, in items.
+    pub peak_machine_space: u64,
+    /// Total streamed input items.
+    pub items_streamed: u64,
+}
+
 impl ResourceTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Snapshots every counter for persistence.
+    pub fn counters(&self) -> TrackerCounters {
+        TrackerCounters {
+            rounds: self.rounds as u64,
+            current_central_space: self.current_central_space as u64,
+            peak_central_space: self.peak_central_space as u64,
+            shuffle_volume: self.shuffle_volume as u64,
+            peak_machine_space: self.peak_machine_space as u64,
+            items_streamed: self.items_streamed as u64,
+        }
+    }
+
+    /// Rebuilds a tracker from snapshotted counters. The peak is clamped to
+    /// at least the current space, so a hand-edited snapshot can never create
+    /// the impossible state `peak < current`.
+    pub fn from_counters(c: TrackerCounters) -> Self {
+        ResourceTracker {
+            rounds: c.rounds as usize,
+            current_central_space: c.current_central_space as usize,
+            peak_central_space: c.peak_central_space.max(c.current_central_space) as usize,
+            shuffle_volume: c.shuffle_volume as usize,
+            peak_machine_space: c.peak_machine_space as usize,
+            items_streamed: c.items_streamed as usize,
+        }
     }
 
     /// Charges one round of data access (MapReduce round / streaming pass /
@@ -172,6 +217,26 @@ mod tests {
         assert!(t.within_space_budget(100, 2.0, 0.0, 2.0));
         t.allocate_central(10_000);
         assert!(!t.within_space_budget(100, 2.0, 0.0, 2.0));
+    }
+
+    #[test]
+    fn counters_round_trip_and_clamp_peak() {
+        let mut t = ResourceTracker::new();
+        t.charge_round();
+        t.allocate_central(70);
+        t.release_central(20);
+        t.charge_shuffle(33);
+        t.observe_machine_space(9);
+        t.charge_stream(400);
+        let c = t.counters();
+        let back = ResourceTracker::from_counters(c);
+        assert_eq!(back.counters(), c, "snapshot → restore → snapshot is the identity");
+        assert_eq!(back.rounds(), 1);
+        assert_eq!(back.peak_central_space(), 70);
+        assert_eq!(back.current_central_space(), 50);
+
+        let bogus = TrackerCounters { current_central_space: 10, peak_central_space: 3, ..c };
+        assert_eq!(ResourceTracker::from_counters(bogus).peak_central_space(), 10);
     }
 
     #[test]

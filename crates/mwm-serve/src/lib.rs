@@ -45,6 +45,19 @@
 //!   batch's ingestion floor, so traffic that keeps overrunning a drained
 //!   pool converges to formal exhaustion instead of spinning on rollbacks.
 //!
+//! * **Hibernation & recovery** (with [`ServiceConfig::store_dir`]). Sessions
+//!   checkpoint to a [`mwm_persist::SessionStore`] at creation, journal every
+//!   committed epoch batch, hibernate when idle or over the resident cap
+//!   (LRU-first), and revive transparently on their next request — clients
+//!   never see the difference except in [`SessionStats::revives`] and the
+//!   latency ledger. [`MatchingService::recover`] restarts a crashed service
+//!   from its store, replaying each session's journal tail; torn files are
+//!   typed [`ServeError::Corrupt`], never panics.
+//! * **Socket front door** ([`SocketServer`] / [`NetClient`] in [`net`]):
+//!   a minimal Unix-domain (and TCP) server speaking the workspace's shared
+//!   length-prefixed frame codec, mapping wire requests onto
+//!   [`MatchingService::submit`] with typed wire errors.
+//!
 //! Determinism contract: with a fixed per-epoch `parallelism` and no pool
 //! limit, a session's epoch history, matching and weight are bit-identical
 //! for every service worker count and every interleaving with other
@@ -52,20 +65,29 @@
 //! `tests/serve_stress.rs`. (A shared pool is inherently cross-session
 //! state: *which* epoch trips a nearly-drained pool depends on arrival
 //! order, though every individual epoch stays atomic either way.)
+//! Hibernation preserves the contract: a hibernated-and-revived session's
+//! subsequent epochs are bit-identical to an always-resident replica —
+//! enforced by experiment E15's checksum column and `tests/persistence.rs`.
 
 use mwm_core::{MwmError, ResourceBudget};
 use mwm_dynamic::{
     CommittedSnapshot, CommittedView, DynamicConfig, DynamicMatcher, EpochDecision, EpochStats,
 };
 use mwm_graph::{Graph, GraphUpdate};
+use mwm_persist::{PersistError, SessionStore, WalRecord};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+pub mod net;
+pub use net::{NetClient, RemoteMatching, SocketServer};
 
 /// Configuration of a [`MatchingService`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Worker threads in the pool; sessions are sharded across them by name.
     pub workers: usize,
@@ -85,6 +107,18 @@ pub struct ServiceConfig {
     pub epoch_budget: ResourceBudget,
     /// Session configuration used when `CreateSession` carries none.
     pub session_defaults: DynamicConfig,
+    /// Hibernation store directory. `Some` turns persistence on: sessions
+    /// are checkpointed on create, journaled per committed epoch, evicted to
+    /// disk under the resident cap / idle deadline, and transparently revived
+    /// on their next request. Required by [`MatchingService::recover`].
+    pub store_dir: Option<PathBuf>,
+    /// Service-wide cap on resident (in-memory) sessions; the overflow is
+    /// hibernated LRU-first. Enforced per worker as `ceil(cap / workers)`
+    /// (sessions are pinned to workers by name). Requires `store_dir`.
+    pub max_resident_sessions: Option<usize>,
+    /// Sessions idle longer than this are hibernated at the next sweep
+    /// (sweeps piggyback on request processing). Requires `store_dir`.
+    pub hibernate_after: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +130,9 @@ impl Default for ServiceConfig {
             max_streamed_items: None,
             epoch_budget: ResourceBudget::unlimited(),
             session_defaults: DynamicConfig::default(),
+            store_dir: None,
+            max_resident_sessions: None,
+            hibernate_after: None,
         }
     }
 }
@@ -115,6 +152,22 @@ impl ServiceConfig {
                 param: "queue_capacity",
                 value: format!("{}", self.queue_capacity),
                 requirement: "must be at least 1",
+            });
+        }
+        if self.max_resident_sessions == Some(0) {
+            return Err(MwmError::InvalidConfig {
+                param: "max_resident_sessions",
+                value: "0".to_string(),
+                requirement: "must be at least 1 when set",
+            });
+        }
+        if self.store_dir.is_none()
+            && (self.max_resident_sessions.is_some() || self.hibernate_after.is_some())
+        {
+            return Err(MwmError::InvalidConfig {
+                param: "store_dir",
+                value: "None".to_string(),
+                requirement: "resident caps and idle hibernation need a session store",
             });
         }
         self.session_defaults.validate()
@@ -211,6 +264,14 @@ pub struct SessionStats {
     pub warm_resolves: usize,
     /// Epochs handled by full rebuild.
     pub rebuilds: usize,
+    /// Times this session was revived from its hibernation image since the
+    /// service started (0 when persistence is off).
+    pub revives: usize,
+    /// Fingerprint of the session's last committed [`mwm_lp::DualSnapshot`]
+    /// (0 if no duals are committed yet). Bit-sensitive: equal checksums on
+    /// two replicas mean bit-identical dual state — the hibernate→revive
+    /// identity check of experiment E15 rides on this field.
+    pub duals_checksum: u64,
 }
 
 /// A successful answer to a [`Request`] (same order of variants).
@@ -290,6 +351,30 @@ pub enum ServeError {
         /// The variant the wrapper expected.
         expected: &'static str,
     },
+    /// A session's on-disk image, journal or manifest failed validation
+    /// (torn write, flipped bits, version skew). Never a panic: the request
+    /// fails, the rest of the service keeps serving.
+    Corrupt {
+        /// What failed validation and where.
+        context: String,
+    },
+    /// A persistence I/O operation failed (disk full, permissions, …).
+    Persist {
+        /// What was being done and the OS error text.
+        context: String,
+    },
+    /// A socket request did not complete within the server's per-request
+    /// deadline. The request itself may still commit — timeouts bound the
+    /// *wait*, not the work.
+    Timeout {
+        /// The deadline that expired, in milliseconds.
+        after_ms: u64,
+    },
+    /// A socket transport failure (connection reset, short write, …).
+    Wire {
+        /// What the transport was doing when it failed.
+        context: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -310,6 +395,14 @@ impl fmt::Display for ServeError {
             ServeError::Protocol { expected } => {
                 write!(f, "protocol violation: expected a {expected} response")
             }
+            ServeError::Corrupt { context } => {
+                write!(f, "corrupt session store data: {context}")
+            }
+            ServeError::Persist { context } => write!(f, "persistence failure: {context}"),
+            ServeError::Timeout { after_ms } => {
+                write!(f, "request timed out after {after_ms} ms")
+            }
+            ServeError::Wire { context } => write!(f, "wire transport failure: {context}"),
         }
     }
 }
@@ -319,6 +412,15 @@ impl std::error::Error for ServeError {}
 impl From<MwmError> for ServeError {
     fn from(e: MwmError) -> Self {
         ServeError::Engine(e)
+    }
+}
+
+impl From<PersistError> for ServeError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Corrupt { context } => ServeError::Corrupt { context },
+            PersistError::Io { context } => ServeError::Persist { context },
+        }
     }
 }
 
@@ -356,6 +458,28 @@ impl Ticket {
     /// True once the worker has answered (non-blocking).
     pub fn is_ready(&self) -> bool {
         self.slot.state.lock().expect("ticket lock poisoned").is_some()
+    }
+
+    /// [`Ticket::wait`] with a deadline. `Ok(result)` if the worker answered
+    /// in time; `Err(self)` hands the still-live ticket back so the caller
+    /// can keep waiting, poll, or drop it (the request itself is unaffected —
+    /// a timed-out batch may still commit; the deadline bounds the *wait*).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Response, ServeError>, Ticket> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.slot.state.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(result) = state.take() {
+                return Ok(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(state);
+                return Err(self);
+            }
+            let (guard, _) =
+                self.slot.ready.wait_timeout(state, deadline - now).expect("ticket lock poisoned");
+            state = guard;
+        }
     }
 }
 
@@ -482,6 +606,17 @@ impl Pool {
     }
 }
 
+/// Shared hibernation state: the session store (one lock for manifest and
+/// file operations) plus the revive-latency ledger and the eviction policy.
+struct PersistCtx {
+    store: Mutex<SessionStore>,
+    /// Wall-clock milliseconds of every revive, in completion order.
+    revive_ms: Mutex<Vec<f64>>,
+    /// Per-worker resident cap (`ceil(max_resident_sessions / workers)`).
+    per_worker_cap: Option<usize>,
+    hibernate_after: Option<Duration>,
+}
+
 /// Everything a worker thread needs besides its own queue and session map.
 #[derive(Clone)]
 struct WorkerCtx {
@@ -491,6 +626,21 @@ struct WorkerCtx {
     epoch_budget: ResourceBudget,
     parallelism: usize,
     session_defaults: DynamicConfig,
+    persist: Option<Arc<PersistCtx>>,
+}
+
+/// One worker's session table: the resident (in-memory) sessions plus the
+/// per-session revive counters (which outlive hibernation).
+#[derive(Default)]
+struct WorkerSessions {
+    resident: HashMap<String, Resident>,
+    revives: HashMap<String, usize>,
+}
+
+/// A resident session with its LRU clock.
+struct Resident {
+    dm: DynamicMatcher,
+    last_used: Instant,
 }
 
 /// The serving front-end: a fixed worker pool multiplexing many named
@@ -501,15 +651,36 @@ pub struct MatchingService {
     handles: Vec<JoinHandle<()>>,
     views: Arc<Mutex<HashMap<String, CommittedView>>>,
     pool: Option<Arc<Pool>>,
+    persist: Option<Arc<PersistCtx>>,
     submitted: AtomicUsize,
     served: Arc<AtomicUsize>,
     queue_capacity: usize,
 }
 
 impl MatchingService {
-    /// Starts the worker pool (validated config).
+    /// Starts the worker pool (validated config). With
+    /// [`ServiceConfig::store_dir`] set, the store is opened (its manifest
+    /// validated) before any worker spawns; sessions already on disk are
+    /// revived lazily on their first request — use
+    /// [`MatchingService::recover`] to touch them all eagerly.
     pub fn start(config: ServiceConfig) -> Result<Self, MwmError> {
         config.validate()?;
+        let persist = match &config.store_dir {
+            None => None,
+            Some(dir) => {
+                let store = SessionStore::open(dir.clone()).map_err(|e| {
+                    MwmError::InvalidInput { reason: format!("opening session store: {e}") }
+                })?;
+                let per_worker_cap =
+                    config.max_resident_sessions.map(|cap| cap.div_ceil(config.workers));
+                Some(Arc::new(PersistCtx {
+                    store: Mutex::new(store),
+                    revive_ms: Mutex::new(Vec::new()),
+                    per_worker_cap,
+                    hibernate_after: config.hibernate_after,
+                }))
+            }
+        };
         let shards: Arc<Vec<Shard>> = Arc::new((0..config.workers).map(|_| Shard::new()).collect());
         let views = Arc::new(Mutex::new(HashMap::new()));
         let pool = config
@@ -523,6 +694,7 @@ impl MatchingService {
             epoch_budget: config.epoch_budget,
             parallelism: config.parallelism.max(1),
             session_defaults: config.session_defaults,
+            persist: persist.clone(),
         };
         let mut handles = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -539,10 +711,32 @@ impl MatchingService {
             handles,
             views,
             pool,
+            persist,
             submitted: AtomicUsize::new(0),
             served,
             queue_capacity: config.queue_capacity,
         })
+    }
+
+    /// Crash recovery: starts the service on an existing store and eagerly
+    /// touches every stored session, so each image+journal pair is revived
+    /// (journal tail replayed), re-registered for [`MatchingService::view`] /
+    /// [`MatchingService::sessions`], and re-hibernated under the configured
+    /// eviction policy. A session whose files fail validation surfaces as
+    /// [`ServeError::Corrupt`] here instead of at first client contact.
+    pub fn recover(config: ServiceConfig) -> Result<Self, ServeError> {
+        if config.store_dir.is_none() {
+            return Err(ServeError::Engine(MwmError::InvalidConfig {
+                param: "store_dir",
+                value: "None".to_string(),
+                requirement: "recover() needs a session store directory",
+            }));
+        }
+        let service = MatchingService::start(config)?;
+        for name in service.stored_sessions() {
+            service.submit(Request::QueryWeight { session: name })?.wait()?;
+        }
+        Ok(service)
     }
 
     /// Enqueues a request on its session's worker, blocking while the queue
@@ -600,6 +794,32 @@ impl MatchingService {
     /// Items streamed across all sessions (the pool's fill level).
     pub fn pool_used(&self) -> usize {
         self.pool.as_ref().map(|p| p.used()).unwrap_or(0)
+    }
+
+    /// Names of all sessions in the hibernation store (sorted); empty when
+    /// persistence is off. A stored session may or may not also be resident.
+    pub fn stored_sessions(&self) -> Vec<String> {
+        match &self.persist {
+            Some(p) => p.store.lock().expect("store lock poisoned").names(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Wall-clock milliseconds of every revive so far, in completion order —
+    /// the raw samples behind experiment E15's p50/p99 columns.
+    pub fn revive_latencies_ms(&self) -> Vec<f64> {
+        match &self.persist {
+            Some(p) => p.revive_ms.lock().expect("latency ledger poisoned").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total revives performed by the service so far.
+    pub fn revives(&self) -> usize {
+        match &self.persist {
+            Some(p) => p.revive_ms.lock().expect("latency ledger poisoned").len(),
+            None => 0,
+        }
     }
 
     /// The configured pool size, if any.
@@ -729,9 +949,11 @@ impl Drop for MatchingService {
 
 /// One worker: drains its shard's queue in FIFO order, owning every session
 /// hashed to it (no locks around session state — a session is touched by
-/// exactly one thread for its whole life).
+/// exactly one thread for its whole life, resident or hibernated). With
+/// persistence on, every request is followed by an eviction sweep, so idle
+/// and over-cap sessions drain to disk as long as any traffic flows.
 fn worker_loop(shard: &Shard, ctx: &WorkerCtx) {
-    let mut sessions: HashMap<String, DynamicMatcher> = HashMap::new();
+    let mut sessions = WorkerSessions::default();
     loop {
         let job = {
             let mut q = shard.queue.lock().expect("submission queue lock poisoned");
@@ -749,39 +971,144 @@ fn worker_loop(shard: &Shard, ctx: &WorkerCtx) {
         shard.not_full.notify_one();
         let result = handle_request(job.request, &mut sessions, ctx);
         job.completer.complete(result);
+        evict_sweep(&mut sessions, ctx);
         ctx.served.fetch_add(1, Ordering::Relaxed);
+    }
+    // Shutdown: checkpoint every still-resident session so the store is a
+    // complete image set (journals cleared) for the next start or recover.
+    if let Some(persist) = &ctx.persist {
+        let mut store = persist.store.lock().expect("store lock poisoned");
+        for (name, res) in &sessions.resident {
+            store.save(name, &res.dm).ok();
+        }
+    }
+}
+
+/// Resolves `name` to its resident session, transparently reviving it from
+/// the store (image + journal-tail replay) when persistence is on. Records
+/// the revive latency and bumps the session's revive counter. The revived
+/// session's fresh [`CommittedView`] replaces the registry entry, so new
+/// `view()` handles track post-revive commits (handles obtained before the
+/// hibernation stay frozen at their last committed state).
+fn resolve<'a>(
+    name: &str,
+    sessions: &'a mut WorkerSessions,
+    ctx: &WorkerCtx,
+) -> Result<&'a mut DynamicMatcher, ServeError> {
+    if !sessions.resident.contains_key(name) {
+        let Some(persist) = &ctx.persist else {
+            return Err(ServeError::UnknownSession { session: name.to_string() });
+        };
+        let clock = Instant::now();
+        let (dm, _replayed) = {
+            let store = persist.store.lock().expect("store lock poisoned");
+            if !store.contains(name) {
+                return Err(ServeError::UnknownSession { session: name.to_string() });
+            }
+            store.load(name)?
+        };
+        let elapsed_ms = clock.elapsed().as_secs_f64() * 1e3;
+        persist.revive_ms.lock().expect("latency ledger poisoned").push(elapsed_ms);
+        *sessions.revives.entry(name.to_string()).or_insert(0) += 1;
+        ctx.views
+            .lock()
+            .expect("view registry lock poisoned")
+            .insert(name.to_string(), dm.committed_view());
+        sessions.resident.insert(name.to_string(), Resident { dm, last_used: Instant::now() });
+    }
+    let res = sessions.resident.get_mut(name).expect("resident after revive");
+    res.last_used = Instant::now();
+    Ok(&mut res.dm)
+}
+
+/// Hibernates one resident session (checkpoint image, journal cleared). On a
+/// store failure the session simply stays resident — holding memory beats
+/// losing state, and the next sweep retries.
+fn hibernate_one(name: &str, sessions: &mut WorkerSessions, persist: &PersistCtx) -> bool {
+    let Some(res) = sessions.resident.get(name) else { return false };
+    let saved = persist.store.lock().expect("store lock poisoned").save(name, &res.dm);
+    match saved {
+        Ok(()) => {
+            sessions.resident.remove(name);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// The post-request eviction sweep: first every session idle past
+/// `hibernate_after`, then LRU-first down to the per-worker resident cap.
+/// The view registry keeps hibernated sessions' entries, so
+/// [`MatchingService::sessions`] and existing view handles stay intact.
+fn evict_sweep(sessions: &mut WorkerSessions, ctx: &WorkerCtx) {
+    let Some(persist) = &ctx.persist else { return };
+    if let Some(idle) = persist.hibernate_after {
+        let expired: Vec<String> = sessions
+            .resident
+            .iter()
+            .filter(|(_, r)| r.last_used.elapsed() >= idle)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in expired {
+            hibernate_one(&name, sessions, persist);
+        }
+    }
+    if let Some(cap) = persist.per_worker_cap {
+        while sessions.resident.len() > cap {
+            let lru = sessions
+                .resident
+                .iter()
+                .min_by_key(|(_, r)| r.last_used)
+                .map(|(n, _)| n.clone())
+                .expect("resident map non-empty above its cap");
+            if !hibernate_one(&lru, sessions, persist) {
+                break;
+            }
+        }
     }
 }
 
 fn handle_request(
     request: Request,
-    sessions: &mut HashMap<String, DynamicMatcher>,
+    sessions: &mut WorkerSessions,
     ctx: &WorkerCtx,
 ) -> Result<Response, ServeError> {
     match request {
         Request::CreateSession { session, base, config } => {
-            if sessions.contains_key(&session) {
+            let stored = match &ctx.persist {
+                Some(p) => p.store.lock().expect("store lock poisoned").contains(&session),
+                None => false,
+            };
+            if sessions.resident.contains_key(&session) || stored {
                 return Err(ServeError::SessionExists { session });
             }
             let dm = DynamicMatcher::new(&base, config.unwrap_or(ctx.session_defaults))?;
+            if let Some(persist) = &ctx.persist {
+                // Checkpoint at birth: a crash after Created is acknowledged
+                // must still find the session on recovery.
+                persist.store.lock().expect("store lock poisoned").save(&session, &dm)?;
+            }
             ctx.views
                 .lock()
                 .expect("view registry lock poisoned")
                 .insert(session.clone(), dm.committed_view());
-            sessions.insert(session, dm);
+            sessions.resident.insert(session, Resident { dm, last_used: Instant::now() });
             Ok(Response::Created)
         }
         Request::DropSession { session } => {
-            let dm = sessions
-                .remove(&session)
-                .ok_or(ServeError::UnknownSession { session: session.clone() })?;
+            // Revive-then-drop: the response reports the epoch count, which
+            // only the revived session knows.
+            let epochs = resolve(&session, sessions, ctx)?.epochs();
+            sessions.resident.remove(&session);
+            sessions.revives.remove(&session);
+            if let Some(persist) = &ctx.persist {
+                persist.store.lock().expect("store lock poisoned").remove(&session)?;
+            }
             ctx.views.lock().expect("view registry lock poisoned").remove(&session);
-            Ok(Response::Dropped { epochs: dm.epochs() })
+            Ok(Response::Dropped { epochs })
         }
         Request::SubmitBatch { session, updates } => {
-            let dm = sessions
-                .get_mut(&session)
-                .ok_or(ServeError::UnknownSession { session: session.clone() })?;
+            let dm = resolve(&session, sessions, ctx)?;
             // Admission control: the epoch runs under the intersection of the
             // service's per-epoch policy budget and its reserved slice of the
             // pool (rebased onto this session's cumulative counter, which is
@@ -803,6 +1130,7 @@ fn handle_request(
                 .with_parallelism(ctx.epoch_budget.parallelism().unwrap_or(ctx.parallelism));
             let before = dm.tracker().items_streamed();
             let batch_len = updates.len();
+            let epoch_index = dm.epochs() as u64;
             let outcome = dm.apply_epoch(&updates, &budget);
             // Settlement: successful epochs charge their exact usage. A
             // failed epoch rolls the *session* back, but its ingestion pass
@@ -816,18 +1144,28 @@ fn handle_request(
                 let floor = if outcome.is_ok() { None } else { Some(batch_len) };
                 pool.settle(grant, delta, floor);
             }
-            Ok(Response::EpochApplied { stats: outcome?.stats })
+            let stats = outcome?.stats;
+            if let Some(persist) = &ctx.persist {
+                // Journal AFTER the commit (write-behind of committed state,
+                // never of intentions): recovery replays exactly the epochs
+                // that committed, and a crash before this append merely
+                // loses the newest epoch's durability, not its atomicity.
+                // An append failure is surfaced — the epoch *is* committed
+                // in memory, but the client must learn durability is gone.
+                persist
+                    .store
+                    .lock()
+                    .expect("store lock poisoned")
+                    .append(&session, &WalRecord::Batch { epoch: epoch_index, updates })?;
+            }
+            Ok(Response::EpochApplied { stats })
         }
         Request::QueryMatching { session } => {
-            let dm = sessions
-                .get(&session)
-                .ok_or(ServeError::UnknownSession { session: session.clone() })?;
+            let dm = resolve(&session, sessions, ctx)?;
             Ok(Response::Matching { snapshot: dm.committed() })
         }
         Request::QueryWeight { session } => {
-            let dm = sessions
-                .get(&session)
-                .ok_or(ServeError::UnknownSession { session: session.clone() })?;
+            let dm = resolve(&session, sessions, ctx)?;
             Ok(Response::Weight {
                 epoch: dm.epochs(),
                 version: dm.overlay().version(),
@@ -835,32 +1173,38 @@ fn handle_request(
             })
         }
         Request::SnapshotStats { session } => {
-            let dm = sessions
-                .get(&session)
-                .ok_or(ServeError::UnknownSession { session: session.clone() })?;
+            let dm = resolve(&session, sessions, ctx)?;
             let count = |d: EpochDecision| dm.ledger().iter().filter(|s| s.decision == d).count();
-            Ok(Response::Stats {
-                stats: SessionStats {
-                    session,
-                    epochs: dm.epochs(),
-                    version: dm.overlay().version(),
-                    weight: dm.weight(),
-                    matching_edges: dm.matching().num_edges(),
-                    live_edges: dm.overlay().num_live_edges(),
-                    live_vertices: dm.overlay().num_live_vertices(),
-                    items_streamed: dm.tracker().items_streamed(),
-                    repairs: count(EpochDecision::Repair),
-                    warm_resolves: count(EpochDecision::WarmResolve),
-                    rebuilds: count(EpochDecision::Rebuild),
-                },
-            })
+            let mut stats = SessionStats {
+                session: session.clone(),
+                epochs: dm.epochs(),
+                version: dm.overlay().version(),
+                weight: dm.weight(),
+                matching_edges: dm.matching().num_edges(),
+                live_edges: dm.overlay().num_live_edges(),
+                live_vertices: dm.overlay().num_live_vertices(),
+                items_streamed: dm.tracker().items_streamed(),
+                repairs: count(EpochDecision::Repair),
+                warm_resolves: count(EpochDecision::WarmResolve),
+                rebuilds: count(EpochDecision::Rebuild),
+                revives: 0,
+                duals_checksum: dm.duals().map(|d| d.fingerprint()).unwrap_or(0),
+            };
+            stats.revives = sessions.revives.get(&session).copied().unwrap_or(0);
+            Ok(Response::Stats { stats })
         }
         Request::CompactSession { session } => {
-            let dm = sessions
-                .get_mut(&session)
-                .ok_or(ServeError::UnknownSession { session: session.clone() })?;
+            let dm = resolve(&session, sessions, ctx)?;
             let remap = dm.compact();
             let reclaimed = remap.iter().filter(|&&m| m == usize::MAX).count();
+            let version = dm.overlay().version();
+            if let Some(persist) = &ctx.persist {
+                persist
+                    .store
+                    .lock()
+                    .expect("store lock poisoned")
+                    .append(&session, &WalRecord::Compact { version })?;
+            }
             Ok(Response::Compacted { reclaimed })
         }
     }
@@ -1166,6 +1510,149 @@ mod tests {
             ..config()
         })
         .is_err());
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_ticket_until_the_answer_lands() {
+        let (ticket, completer) = Ticket::new();
+        // Nobody has answered: the deadline expires and the ticket survives.
+        let ticket = match ticket.wait_timeout(Duration::from_millis(20)) {
+            Err(t) => t,
+            Ok(r) => panic!("unanswered ticket resolved early: {r:?}"),
+        };
+        assert!(!ticket.is_ready());
+        completer.complete(Ok(Response::Created));
+        match ticket.wait_timeout(Duration::from_secs(5)) {
+            Ok(Ok(Response::Created)) => {}
+            Ok(other) => panic!("expected Created, got {other:?}"),
+            Err(_) => panic!("a completed ticket must not time out"),
+        }
+    }
+
+    fn persist_config(tag: &str) -> (ServiceConfig, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("mwm-serve-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        (ServiceConfig { store_dir: Some(dir.clone()), workers: 2, ..config() }, dir)
+    }
+
+    #[test]
+    fn hibernated_sessions_revive_bit_identically_under_a_resident_cap() {
+        let (cfg, dir) = persist_config("cap");
+        // Cap of 1 across 2 workers: every request to a non-resident session
+        // forces a revive; with several sessions the LRU churns constantly.
+        let cfg = ServiceConfig { max_resident_sessions: Some(1), ..cfg };
+        let service = MatchingService::start(cfg).unwrap();
+        let names = ["h-alpha", "h-beta", "h-gamma", "h-delta"];
+        let mut oracles = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let base = base_graph(40 + i as u64, 30, 90);
+            service.create_session(name, &base).unwrap();
+            let mut batches = Vec::new();
+            service.submit_batch(name, Vec::new()).unwrap();
+            for round in 0..3u64 {
+                let b = batch(base.num_edges(), 30, 500 * i as u64 + round, 8);
+                service.submit_batch(name, b.clone()).unwrap();
+                batches.push(b);
+            }
+            oracles.push(serial_replay(&base, &batches));
+        }
+        for (name, oracle) in names.iter().zip(&oracles) {
+            let stats = service.session_stats(name).unwrap();
+            assert_eq!(stats.weight.to_bits(), oracle.weight().to_bits(), "{name} diverged");
+            assert_eq!(stats.epochs, oracle.epochs());
+            assert_eq!(
+                stats.duals_checksum,
+                oracle.duals().map(|d| d.fingerprint()).unwrap_or(0),
+                "{name}: duals diverged across hibernate/revive"
+            );
+            let snap = service.matching(name).unwrap();
+            let served: Vec<(usize, u64)> =
+                snap.matching.iter().map(|(id, _, m)| (id, m)).collect();
+            let direct: Vec<(usize, u64)> =
+                oracle.matching().iter().map(|(id, _, m)| (id, m)).collect();
+            assert_eq!(served, direct, "{name}: matching diverged");
+        }
+        // Re-querying every session under a cap of 1 per worker must have
+        // churned hibernated sessions back in.
+        assert!(service.revives() > 0, "a cap of 1 must force revives");
+        assert!(!service.revive_latencies_ms().is_empty());
+        // Every session stays listed even while hibernated.
+        let mut listed = service.sessions();
+        listed.sort();
+        let mut want: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        want.sort();
+        assert_eq!(listed, want);
+        service.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_restarts_a_service_from_its_store() {
+        let (cfg, dir) = persist_config("recover");
+        let base = base_graph(50, 30, 90);
+        let mut batches = Vec::new();
+        {
+            let service = MatchingService::start(cfg.clone()).unwrap();
+            service.create_session("r", &base).unwrap();
+            service.submit_batch("r", Vec::new()).unwrap();
+            for round in 0..2u64 {
+                let b = batch(base.num_edges(), 30, 900 + round, 10);
+                service.submit_batch("r", b.clone()).unwrap();
+                batches.push(b);
+            }
+            // Simulated crash: leak the service so no shutdown checkpoint
+            // runs — the store holds the creation-time image plus the WAL.
+            std::mem::forget(service);
+        }
+        let recovered = MatchingService::recover(cfg).unwrap();
+        assert_eq!(recovered.sessions(), vec!["r"]);
+        let oracle = serial_replay(&base, &batches);
+        let stats = recovered.session_stats("r").unwrap();
+        assert_eq!(stats.weight.to_bits(), oracle.weight().to_bits());
+        assert_eq!(stats.epochs, oracle.epochs());
+        assert_eq!(stats.duals_checksum, oracle.duals().map(|d| d.fingerprint()).unwrap_or(0));
+        // The recovered session keeps serving.
+        recovered.submit_batch("r", batch(base.num_edges(), 30, 950, 6)).unwrap();
+        recovered.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_torn_image_is_a_typed_corrupt_error() {
+        let (cfg, dir) = persist_config("torn");
+        {
+            let service = MatchingService::start(cfg.clone()).unwrap();
+            service.create_session("t", &base_graph(60, 20, 50)).unwrap();
+            service.submit_batch("t", Vec::new()).unwrap();
+            service.shutdown();
+        }
+        // Flip a payload bit in the (only) stored image.
+        let img = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "img"))
+            .expect("one image on disk");
+        let mut bytes = std::fs::read(&img).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&img, &bytes).unwrap();
+        match MatchingService::recover(cfg).map(|_| ()) {
+            Err(ServeError::Corrupt { context }) => {
+                assert!(context.contains("checksum"), "unexpected context: {context}")
+            }
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(()) => panic!("recover accepted a torn image"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn caps_without_a_store_are_rejected() {
+        let cfg = ServiceConfig { max_resident_sessions: Some(4), ..config() };
+        assert!(MatchingService::start(cfg).is_err());
+        let cfg = ServiceConfig { hibernate_after: Some(Duration::from_secs(1)), ..config() };
+        assert!(MatchingService::start(cfg).is_err());
     }
 
     #[test]

@@ -60,6 +60,8 @@
 //! * [`mapreduce`] — MapReduce / streaming / congested-clique simulators ([`mwm_mapreduce`]).
 //! * [`external`] — out-of-core spilled edge storage and the multi-process
 //!   shard executor ([`mwm_external`]).
+//! * [`persist`] — session hibernation: checksummed session images, the
+//!   session store with write-ahead journals ([`mwm_persist`]).
 //! * [`solver`] — the paper's contribution: the resource-constrained
 //!   `(1-ε)`-approximate weighted b-matching solver, plus the engine API's
 //!   trait, error, budget and report types ([`mwm_core`]).
@@ -78,6 +80,7 @@ pub use mwm_graph as graph;
 pub use mwm_lp as lp;
 pub use mwm_mapreduce as mapreduce;
 pub use mwm_matching as matching;
+pub use mwm_persist as persist;
 pub use mwm_serve as serve;
 pub use mwm_sketch as sketch;
 pub use mwm_sparsify as sparsify;
@@ -92,8 +95,10 @@ pub mod engine {
     pub use mwm_dynamic::{
         CommittedSnapshot, CommittedView, DynamicConfig, DynamicMatcher, EpochDecision, EpochStats,
     };
+    pub use mwm_persist::{Hibernate, PersistError, SessionImage, SessionStore, WalRecord};
     pub use mwm_serve::{
-        MatchingService, Request, Response, ServeError, ServiceConfig, SessionStats, Ticket,
+        MatchingService, NetClient, Request, Response, ServeError, ServiceConfig, SessionStats,
+        SocketServer, Ticket,
     };
 
     use mwm_core::{DualPrimalConfig, DualPrimalSolver};
@@ -249,8 +254,10 @@ pub mod prelude {
         generators, BMatching, Edge, Graph, GraphOverlay, GraphUpdate, Matching, WeightLevels,
     };
     pub use mwm_mapreduce::{ExecutionMode, ResourceTracker};
+    pub use mwm_persist::{Hibernate, SessionImage, SessionStore};
     pub use mwm_serve::{
-        MatchingService, Request, Response, ServeError, ServiceConfig, SessionStats,
+        MatchingService, NetClient, Request, Response, ServeError, ServiceConfig, SessionStats,
+        SocketServer,
     };
 }
 
