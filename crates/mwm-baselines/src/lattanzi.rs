@@ -16,7 +16,8 @@
 use mwm_core::{MatchingSolver, MwmError, ResourceBudget, SolveReport};
 use mwm_graph::{EdgeId, Graph, Matching, WeightLevels};
 use mwm_mapreduce::{
-    ExecutionMode, GraphSource, MapReduceConfig, MapReduceSim, PassEngine, ResourceTracker,
+    EdgeSource, ExecutionMode, GraphSource, MapReduceConfig, MapReduceSim, PassEngine,
+    ResourceTracker,
 };
 
 /// The filtering algorithm behind the engine API: an `O(p)`-round,
@@ -129,10 +130,12 @@ pub fn lattanzi_filtering(graph: &Graph, p: f64, eps: f64, seed: u64) -> Lattanz
 }
 
 /// The engine-driven filtering run shared by the free function and the trait
-/// impl: one charged [`PassEngine`] pass buckets the stream into weight
-/// classes (per-shard buckets merged in shard order, so edge-id order — and
-/// therefore the matching — is identical for every worker count), then the
-/// per-class sampling rounds run against the MapReduce simulator as before.
+/// impl: one charged [`PassEngine`] **batch** pass precomputes every edge's
+/// class index over SoA shard slices, a per-shard counting sort scatters the
+/// ids into weight-class runs (stable, merged in shard order, so edge-id
+/// order — and therefore the matching — is identical for every worker
+/// count), then the per-class sampling rounds run against the MapReduce
+/// simulator as before.
 fn run_filtering(
     graph: &Graph,
     p: f64,
@@ -157,18 +160,40 @@ fn run_filtering(
     let num_levels = levels.num_levels();
     let mut buckets: Vec<Vec<EdgeId>> = vec![Vec::new(); num_levels];
     if num_levels > 0 {
-        let shard_buckets = engine.pass_shards(
+        // Batch pass over SoA shard slices: each edge's class index is
+        // precomputed from its weight bits (one multiply + boundary-table
+        // search, no logarithm), collected as `(class, id)` pairs in stream
+        // order alongside per-class counts.
+        let shard_classes = engine.pass_batches(
             &source,
-            |_| vec![Vec::new(); num_levels],
-            |acc: &mut Vec<Vec<EdgeId>>, id, e| {
-                if let Some(k) = levels.level_of_weight(e.w) {
-                    acc[k].push(id);
+            |shard| (vec![0u32; num_levels], Vec::with_capacity(source.shard_len(shard))),
+            |acc: &mut (Vec<u32>, Vec<(u32, EdgeId)>), b| {
+                for i in 0..b.len() {
+                    if let Some(k) = levels.level_of_bits(b.w[i]) {
+                        acc.0[k] += 1;
+                        acc.1.push((k as u32, b.ids[i]));
+                    }
                 }
             },
         )?;
-        for shard in shard_buckets {
-            for (k, ids) in shard.into_iter().enumerate() {
-                buckets[k].extend(ids);
+        // Counting sort per shard: prefix-sum the class counts into offsets
+        // and scatter the stream-order pairs into contiguous per-class runs.
+        // The scatter is stable, so each run lists its ids in stream order —
+        // exactly what the old per-class pushes produced — and shards append
+        // in shard order, keeping the matching identical bit for bit.
+        for (counts, pairs) in shard_classes {
+            let mut offsets = vec![0usize; num_levels + 1];
+            for (k, &c) in counts.iter().enumerate() {
+                offsets[k + 1] = offsets[k] + c as usize;
+            }
+            let mut sorted = vec![0 as EdgeId; pairs.len()];
+            let mut cursor = offsets.clone();
+            for &(k, id) in &pairs {
+                sorted[cursor[k as usize]] = id;
+                cursor[k as usize] += 1;
+            }
+            for k in 0..num_levels {
+                buckets[k].extend_from_slice(&sorted[offsets[k]..offsets[k + 1]]);
             }
         }
     }

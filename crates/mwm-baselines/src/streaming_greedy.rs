@@ -139,8 +139,7 @@ fn run_replacement_pass(
         .with_execution_mode(mode.clone());
     // matched_edge[v] = edge id currently matching v.
     let mut matched_edge: Vec<Option<EdgeId>> = vec![None; n];
-    let mut in_matching: std::collections::BTreeMap<EdgeId, f64> =
-        std::collections::BTreeMap::new();
+    let mut in_matching = SortedMatching::new();
 
     engine.pass_sequential(&source, |id, e| {
         let mu = matched_edge[e.u as usize];
@@ -148,12 +147,12 @@ fn run_replacement_pass(
         let mut conflict_weight = 0.0;
         let mut conflicts: Vec<EdgeId> = Vec::new();
         if let Some(c) = mu {
-            conflict_weight += in_matching[&c];
+            conflict_weight += in_matching.weight_of(c);
             conflicts.push(c);
         }
         if let Some(c) = mv {
             if Some(c) != mu {
-                conflict_weight += in_matching[&c];
+                conflict_weight += in_matching.weight_of(c);
                 conflicts.push(c);
             }
         }
@@ -163,7 +162,7 @@ fn run_replacement_pass(
                     matched_edge[cu] = None;
                     matched_edge[cv] = None;
                 }
-                in_matching.remove(&c);
+                in_matching.remove(c);
             }
             matched_edge[e.u as usize] = Some(id);
             matched_edge[e.v as usize] = Some(id);
@@ -173,7 +172,7 @@ fn run_replacement_pass(
     engine.declare_memory(in_matching.len());
 
     let mut matching = Matching::new();
-    for &id in in_matching.keys() {
+    for &(id, _) in in_matching.entries() {
         matching.push(id, graph.edge(id));
     }
     let weight = matching.weight();
@@ -185,6 +184,58 @@ fn run_replacement_pass(
         peak_memory_edges: tracker.peak_central_space(),
         tracker,
     })
+}
+
+/// The matching store of the replacement pass: `(edge id, weight)` pairs in
+/// a vec kept sorted by id — the hot-path replacement for the `BTreeMap` the
+/// pass used to carry. Edge ids arrive in increasing stream order, so
+/// inserts are plain appends on the fast path (binary-search insertion keeps
+/// the invariant for any order), and conflict lookups/evictions are binary
+/// searches over a dense array instead of pointer-chasing tree nodes.
+/// [`SortedMatching::entries`] yields ids in ascending order — the iteration
+/// order of the map it replaces — so the assembled matching is unchanged.
+struct SortedMatching(Vec<(EdgeId, f64)>);
+
+impl SortedMatching {
+    fn new() -> Self {
+        SortedMatching(Vec::new())
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The weight of a currently matched edge. Panics if `id` is not
+    /// matched, like the map indexing it replaces.
+    fn weight_of(&self, id: EdgeId) -> f64 {
+        let i = self
+            .0
+            .binary_search_by_key(&id, |p| p.0)
+            .expect("conflicting edge must be in the matching");
+        self.0[i].1
+    }
+
+    fn insert(&mut self, id: EdgeId, w: f64) {
+        match self.0.last() {
+            Some(&(last, _)) if last < id => self.0.push((id, w)),
+            None => self.0.push((id, w)),
+            _ => match self.0.binary_search_by_key(&id, |p| p.0) {
+                Ok(i) => self.0[i].1 = w,
+                Err(i) => self.0.insert(i, (id, w)),
+            },
+        }
+    }
+
+    fn remove(&mut self, id: EdgeId) {
+        if let Ok(i) = self.0.binary_search_by_key(&id, |p| p.0) {
+            self.0.remove(i);
+        }
+    }
+
+    /// The matched `(id, weight)` pairs in ascending id order.
+    fn entries(&self) -> &[(EdgeId, f64)] {
+        &self.0
+    }
 }
 
 fn edge_endpoints(graph: &Graph, id: EdgeId) -> Option<(usize, usize)> {

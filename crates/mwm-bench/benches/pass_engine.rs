@@ -1,11 +1,12 @@
 //! Criterion bench for the sharded pass engine (experiment E11's companion):
 //! one multiplier-style pass over the largest bench workload at different
-//! worker counts, plus the dual-primal solver end-to-end at 1 vs 4 workers.
+//! worker counts — per-edge vs batch (SoA slice) form — plus the dual-primal
+//! solver end-to-end at 1 vs 4 workers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mwm_bench::workloads;
 use mwm_core::{DualPrimalConfig, DualPrimalSolver};
-use mwm_mapreduce::PassEngine;
+use mwm_mapreduce::{PassEngine, SoaShards};
 
 fn bench_pass_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("pass_engine");
@@ -25,6 +26,40 @@ fn bench_pass_throughput(c: &mut Criterion) {
                             |acc, id, e| {
                                 let cov = ((id % 97) as f64) / 97.0;
                                 *acc += (-(cov / e.w - 0.5)).clamp(-700.0, 700.0).exp() / e.w;
+                            },
+                        )
+                        .expect("unbudgeted pass cannot fail")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_pass_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pass_engine_batch");
+    group.sample_size(10);
+    let stream = workloads::pass_throughput_stream(1, 42);
+    // CSR/SoA materialization happens once, outside the measured closure:
+    // the bench compares the slice kernel against the per-edge fold above.
+    let soa = SoaShards::from_source(&stream);
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("multiplier_batch_pass", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut engine = PassEngine::new(workers);
+                    engine
+                        .pass_batches(
+                            &soa,
+                            |_| 0.0f64,
+                            |acc, batch| {
+                                for i in 0..batch.len() {
+                                    let w = batch.weight(i);
+                                    let cov = ((batch.ids[i] % 97) as f64) / 97.0;
+                                    *acc += (-(cov / w - 0.5)).clamp(-700.0, 700.0).exp() / w;
+                                }
                             },
                         )
                         .expect("unbudgeted pass cannot fail")
@@ -59,5 +94,10 @@ fn bench_solver_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pass_throughput, bench_solver_parallelism);
+criterion_group!(
+    benches,
+    bench_pass_throughput,
+    bench_batch_pass_throughput,
+    bench_solver_parallelism
+);
 criterion_main!(benches);

@@ -64,20 +64,18 @@ pub fn json_escape(s: &str) -> String {
 }
 
 /// True when a cell should be emitted as a bare JSON number: a plain decimal
-/// (optional leading `-`, digits, at most one `.`), nothing else. Hex
-/// checksums, `yes`/`no`, and workload labels all fail this test.
+/// (optional leading `-`; digits; if a `.` appears it must have at least one
+/// digit on **both** sides), nothing else. Hex checksums, `yes`/`no`,
+/// workload labels, and non-finite renderings (`NaN`, `inf`) all fail this
+/// test — as do `1.` and `.5`, which are invalid as bare JSON tokens even
+/// though Rust parses them.
 fn is_decimal(cell: &str) -> bool {
     let body = cell.strip_prefix('-').unwrap_or(cell);
-    let mut dots = 0usize;
-    let mut digits = 0usize;
-    for ch in body.chars() {
-        match ch {
-            '0'..='9' => digits += 1,
-            '.' => dots += 1,
-            _ => return false,
-        }
+    let all_digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    match body.split_once('.') {
+        None => all_digits(body),
+        Some((int, frac)) => all_digits(int) && all_digits(frac),
     }
-    digits > 0 && dots <= 1
 }
 
 /// Flattens reports into `(key, json_value)` pairs, where `json_value` is
@@ -85,10 +83,22 @@ fn is_decimal(cell: &str) -> bool {
 pub fn metrics_for(reports: &[ExperimentReport]) -> Vec<(String, String)> {
     let mut out = Vec::new();
     for rep in reports {
+        // Sanitizing is lossy (`medges/s` and `medges_per_s` both map to
+        // `medges_per_s`), so colliding columns are disambiguated with a
+        // `_c<index>` suffix — silently overwriting a metric would make two
+        // different columns indistinguishable to bench_compare.
+        let mut col_keys: Vec<String> = Vec::with_capacity(rep.columns.len());
+        for (col_idx, col) in rep.columns.iter().enumerate() {
+            let mut key = sanitize_key(col);
+            if col_keys.contains(&key) {
+                key.push_str(&format!("_c{col_idx}"));
+            }
+            col_keys.push(key);
+        }
         for (row_idx, row) in rep.rows.iter().enumerate() {
             for (col_idx, cell) in row.iter().enumerate() {
                 let col = rep.columns[col_idx];
-                let key = format!("{}.r{row_idx}.{}", rep.id, sanitize_key(col));
+                let key = format!("{}.r{row_idx}.{}", rep.id, col_keys[col_idx]);
                 let numeric = !col.contains("checksum") && is_decimal(cell);
                 let value =
                     if numeric { cell.clone() } else { format!("\"{}\"", json_escape(cell)) };
@@ -196,5 +206,62 @@ mod tests {
         assert!(!is_decimal("0xff"));
         assert!(!is_decimal(""));
         assert!(!is_decimal("."));
+    }
+
+    #[test]
+    fn non_finite_and_partial_decimals_emit_as_strings() {
+        // Regression: `1.` and `.5` satisfy Rust's f64 parser but are invalid
+        // bare JSON tokens; `NaN`/`inf` come out of {:.1}-style formatting of
+        // non-finite measurements. All must be quoted, never emitted bare.
+        let mut r = ExperimentReport::new(
+            "e98",
+            "edge cases",
+            vec!["trail_dot", "lead_dot", "neg_lead_dot", "nan", "inf", "fine"],
+        );
+        r.push_row(vec![
+            "1.".to_string(),
+            ".5".to_string(),
+            "-.5".to_string(),
+            "NaN".to_string(),
+            "inf".to_string(),
+            "42.5".to_string(),
+        ]);
+        let metrics = metrics_for(&[r.clone()]);
+        let get =
+            |k: &str| metrics.iter().find(|(key, _)| key == k).map(|(_, v)| v.as_str()).unwrap();
+        assert_eq!(get("e98.r0.trail_dot"), "\"1.\"");
+        assert_eq!(get("e98.r0.lead_dot"), "\".5\"");
+        assert_eq!(get("e98.r0.neg_lead_dot"), "\"-.5\"");
+        assert_eq!(get("e98.r0.nan"), "\"NaN\"");
+        assert_eq!(get("e98.r0.inf"), "\"inf\"");
+        assert_eq!(get("e98.r0.fine"), "42.5");
+        // The rendered document's value tokens are each either quoted or a
+        // valid bare number — no line may carry a bare `1.` or `.5`.
+        for line in render_json(&[r]).lines().filter(|l| l.trim_start().starts_with("\"e98.")) {
+            let value = line.split_once(": ").unwrap().1.trim_end_matches(',');
+            assert!(
+                value.starts_with('"') || value.parse::<f64>().is_ok_and(|v| v.is_finite()),
+                "invalid JSON value token: {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn colliding_sanitized_columns_stay_distinct() {
+        // `medges/s` and `medges_per_s` sanitize to the same key; the second
+        // column must pick up a positional suffix instead of overwriting.
+        let mut r =
+            ExperimentReport::new("e97", "collision", vec!["medges/s", "medges_per_s", "x", "x"]);
+        r.push_row(vec!["1.0".to_string(), "2.0".to_string(), "a".to_string(), "b".to_string()]);
+        let metrics = metrics_for(&[r]);
+        let keys: Vec<&str> = metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec!["e97.r0.medges_per_s", "e97.r0.medges_per_s_c1", "e97.r0.x", "e97.r0.x_c3"]
+        );
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "metric keys must be unique");
     }
 }

@@ -31,7 +31,7 @@ use crate::oracle::{MicroOracle, OracleDecision, SupportEdge};
 use crate::relaxation::DualState;
 use crate::report::SolveReport;
 use mwm_graph::{BMatching, Graph, WeightLevels};
-use mwm_lp::{AdaptivityLedger, DualSnapshot};
+use mwm_lp::{AdaptivityLedger, DualSnapshot, FixedLattice};
 use mwm_mapreduce::{
     EdgeSource, ExecutionMode, GraphSource, MapReduceConfig, MapReduceSim, PassEngine, PassError,
     ResourceTracker,
@@ -450,8 +450,11 @@ impl DualPrimalSolver {
         let a3 = eps / 2.0; // offline solver approximation slack in Step 5/6.
         let m_constraints = levels.num_kept_edges().max(2) as f64;
         let oracle = MicroOracle::new(graph, &levels);
+        // The fixed-point weight lattice the slice kernels classify against:
+        // same boundary table as `levels`, class weights precomputed once.
+        let lattice = FixedLattice::from_levels(&levels);
 
-        let mut lambda = sharded_lambda(&engine, &source, &levels, &dual);
+        let mut lambda = sharded_lambda(&engine, &source, &lattice, &dual);
         let mut primal_certificates = 0usize;
         let mut vertex_updates = 0usize;
         let mut odd_set_updates = 0usize;
@@ -470,7 +473,7 @@ impl DualPrimalSolver {
             ledger.record_round();
             let alpha = (m_constraints / eps).ln() / (lambda.max(1e-6) * eps);
             let promise =
-                match sharded_multipliers(&mut engine, &source, &levels, &dual, alpha, lambda) {
+                match sharded_multipliers(&mut engine, &source, &lattice, &dual, alpha, lambda) {
                     Ok(promise) => promise,
                     Err(err) => {
                         pass_error = Some(err);
@@ -525,7 +528,7 @@ impl DualPrimalSolver {
                         dual.add_scaled(&update, sigma);
                         // Uncharged refinement scan: the multipliers live in
                         // central memory, no fresh data access happens.
-                        lambda = sharded_lambda(&engine, &source, &levels, &dual);
+                        lambda = sharded_lambda(&engine, &source, &lattice, &dual);
                     }
                     OracleDecision::PrimalCertificate { .. } => {
                         primal_certificates += 1;
@@ -697,23 +700,29 @@ fn hint_is_usable(graph: &Graph, hint: &BMatching) -> bool {
 }
 
 /// `λ = min` over levelled edges of `coverage / ŵ_k`, computed as an
-/// uncharged sharded scan (per-shard minima, merged in shard order; `min` is
-/// exact over floats, so the result is identical for any worker count).
+/// uncharged sharded **batch** scan: the fold consumes whole shard slices in
+/// struct-of-arrays form, classifying weights through the precomputed
+/// [`FixedLattice`] (the same boundary table the level construction used, so
+/// class assignment is bit-identical to the per-edge path). Per-shard minima
+/// merge in shard order; `min` is exact over floats, so the result is
+/// identical for any worker count.
 fn sharded_lambda(
     engine: &PassEngine,
     source: &GraphSource<'_>,
-    levels: &WeightLevels,
+    lattice: &FixedLattice,
     dual: &DualState,
 ) -> f64 {
-    let mins = engine.scan_shards(
+    let mins = engine.scan_batches(
         source,
         |_| f64::INFINITY,
-        |acc: &mut f64, _, e| {
-            if let Some(level) = levels.level_of_weight(e.w) {
-                let cov = dual.edge_coverage(e.u, e.v, level);
-                let ratio = cov / levels.level_weight(level);
-                if ratio < *acc {
-                    *acc = ratio;
+        |acc: &mut f64, b| {
+            for i in 0..b.len() {
+                if let Some(level) = lattice.class_of_key(b.w[i]) {
+                    let cov = dual.edge_coverage(b.u[i], b.v[i], level);
+                    let ratio = cov / lattice.class_weight(level);
+                    if ratio < *acc {
+                        *acc = ratio;
+                    }
                 }
             }
         },
@@ -728,27 +737,31 @@ fn sharded_lambda(
 
 /// The exponential multipliers `u_{ijk} = exp(-α(cov/ŵ_k - λ))/ŵ_k` for every
 /// edge of the graph (0 for edges dropped by the weight discretization),
-/// computed as **one charged pass**: each shard batches its `(id, value)`
-/// pairs locally, and the batches are written out in shard order. Every
-/// multiplier depends only on its own edge, so the vector is bit-identical
-/// for any worker count.
+/// computed as **one charged batch pass**: each shard's slice fold pushes its
+/// `(id, value)` pairs locally with class weights read from the
+/// [`FixedLattice`] (no per-edge `ln`/`powi`), and the per-shard vectors are
+/// scattered out in shard order. Every multiplier depends only on its own
+/// edge and the per-edge arithmetic is unchanged, so the vector is
+/// bit-identical to the per-edge path at any worker count.
 fn sharded_multipliers(
     engine: &mut PassEngine,
     source: &GraphSource<'_>,
-    levels: &WeightLevels,
+    lattice: &FixedLattice,
     dual: &DualState,
     alpha: f64,
     lambda: f64,
 ) -> Result<Vec<f64>, PassError> {
-    let batches = engine.pass_shards(
+    let batches = engine.pass_batches(
         source,
         |shard| Vec::with_capacity(source.shard_len(shard)),
-        |acc: &mut Vec<(usize, f64)>, id, e| {
-            if let Some(level) = levels.level_of_weight(e.w) {
-                let w_k = levels.level_weight(level);
-                let cov = dual.edge_coverage(e.u, e.v, level);
-                let exponent = (-(alpha * (cov / w_k - lambda))).clamp(-700.0, 700.0);
-                acc.push((id, exponent.exp() / w_k));
+        |acc: &mut Vec<(usize, f64)>, b| {
+            for i in 0..b.len() {
+                if let Some(level) = lattice.class_of_key(b.w[i]) {
+                    let w_k = lattice.class_weight(level);
+                    let cov = dual.edge_coverage(b.u[i], b.v[i], level);
+                    let exponent = (-(alpha * (cov / w_k - lambda))).clamp(-700.0, 700.0);
+                    acc.push((b.ids[i], exponent.exp() / w_k));
+                }
             }
         },
     )?;

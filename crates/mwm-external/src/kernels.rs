@@ -10,7 +10,7 @@
 use crate::spill::SpilledShards;
 use mwm_graph::wire::{decode_edge_record, encode_edge_record, EDGE_RECORD_BYTES};
 use mwm_graph::{Edge, EdgeId, VertexId};
-use mwm_mapreduce::{EdgeSource, PassError, PassKernel};
+use mwm_mapreduce::{BatchKernel, EdgeBatch, EdgeSource, PassError, PassKernel};
 use std::collections::{BTreeMap, HashMap};
 
 /// Counts edges and sums weights: the cheapest full-stream pass, used for
@@ -250,6 +250,83 @@ impl PassKernel for LocalMatchingKernel {
     }
 }
 
+/// Slice-at-a-time twin of [`CountWeightKernel`]: consumes whole
+/// [`EdgeBatch`] columns instead of one edge per call. Both fold weights
+/// left-to-right in stream order, so the two are bit-identical; the batch
+/// form exists so the SoA readback path never re-boxes edges one by one.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchCountWeightKernel;
+
+impl BatchKernel for BatchCountWeightKernel {
+    type Acc = (u64, f64);
+
+    fn name(&self) -> &'static str {
+        "soa-count-weight"
+    }
+
+    fn params(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn init(&self, _shard: usize) -> Self::Acc {
+        (0, 0.0)
+    }
+
+    fn fold_batch(&self, acc: &mut Self::Acc, batch: EdgeBatch<'_>) {
+        acc.0 += batch.len() as u64;
+        for i in 0..batch.len() {
+            acc.1 += batch.weight(i);
+        }
+    }
+
+    fn encode_acc(&self, acc: &Self::Acc) -> Vec<u8> {
+        CountWeightKernel.encode_acc(acc)
+    }
+
+    fn decode_acc(&self, bytes: &[u8]) -> Result<Self::Acc, PassError> {
+        CountWeightKernel.decode_acc(bytes)
+    }
+}
+
+/// Slice-at-a-time twin of [`MultiplierKernel`]: the same order-sensitive
+/// exponentially-damped fold, applied element by element over each slice so
+/// slice boundaries cannot change the bits.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchMultiplierKernel {
+    /// Damping factor of the exponential update.
+    pub alpha: f64,
+}
+
+impl BatchKernel for BatchMultiplierKernel {
+    type Acc = f64;
+
+    fn name(&self) -> &'static str {
+        "soa-multiplier"
+    }
+
+    fn params(&self) -> Vec<u8> {
+        self.alpha.to_bits().to_le_bytes().to_vec()
+    }
+
+    fn init(&self, _shard: usize) -> Self::Acc {
+        0.0
+    }
+
+    fn fold_batch(&self, acc: &mut Self::Acc, batch: EdgeBatch<'_>) {
+        for i in 0..batch.len() {
+            *acc = self.alpha * *acc + batch.weight(i) * (1.0 + (batch.ids[i] % 17) as f64 / 16.0);
+        }
+    }
+
+    fn encode_acc(&self, acc: &Self::Acc) -> Vec<u8> {
+        MultiplierKernel { alpha: self.alpha }.encode_acc(acc)
+    }
+
+    fn decode_acc(&self, bytes: &[u8]) -> Result<Self::Acc, PassError> {
+        MultiplierKernel { alpha: self.alpha }.decode_acc(bytes)
+    }
+}
+
 /// The visited-count and encoded accumulator of one shard run.
 #[derive(Clone, Debug)]
 pub struct ShardRun {
@@ -269,6 +346,27 @@ fn run_one<K: PassKernel>(
     spilled.for_each_in_shard(shard, &mut |id, e| {
         kernel.fold(&mut acc, id, e);
         visited += 1;
+        true
+    });
+    spilled.check().map_err(PassError::from)?;
+    Ok(ShardRun { visited, acc: kernel.encode_acc(&acc) })
+}
+
+/// Worker-side slice size of the batch kernels. The registered batch folds
+/// apply element by element in stream order, so this only sizes the resident
+/// SoA columns — it cannot change the result bits.
+const WORKER_SOA_BATCH: usize = 1024;
+
+fn run_one_batch<K: BatchKernel>(
+    kernel: &K,
+    spilled: &SpilledShards,
+    shard: usize,
+) -> Result<ShardRun, PassError> {
+    let mut acc = kernel.init(shard);
+    let mut visited = 0usize;
+    spilled.for_each_batch_in_shard(shard, WORKER_SOA_BATCH, &mut |batch| {
+        kernel.fold_batch(&mut acc, batch);
+        visited += batch.len();
         true
     });
     spilled.check().map_err(PassError::from)?;
@@ -298,6 +396,12 @@ pub fn run_registered_kernel(
         "local-matching" => {
             run_one(&LocalMatchingKernel { gamma: f64_param("local-matching")? }, spilled, shard)
         }
+        "soa-count-weight" => run_one_batch(&BatchCountWeightKernel, spilled, shard),
+        "soa-multiplier" => run_one_batch(
+            &BatchMultiplierKernel { alpha: f64_param("soa-multiplier")? },
+            spilled,
+            shard,
+        ),
         other => Err(PassError::Protocol { reason: format!("unknown kernel {other:?} requested") }),
     }
 }
@@ -345,6 +449,28 @@ mod tests {
             let cw = run_registered_kernel("count-weight", &[], &spilled, shard).unwrap();
             let (count, _) = CountWeightKernel.decode_acc(&cw.acc).unwrap();
             assert_eq!(count as usize, stream.shard_len(shard));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_kernels_match_their_per_edge_twins_bit_for_bit() {
+        let stream = SyntheticStream::with_shards(90, 6_000, 33, 4);
+        let dir = temp_dir("soa-twins");
+        // io_batch deliberately misaligned with WORKER_SOA_BATCH.
+        let spilled = SpillWriter::spill_edge_source(&dir, &stream).unwrap().with_io_batch(700);
+        let alpha_bits = 0.75f64.to_bits().to_le_bytes();
+        for shard in 0..stream.num_shards() {
+            let per_edge = run_registered_kernel("count-weight", &[], &spilled, shard).unwrap();
+            let batch = run_registered_kernel("soa-count-weight", &[], &spilled, shard).unwrap();
+            assert_eq!(per_edge.acc, batch.acc, "count-weight shard {shard}");
+            assert_eq!(per_edge.visited, batch.visited);
+
+            let per_edge =
+                run_registered_kernel("multiplier", &alpha_bits, &spilled, shard).unwrap();
+            let batch =
+                run_registered_kernel("soa-multiplier", &alpha_bits, &spilled, shard).unwrap();
+            assert_eq!(per_edge.acc, batch.acc, "multiplier shard {shard}");
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

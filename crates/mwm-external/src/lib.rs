@@ -42,8 +42,8 @@ pub mod spill;
 
 pub use distributed::{out_of_core_matching, OutOfCoreMatching};
 pub use kernels::{
-    run_registered_kernel, CountWeightKernel, LocalMatchingKernel, MultiplierKernel,
-    ReplacementMatcher, ShardRun,
+    run_registered_kernel, BatchCountWeightKernel, BatchMultiplierKernel, CountWeightKernel,
+    LocalMatchingKernel, MultiplierKernel, ReplacementMatcher, ShardRun,
 };
 pub use process::{discover_worker_binary, ProcessPool, WORKER_BIN_NAME, WORKER_ENV};
 pub use spill::{SpillError, SpillWriter, SpilledShards};

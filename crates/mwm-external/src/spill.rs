@@ -23,7 +23,7 @@
 
 use mwm_graph::wire::{decode_edge_record, encode_edge_record, EDGE_RECORD_BYTES};
 use mwm_graph::{Edge, EdgeId};
-use mwm_mapreduce::{EdgeSource, PassError, ResourceTracker};
+use mwm_mapreduce::{EdgeBatch, EdgeSource, PassError, ResourceTracker, SoaBatch};
 use std::fmt;
 use std::fs::{self, File};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -405,6 +405,65 @@ impl SpilledShards {
         self.io.resident_edges.fetch_sub(batch, Ordering::Relaxed);
         result
     }
+
+    /// Batch readback: decodes records straight into a reusable [`SoaBatch`]
+    /// and emits [`EdgeBatch`] slices of at most `max_batch` edges. Slice
+    /// boundaries sit at multiples of `max_batch` within the shard — the same
+    /// boundaries the trait default and the in-memory CSR override produce —
+    /// independent of `io_batch`, so budget ledgers interrupt at identical
+    /// offsets over spilled and in-memory forms.
+    fn read_shard_soa(
+        &self,
+        shard: usize,
+        max_batch: usize,
+        visit: &mut dyn FnMut(EdgeBatch<'_>) -> bool,
+    ) -> Result<(), SpillError> {
+        let path = self.dir.join(shard_file_name(shard));
+        let mut file =
+            File::open(&path).map_err(|e| SpillError::io(format!("open {}", path.display()), e))?;
+        file.seek(SeekFrom::Start(SHARD_HEADER_BYTES as u64))
+            .map_err(|e| SpillError::io(format!("seek {}", path.display()), e))?;
+        let cap = max_batch.max(1);
+        let io = self.io_batch;
+        let mut buf = vec![0u8; io * EDGE_RECORD_BYTES];
+        let mut soa = SoaBatch::with_capacity(cap.min(self.counts[shard] as usize));
+        // Resident ceiling: the raw readback buffer plus the SoA columns.
+        self.io.resident_edges.fetch_add(io + cap, Ordering::Relaxed);
+        let resident = self.io.resident_edges.load(Ordering::Relaxed);
+        self.io.peak_resident_edges.fetch_max(resident, Ordering::Relaxed);
+        let result = (|| {
+            let mut remaining = self.counts[shard] as usize;
+            let mut stopped = false;
+            while remaining > 0 && !stopped {
+                let take = remaining.min(io);
+                let bytes = take * EDGE_RECORD_BYTES;
+                file.read_exact(&mut buf[..bytes]).map_err(|e| {
+                    SpillError::io(format!("read {take} records from {}", path.display()), e)
+                })?;
+                self.io.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+                for chunk in buf[..bytes].chunks_exact(EDGE_RECORD_BYTES) {
+                    let record: &[u8; EDGE_RECORD_BYTES] = chunk.try_into().expect("exact chunk");
+                    let (id, e) = decode_edge_record(record);
+                    soa.push(id, e);
+                    if soa.len() == cap {
+                        let keep = visit(soa.view());
+                        soa.clear();
+                        if !keep {
+                            stopped = true;
+                            break;
+                        }
+                    }
+                }
+                remaining -= take;
+            }
+            if !stopped && !soa.is_empty() {
+                visit(soa.view());
+            }
+            Ok(())
+        })();
+        self.io.resident_edges.fetch_sub(io + cap, Ordering::Relaxed);
+        result
+    }
 }
 
 impl EdgeSource for SpilledShards {
@@ -426,6 +485,17 @@ impl EdgeSource for SpilledShards {
 
     fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool) {
         if let Err(err) = self.read_shard(shard, visit) {
+            self.poison(err);
+        }
+    }
+
+    fn for_each_batch_in_shard(
+        &self,
+        shard: usize,
+        max_batch: usize,
+        visit: &mut dyn FnMut(EdgeBatch<'_>) -> bool,
+    ) {
+        if let Err(err) = self.read_shard_soa(shard, max_batch, visit) {
             self.poison(err);
         }
     }
@@ -463,6 +533,41 @@ mod tests {
             mem.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
             disk.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spilled_batch_readback_matches_the_per_edge_decode() {
+        let stream = SyntheticStream::with_shards(120, 10_000, 7, 5);
+        let dir = temp_dir("soa");
+        // io_batch 100 is NOT a multiple of the 37-edge slice cap, so SoA
+        // slices must straddle readback buffers without reordering anything.
+        let spilled = SpillWriter::spill_edge_source(&dir, &stream).unwrap().with_io_batch(100);
+        for shard in 0..spilled.num_shards() {
+            let mut expect: Vec<(EdgeId, u32, u32, u64)> = Vec::new();
+            spilled.for_each_in_shard(shard, &mut |id, e| {
+                expect.push((id, e.u, e.v, e.w.to_bits()));
+                true
+            });
+            let mut got = Vec::new();
+            let mut lens = Vec::new();
+            spilled.for_each_batch_in_shard(shard, 37, &mut |b| {
+                lens.push(b.len());
+                for i in 0..b.len() {
+                    got.push((b.ids[i], b.u[i], b.v[i], b.w[i]));
+                }
+                true
+            });
+            assert_eq!(got, expect, "shard {shard} batch walk diverged");
+            for (i, &l) in lens.iter().enumerate() {
+                if i + 1 < lens.len() {
+                    assert_eq!(l, 37, "interior slices must be full");
+                } else {
+                    assert!(l > 0 && l <= 37);
+                }
+            }
+        }
+        spilled.check().unwrap();
         let _ = fs::remove_dir_all(&dir);
     }
 

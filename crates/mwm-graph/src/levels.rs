@@ -9,6 +9,19 @@
 
 use crate::graph::{Edge, EdgeId, Graph};
 
+/// Classifies a scaled weight (as its `f64` bit pattern) against a sorted
+/// boundary-bits table: the largest `k` with `bound_bits[k] ≤ scaled_bits`,
+/// or `None` when the weight falls below boundary 0 (i.e. below 1 after
+/// rescaling — a dropped edge). Valid because positive finite doubles order
+/// the same as their bit patterns.
+#[inline]
+fn table_class(bound_bits: &[u64], scaled_bits: u64) -> Option<usize> {
+    if bound_bits.first().is_none_or(|&b0| scaled_bits < b0) {
+        return None;
+    }
+    Some(bound_bits.partition_point(|&b| b <= scaled_bits) - 1)
+}
+
 /// An edge annotated with its weight class.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LevelledEdge {
@@ -26,6 +39,14 @@ pub struct WeightLevels {
     eps: f64,
     /// Rescale factor `B / W*` applied before discretization.
     scale: f64,
+    /// Scaled-space class boundaries `(1+ε)^k` for `k = 0, 1, ...`, stored as
+    /// `f64` **bit patterns**. For positive finite doubles the IEEE-754 bit
+    /// pattern is monotone in the value, so "largest `k` with
+    /// `(1+ε)^k ≤ scaled`" is a branch-free integer `partition_point` over
+    /// this table — no per-edge logarithm. The table extends one entry past
+    /// the largest scaled weight of the construction graph, so every kept
+    /// edge classifies inside it.
+    bound_bits: Vec<u64>,
     /// Edges of each level `Ê_k`, `k = 0..=max_level`.
     levels: Vec<Vec<LevelledEdge>>,
     /// Number of edges dropped because their rescaled weight was below 1.
@@ -41,27 +62,50 @@ impl WeightLevels {
         let n = graph.num_vertices();
         let w_star = graph.max_weight().unwrap_or(0.0);
         if w_star <= 0.0 {
-            return WeightLevels { eps, scale: 1.0, levels: Vec::new(), dropped: 0, n };
+            return WeightLevels {
+                eps,
+                scale: 1.0,
+                bound_bits: Vec::new(),
+                levels: Vec::new(),
+                dropped: 0,
+                n,
+            };
         }
         let b_total = graph.total_capacity().max(1) as f64;
         let scale = b_total / w_star;
-        let log1e = (1.0 + eps).ln();
+        // The largest scaled weight is exactly w_star * scale (weights are
+        // positive and multiplication by a positive scale is monotone), so a
+        // table whose last boundary strictly exceeds it classifies every
+        // kept edge without a fallback.
+        let max_scaled = w_star * scale;
+        let mut bound_bits = Vec::new();
+        let mut k = 0i32;
+        loop {
+            let b = (1.0 + eps).powi(k);
+            bound_bits.push(b.to_bits());
+            if b > max_scaled {
+                break;
+            }
+            k += 1;
+        }
+        debug_assert!(
+            bound_bits.windows(2).all(|w| w[0] < w[1]),
+            "class boundaries must be strictly increasing"
+        );
         let mut levels: Vec<Vec<LevelledEdge>> = Vec::new();
         let mut dropped = 0usize;
         for (id, edge) in graph.edge_iter() {
-            let scaled = edge.w * scale;
-            if scaled < 1.0 {
-                dropped += 1;
-                continue;
+            match table_class(&bound_bits, (edge.w * scale).to_bits()) {
+                None => dropped += 1,
+                Some(k) => {
+                    if levels.len() <= k {
+                        levels.resize_with(k + 1, Vec::new);
+                    }
+                    levels[k].push(LevelledEdge { id, edge, level: k });
+                }
             }
-            // Level k is the largest k with (1+eps)^k <= scaled (floor of log).
-            let k = (scaled.ln() / log1e).floor().max(0.0) as usize;
-            if levels.len() <= k {
-                levels.resize_with(k + 1, Vec::new);
-            }
-            levels[k].push(LevelledEdge { id, edge, level: k });
         }
-        WeightLevels { eps, scale, levels, dropped, n }
+        WeightLevels { eps, scale, bound_bits, levels, dropped, n }
     }
 
     /// The accuracy parameter used for discretization.
@@ -133,12 +177,37 @@ impl WeightLevels {
     }
 
     /// The level an original-scale weight `w` would map to, or `None` if dropped.
+    ///
+    /// Weights inside the construction graph's range resolve through the
+    /// boundary-bits table — the same lookup construction used, so the
+    /// pinned assignment/lookup consistency holds by construction. Weights
+    /// beyond the table (heavier than anything seen at construction) fall
+    /// back to the logarithm formula.
     pub fn level_of_weight(&self, w: f64) -> Option<usize> {
-        let scaled = w * self.scale;
+        self.level_of_bits(w.to_bits())
+    }
+
+    /// [`WeightLevels::level_of_weight`] taking the weight's IEEE-754 bit
+    /// pattern directly — the form batch kernels hold weights in.
+    #[inline]
+    pub fn level_of_bits(&self, w_bits: u64) -> Option<usize> {
+        let scaled = f64::from_bits(w_bits) * self.scale;
         if scaled < 1.0 {
             return None;
         }
-        Some((scaled.ln() / (1.0 + self.eps).ln()).floor().max(0.0) as usize)
+        let sb = scaled.to_bits();
+        match self.bound_bits.last() {
+            Some(&last) if sb < last => table_class(&self.bound_bits, sb),
+            _ => Some((scaled.ln() / (1.0 + self.eps).ln()).floor().max(0.0) as usize),
+        }
+    }
+
+    /// The scaled-space class boundaries `(1+ε)^k` as `f64` bit patterns:
+    /// `boundary_bits()[k]` is the smallest scaled weight of class `k`.
+    /// Consumers (the LP layer's fixed-point lattice) share this table so
+    /// their class lookups agree with the construction bit for bit.
+    pub fn boundary_bits(&self) -> &[u64] {
+        &self.bound_bits
     }
 
     /// Sum over kept edges of the discretized weight; a lower bound on the total
@@ -210,6 +279,34 @@ mod tests {
         assert_eq!(levels.num_levels(), 0);
         assert_eq!(levels.max_level(), None);
         assert_eq!(levels.num_kept_edges(), 0);
+    }
+
+    #[test]
+    fn boundary_table_agrees_with_log_formula_and_bit_lookup() {
+        let g = sample_graph();
+        let eps = 0.2;
+        let levels = WeightLevels::new(&g, eps);
+        let bounds = levels.boundary_bits();
+        assert!(!bounds.is_empty());
+        assert_eq!(f64::from_bits(bounds[0]), 1.0, "class 0 starts at scaled weight 1");
+        assert!(
+            f64::from_bits(*bounds.last().unwrap()) > 16.0 * levels.scale(),
+            "table must cover past the heaviest scaled weight"
+        );
+        for (id, edge) in g.edge_iter() {
+            // The bits-based lookup is the batch-kernel path; it must agree
+            // with the f64 one, and in-table classes must match the paper's
+            // floor-of-log definition.
+            let by_bits = levels.level_of_bits(edge.w.to_bits());
+            assert_eq!(by_bits, levels.level_of_weight(edge.w), "edge {id}");
+            if let Some(k) = by_bits {
+                let scaled = edge.w * levels.scale();
+                assert!(levels.level_weight(k) <= scaled + 1e-9);
+                assert!(scaled < levels.level_weight(k + 1) + 1e-9);
+            }
+        }
+        // Weights beyond the construction range still classify (log fallback).
+        assert!(levels.level_of_weight(1e9).is_some());
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Fixed-point weight lattice over the `B/W*` rescale.
+//!
+//! The batch pass pipeline stores edge weights as IEEE-754 **bit patterns**
+//! (`u64` columns): the round-trip through [`f64::to_bits`] is exact, and for
+//! the positive finite weights the graph layer admits, unsigned comparison of
+//! the bit patterns agrees with numeric comparison. That turns the paper's
+//! weight classes `ŵ_k = (1+ε)^k` (after rescaling by `B/W*`, Definitions
+//! 2–3) into a *lattice of integer keys*: classifying an edge is one multiply
+//! plus a `partition_point` over a small boundary table, and the class
+//! weights the dual-primal oracle divides by are precomputed once per lattice
+//! instead of one `powi` per edge.
+//!
+//! [`FixedLattice`] copies its boundary table from
+//! [`WeightLevels::boundary_bits`], so its lookups agree with the level
+//! construction bit for bit — the invariant the determinism suite holds the
+//! batch kernels to.
+
+use mwm_graph::WeightLevels;
+
+/// The lattice key of an original-scale weight: its IEEE-754 bit pattern.
+/// Exact (the inverse is [`key_weight`]) and order-preserving for the
+/// positive finite weights edges carry.
+#[inline]
+pub fn weight_key(w: f64) -> u64 {
+    w.to_bits()
+}
+
+/// Inverse of [`weight_key`].
+#[inline]
+pub fn key_weight(key: u64) -> f64 {
+    f64::from_bits(key)
+}
+
+/// A weight-class lattice derived from a [`WeightLevels`] decomposition,
+/// holding everything the slice kernels need per class: the scaled-space
+/// boundary keys and the precomputed class weights `ŵ_k = (1+ε)^k`.
+#[derive(Clone, Debug)]
+pub struct FixedLattice {
+    scale: f64,
+    /// Scaled-space class boundaries as `f64` bit patterns, shared with the
+    /// source [`WeightLevels`].
+    bound_keys: Vec<u64>,
+    /// `class_weights[k] = (1+ε)^k`, identical bits to
+    /// [`WeightLevels::level_weight`].
+    class_weights: Vec<f64>,
+}
+
+impl FixedLattice {
+    /// Builds the lattice for a decomposition: copies the boundary-bit table
+    /// and precomputes every class weight.
+    pub fn from_levels(levels: &WeightLevels) -> Self {
+        let bound_keys = levels.boundary_bits().to_vec();
+        let class_weights = (0..bound_keys.len()).map(|k| levels.level_weight(k)).collect();
+        FixedLattice { scale: levels.scale(), bound_keys, class_weights }
+    }
+
+    /// The rescale factor `B / W*` the lattice classifies under.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Number of classes the boundary table describes.
+    pub fn num_classes(&self) -> usize {
+        self.bound_keys.len()
+    }
+
+    /// The class of an original-scale weight key, or `None` when the weight
+    /// rescales below 1 (a dropped edge). Bit-identical to
+    /// [`WeightLevels::level_of_bits`] for every weight of the construction
+    /// graph (whose scaled weights all fall inside the boundary table).
+    #[inline]
+    pub fn class_of_key(&self, key: u64) -> Option<usize> {
+        let scaled = key_weight(key) * self.scale;
+        let sb = scaled.to_bits();
+        if self.bound_keys.first().is_none_or(|&b0| sb < b0) {
+            return None;
+        }
+        Some(self.bound_keys.partition_point(|&b| b <= sb) - 1)
+    }
+
+    /// The discretized class weight `ŵ_k = (1+ε)^k` (scaled space).
+    #[inline]
+    pub fn class_weight(&self, k: usize) -> f64 {
+        self.class_weights[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwm_graph::Graph;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new(8);
+        for (i, w) in [0.5, 1.0, 1.7, 2.0, 4.0, 8.5, 16.0].iter().enumerate() {
+            g.add_edge(i as u32, i as u32 + 1, *w);
+        }
+        g
+    }
+
+    #[test]
+    fn key_round_trip_is_exact_and_ordered() {
+        let ws = [1.0, 1.0000000001, 2.5, 1e-300, 9.9, 1e18];
+        for &w in &ws {
+            assert_eq!(key_weight(weight_key(w)).to_bits(), w.to_bits());
+        }
+        let mut keys: Vec<u64> = ws.iter().map(|&w| weight_key(w)).collect();
+        keys.sort_unstable();
+        let back: Vec<f64> = keys.iter().map(|&k| key_weight(k)).collect();
+        assert!(back.windows(2).all(|p| p[0] <= p[1]), "key order must match weight order");
+    }
+
+    #[test]
+    fn lattice_classification_matches_weight_levels_exactly() {
+        for eps in [0.1, 0.25, 0.5] {
+            let g = sample_graph();
+            let levels = WeightLevels::new(&g, eps);
+            let lattice = FixedLattice::from_levels(&levels);
+            assert_eq!(lattice.num_classes(), levels.boundary_bits().len());
+            for (_, e) in g.edge_iter() {
+                let by_lattice = lattice.class_of_key(weight_key(e.w));
+                assert_eq!(by_lattice, levels.level_of_weight(e.w), "eps={eps} w={}", e.w);
+                if let Some(k) = by_lattice {
+                    assert_eq!(
+                        lattice.class_weight(k).to_bits(),
+                        levels.level_weight(k).to_bits(),
+                        "class weights must be the very same bits"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_lattice_drops_everything() {
+        let lattice = FixedLattice::from_levels(&WeightLevels::new(&Graph::new(3), 0.2));
+        assert_eq!(lattice.num_classes(), 0);
+        assert_eq!(lattice.class_of_key(weight_key(5.0)), None);
+    }
+}

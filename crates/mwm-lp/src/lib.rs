@@ -20,11 +20,16 @@
 //! * [`duals`] — the portable [`DualSnapshot`] export/import format for dual
 //!   points, used to warm-start one solve from the previous one (the dynamic
 //!   matching subsystem's epoch chain).
+//! * [`fixed`] — the fixed-point weight lattice over the `B/W*` rescale:
+//!   weights as exact `u64` bit-pattern keys plus a [`FixedLattice`] of
+//!   precomputed class boundaries/weights, the form the batch (slice)
+//!   kernels classify and divide by without per-edge `ln`/`powi`.
 
 pub mod covering;
 pub mod dual_primal;
 pub mod duals;
 pub mod explicit;
+pub mod fixed;
 pub mod packing;
 pub mod width;
 
@@ -35,5 +40,6 @@ pub use covering::{
 pub use dual_primal::AdaptivityLedger;
 pub use duals::{DualSnapshot, OddSetDual, VertexDual};
 pub use explicit::{BoxBudgetPolytope, ExplicitCovering, ExplicitPacking};
+pub use fixed::{key_weight, weight_key, FixedLattice};
 pub use packing::{solve_packing, PackingInstance, PackingOutcome, PackingParams, PackingSolution};
 pub use width::{covering_width, packing_width};

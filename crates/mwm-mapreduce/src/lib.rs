@@ -35,8 +35,8 @@ pub mod resources;
 pub use congested_clique::CongestedCliqueSim;
 pub use mapreduce::{MapReduceConfig, MapReduceSim};
 pub use pass_engine::{
-    auto_shard_count, EdgeSource, ExecutionMode, GraphSource, ItemSource, PassBudget, PassEngine,
-    PassError, PassKernel, ShardExecutor, ShardOutcome, ShardedEdgeList, SyntheticStream,
-    UpdateSource,
+    auto_shard_count, BatchKernel, EdgeBatch, EdgeSource, ExecutionMode, GraphSource, ItemSource,
+    PassBudget, PassEngine, PassError, PassKernel, ShardExecutor, ShardOutcome, ShardedEdgeList,
+    SoaBatch, SoaShards, SyntheticStream, UpdateSource,
 };
 pub use resources::{ResourceTracker, TrackerCounters};

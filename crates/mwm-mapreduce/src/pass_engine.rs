@@ -101,6 +101,135 @@ impl<S: EdgeSource + ?Sized> ItemSource for EdgeItems<'_, S> {
     }
 }
 
+/// A borrowed struct-of-arrays view of consecutive edges from one shard: the
+/// unit the batch-at-a-time pass API hands to its folds. The four slices are
+/// parallel (`ids[i]`, `u[i]`, `v[i]`, `w[i]` describe edge `i`), in stream
+/// order.
+///
+/// Weights are stored as IEEE-754 **bit patterns** (`u64`), not `f64`: the
+/// round-trip through [`f64::to_bits`] is exact, and for the positive finite
+/// weights the graph layer admits, unsigned comparison of the bit patterns
+/// agrees with numeric comparison — which is what lets weight-class lookups
+/// run as integer `partition_point` searches over a boundary table instead of
+/// per-edge logarithms. Use [`EdgeBatch::weight`] to get the `f64` back.
+#[derive(Clone, Copy)]
+pub struct EdgeBatch<'a> {
+    /// Global stream ids, parallel to `u`/`v`/`w`.
+    pub ids: &'a [EdgeId],
+    /// First endpoints.
+    pub u: &'a [VertexId],
+    /// Second endpoints.
+    pub v: &'a [VertexId],
+    /// Weights as `f64` bit patterns (exact, order-preserving for positives).
+    pub w: &'a [u64],
+}
+
+impl<'a> EdgeBatch<'a> {
+    /// Number of edges in the batch.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the batch holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The weight of edge `i` as an `f64` (exact bit round-trip).
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        f64::from_bits(self.w[i])
+    }
+
+    /// Reassembles edge `i` as an [`Edge`].
+    #[inline]
+    pub fn edge(&self, i: usize) -> Edge {
+        Edge { u: self.u[i], v: self.v[i], w: f64::from_bits(self.w[i]) }
+    }
+}
+
+/// An owned, reusable struct-of-arrays buffer that assembles [`EdgeBatch`]
+/// views for sources that produce edges one at a time (the default
+/// [`EdgeSource::for_each_batch_in_shard`] path and the spilled readback in
+/// `mwm-external` both decode into one of these).
+#[derive(Default)]
+pub struct SoaBatch {
+    ids: Vec<EdgeId>,
+    u: Vec<VertexId>,
+    v: Vec<VertexId>,
+    w: Vec<u64>,
+}
+
+impl SoaBatch {
+    /// An empty buffer with room for `cap` edges in each column.
+    pub fn with_capacity(cap: usize) -> Self {
+        SoaBatch {
+            ids: Vec::with_capacity(cap),
+            u: Vec::with_capacity(cap),
+            v: Vec::with_capacity(cap),
+            w: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends one edge to every column.
+    #[inline]
+    pub fn push(&mut self, id: EdgeId, e: Edge) {
+        self.ids.push(id);
+        self.u.push(e.u);
+        self.v.push(e.v);
+        self.w.push(e.w.to_bits());
+    }
+
+    /// Empties the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.u.clear();
+        self.v.clear();
+        self.w.clear();
+    }
+
+    /// Number of buffered edges.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the buffer holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// A borrowed [`EdgeBatch`] over the buffered edges.
+    pub fn view(&self) -> EdgeBatch<'_> {
+        EdgeBatch { ids: &self.ids, u: &self.u, v: &self.v, w: &self.w }
+    }
+}
+
+/// Emits `lo..hi` as [`EdgeBatch`] slices of at most `cap` edges, assembling
+/// each through a reusable [`SoaBatch`]: the shared batch path of the
+/// index-addressable sources ([`GraphSource`], [`SyntheticStream`]).
+fn batch_by_index(
+    lo: usize,
+    hi: usize,
+    cap: usize,
+    edge_at: impl Fn(usize) -> Edge,
+    visit: &mut dyn FnMut(EdgeBatch<'_>) -> bool,
+) {
+    let cap = cap.max(1);
+    let mut buf = SoaBatch::with_capacity(cap.min(hi.saturating_sub(lo)));
+    let mut start = lo;
+    while start < hi {
+        let end = (start + cap).min(hi);
+        buf.clear();
+        for id in start..end {
+            buf.push(id, edge_at(id));
+        }
+        if !visit(buf.view()) {
+            return;
+        }
+        start = end;
+    }
+}
+
 /// A sharded edge stream: the read-only input of the paper's model.
 ///
 /// A source splits its stream into `num_shards` fixed sub-streams. Within a
@@ -123,6 +252,43 @@ pub trait EdgeSource: Sync {
     /// Visits the shard's edges in stream order. `visit` returns `false` to
     /// stop early (used by the engine for budget aborts and early exits).
     fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool);
+
+    /// Visits the shard's edges as consecutive [`EdgeBatch`] slices of at
+    /// most `max_batch` edges, in stream order — the data-oriented
+    /// counterpart of [`EdgeSource::for_each_in_shard`]. `visit` returning
+    /// `false` stops the walk; no further slice (including a trailing partial
+    /// one) is emitted.
+    ///
+    /// The default implementation assembles slices from the per-edge walk
+    /// through a reusable [`SoaBatch`]; SoA-native storage ([`SoaShards`],
+    /// [`ShardedEdgeList`]) overrides it with zero-copy subslices, and
+    /// index-addressable sources override it to skip the per-edge virtual
+    /// dispatch. The concatenation of the emitted slices must equal the
+    /// per-edge walk exactly — the engine's determinism suite holds every
+    /// source to that.
+    fn for_each_batch_in_shard(
+        &self,
+        shard: usize,
+        max_batch: usize,
+        visit: &mut dyn FnMut(EdgeBatch<'_>) -> bool,
+    ) {
+        let cap = max_batch.max(1);
+        let mut buf = SoaBatch::with_capacity(cap.min(self.shard_len(shard)));
+        let mut stopped = false;
+        self.for_each_in_shard(shard, &mut |id, e| {
+            buf.push(id, e);
+            if buf.len() < cap {
+                return true;
+            }
+            let keep = visit(buf.view());
+            buf.clear();
+            stopped = !keep;
+            keep
+        });
+        if !stopped && !buf.is_empty() {
+            visit(buf.view());
+        }
+    }
 
     /// A filesystem locator for sources whose shards are **addressable
     /// out-of-process** (a spill directory another process can open). In-memory
@@ -185,25 +351,168 @@ impl EdgeSource for GraphSource<'_> {
             }
         }
     }
+
+    fn for_each_batch_in_shard(
+        &self,
+        shard: usize,
+        max_batch: usize,
+        visit: &mut dyn FnMut(EdgeBatch<'_>) -> bool,
+    ) {
+        let (lo, hi) = self.bounds(shard);
+        batch_by_index(lo, hi, max_batch, |id| self.graph.edge(id), visit);
+    }
+}
+
+/// CSR/struct-of-arrays shard storage: every shard's edges live in four flat
+/// parallel columns (`ids`, `u`, `v`, `w`-bits) split by an offsets table, so
+/// batch passes borrow whole shard slices with **zero copies** and the
+/// columns stay cache-dense. This is the materialized form the pass pipeline
+/// prefers — [`ShardedEdgeList`] is a thin wrapper over it, and spilled
+/// readback decodes straight into the same column layout.
+pub struct SoaShards {
+    n: usize,
+    /// `offsets[s]..offsets[s + 1]` is shard `s`'s range in the columns.
+    offsets: Vec<usize>,
+    ids: Vec<EdgeId>,
+    u: Vec<VertexId>,
+    v: Vec<VertexId>,
+    w: Vec<u64>,
+}
+
+impl SoaShards {
+    /// Materializes any [`EdgeSource`] into the flat column layout, keeping
+    /// its shard structure and stream order (so passes over the copy are
+    /// bit-identical to passes over the original).
+    pub fn from_source<S: EdgeSource + ?Sized>(source: &S) -> Self {
+        let m = source.num_edges();
+        let mut soa = SoaShards {
+            n: source.num_vertices(),
+            offsets: Vec::with_capacity(source.num_shards() + 1),
+            ids: Vec::with_capacity(m),
+            u: Vec::with_capacity(m),
+            v: Vec::with_capacity(m),
+            w: Vec::with_capacity(m),
+        };
+        soa.offsets.push(0);
+        for shard in 0..source.num_shards() {
+            source.for_each_in_shard(shard, &mut |id, e| {
+                soa.push(id, e);
+                true
+            });
+            soa.offsets.push(soa.ids.len());
+        }
+        soa
+    }
+
+    /// Converts explicit per-shard `(EdgeId, Edge)` lists over an `n`-vertex
+    /// graph. An empty shard list becomes a single empty shard so
+    /// `num_shards >= 1` holds.
+    pub fn from_shards(n: usize, shards: Vec<Vec<(EdgeId, Edge)>>) -> Self {
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        let mut soa = SoaShards {
+            n,
+            offsets: Vec::with_capacity(shards.len() + 2),
+            ids: Vec::with_capacity(total),
+            u: Vec::with_capacity(total),
+            v: Vec::with_capacity(total),
+            w: Vec::with_capacity(total),
+        };
+        soa.offsets.push(0);
+        for shard in &shards {
+            for &(id, e) in shard {
+                soa.push(id, e);
+            }
+            soa.offsets.push(soa.ids.len());
+        }
+        if shards.is_empty() {
+            soa.offsets.push(0);
+        }
+        soa
+    }
+
+    #[inline]
+    fn push(&mut self, id: EdgeId, e: Edge) {
+        self.ids.push(id);
+        self.u.push(e.u);
+        self.v.push(e.v);
+        self.w.push(e.w.to_bits());
+    }
+
+    /// A zero-copy [`EdgeBatch`] over one whole shard.
+    pub fn shard_slice(&self, shard: usize) -> EdgeBatch<'_> {
+        let (lo, hi) = (self.offsets[shard], self.offsets[shard + 1]);
+        EdgeBatch {
+            ids: &self.ids[lo..hi],
+            u: &self.u[lo..hi],
+            v: &self.v[lo..hi],
+            w: &self.w[lo..hi],
+        }
+    }
+}
+
+impl EdgeSource for SoaShards {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn shard_len(&self, shard: usize) -> usize {
+        self.offsets[shard + 1] - self.offsets[shard]
+    }
+
+    fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool) {
+        let slice = self.shard_slice(shard);
+        for i in 0..slice.len() {
+            if !visit(slice.ids[i], slice.edge(i)) {
+                return;
+            }
+        }
+    }
+
+    fn for_each_batch_in_shard(
+        &self,
+        shard: usize,
+        max_batch: usize,
+        visit: &mut dyn FnMut(EdgeBatch<'_>) -> bool,
+    ) {
+        let cap = max_batch.max(1);
+        let full = self.shard_slice(shard);
+        let mut start = 0usize;
+        while start < full.len() {
+            let end = (start + cap).min(full.len());
+            let slice = EdgeBatch {
+                ids: &full.ids[start..end],
+                u: &full.u[start..end],
+                v: &full.v[start..end],
+                w: &full.w[start..end],
+            };
+            if !visit(slice) {
+                return;
+            }
+            start = end;
+        }
+    }
 }
 
 /// A pre-partitioned stream: shards own their `(EdgeId, Edge)` lists, as they
-/// would after a shuffle onto different machines.
+/// would after a shuffle onto different machines. Stored internally as
+/// [`SoaShards`] columns, so batch passes borrow shard slices zero-copy.
 pub struct ShardedEdgeList {
-    n: usize,
-    shards: Vec<Vec<(EdgeId, Edge)>>,
-    total: usize,
+    soa: SoaShards,
 }
 
 impl ShardedEdgeList {
     /// Wraps explicit shards over an `n`-vertex graph. Empty shard lists are
     /// replaced by a single empty shard so `num_shards >= 1` holds.
-    pub fn new(n: usize, mut shards: Vec<Vec<(EdgeId, Edge)>>) -> Self {
-        if shards.is_empty() {
-            shards.push(Vec::new());
-        }
-        let total = shards.iter().map(|s| s.len()).sum();
-        ShardedEdgeList { n, shards, total }
+    pub fn new(n: usize, shards: Vec<Vec<(EdgeId, Edge)>>) -> Self {
+        ShardedEdgeList { soa: SoaShards::from_shards(n, shards) }
     }
 
     /// Partitions a graph's edges round-robin into `num_shards` shards —
@@ -220,27 +529,32 @@ impl ShardedEdgeList {
 
 impl EdgeSource for ShardedEdgeList {
     fn num_vertices(&self) -> usize {
-        self.n
+        self.soa.num_vertices()
     }
 
     fn num_edges(&self) -> usize {
-        self.total
+        self.soa.num_edges()
     }
 
     fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.soa.num_shards()
     }
 
     fn shard_len(&self, shard: usize) -> usize {
-        self.shards[shard].len()
+        self.soa.shard_len(shard)
     }
 
     fn for_each_in_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeId, Edge) -> bool) {
-        for &(id, e) in &self.shards[shard] {
-            if !visit(id, e) {
-                return;
-            }
-        }
+        self.soa.for_each_in_shard(shard, visit)
+    }
+
+    fn for_each_batch_in_shard(
+        &self,
+        shard: usize,
+        max_batch: usize,
+        visit: &mut dyn FnMut(EdgeBatch<'_>) -> bool,
+    ) {
+        self.soa.for_each_batch_in_shard(shard, max_batch, visit)
     }
 }
 
@@ -320,6 +634,16 @@ impl EdgeSource for SyntheticStream {
                 return;
             }
         }
+    }
+
+    fn for_each_batch_in_shard(
+        &self,
+        shard: usize,
+        max_batch: usize,
+        visit: &mut dyn FnMut(EdgeBatch<'_>) -> bool,
+    ) {
+        let (lo, hi) = self.bounds(shard);
+        batch_by_index(lo, hi, max_batch, |id| self.edge_at(id), visit);
     }
 }
 
@@ -466,6 +790,41 @@ pub trait PassKernel: Sync {
 
     /// Folds one edge into the accumulator.
     fn fold(&self, acc: &mut Self::Acc, id: EdgeId, e: Edge);
+
+    /// Encodes an accumulator for the wire.
+    fn encode_acc(&self, acc: &Self::Acc) -> Vec<u8>;
+
+    /// Decodes an accumulator received from a worker.
+    fn decode_acc(&self, bytes: &[u8]) -> Result<Self::Acc, PassError>;
+}
+
+/// The slice-consuming counterpart of [`PassKernel`]: a named, parameterized
+/// fold over [`EdgeBatch`] struct-of-arrays views. Batch kernels share the
+/// per-edge kernels' registry contract (`name` + `params` reconstruct the
+/// fold in a worker process; `decode_acc(encode_acc(a)) == a` exactly), so
+/// [`PassEngine::pass_batch_kernel`] can dispatch them to an external
+/// [`ShardExecutor`] under the same rules as [`PassEngine::pass_kernel`].
+///
+/// For results to be independent of how a shard happens to be sliced (and
+/// therefore bit-identical between in-memory and spilled sources),
+/// `fold_batch` must be equivalent to folding the slice's edges left to
+/// right — it may vectorize *within* the slice but must not reorder
+/// non-associative floating-point accumulation across it.
+pub trait BatchKernel: Sync {
+    /// The per-shard accumulator.
+    type Acc: Send;
+
+    /// Registry name of the kernel (workers resolve the fold by this name).
+    fn name(&self) -> &'static str;
+
+    /// Serialized kernel parameters shipped with each task frame.
+    fn params(&self) -> Vec<u8>;
+
+    /// Seeds the accumulator for one shard.
+    fn init(&self, shard: usize) -> Self::Acc;
+
+    /// Folds one slice of edges into the accumulator.
+    fn fold_batch(&self, acc: &mut Self::Acc, batch: EdgeBatch<'_>);
 
     /// Encodes an accumulator for the wire.
     fn encode_acc(&self, acc: &Self::Acc) -> Vec<u8>;
@@ -705,6 +1064,46 @@ impl PassEngine {
         Ok(iter.fold(first, &mut merge))
     }
 
+    /// One charged pass over whole shard **slices**: like
+    /// [`PassEngine::pass_shards`], but the fold consumes [`EdgeBatch`]
+    /// struct-of-arrays views of up to [`PassEngine::batch_size`] edges per
+    /// call instead of one edge at a time — the data-oriented hot path, with
+    /// no per-edge virtual dispatch between the source and the fold.
+    ///
+    /// Accounting is identical to the per-edge pass: one round plus the edges
+    /// actually visited, with the budget gated at the same batch boundaries,
+    /// so an interrupt produces the **same partial ledger** the per-edge path
+    /// would. A fold that processes its slice left to right produces
+    /// bit-identical accumulators to the equivalent per-edge fold, at any
+    /// worker count.
+    pub fn pass_batches<S, A, I, F>(
+        &mut self,
+        source: &S,
+        init: I,
+        fold: F,
+    ) -> Result<Vec<A>, PassError>
+    where
+        S: EdgeSource + ?Sized,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, EdgeBatch<'_>) + Sync,
+    {
+        self.tracker.charge_round();
+        let limit = self.budget.max_items_streamed;
+        let (accs, visited, exceeded) = self.run_batches(source, &init, &fold, limit);
+        self.tracker.charge_stream(visited);
+        if exceeded {
+            // limit is Some whenever the exceeded flag can be set.
+            let limit = limit.unwrap_or(usize::MAX);
+            return Err(PassError::BudgetExceeded {
+                resource: "streamed items",
+                used: self.tracker.items_streamed(),
+                limit,
+            });
+        }
+        Ok(accs)
+    }
+
     /// One charged **kernel** pass: like [`PassEngine::pass_shards`], but the
     /// fold is a named [`PassKernel`], which lets the pass leave the process.
     ///
@@ -749,6 +1148,62 @@ impl PassEngine {
         self.pass_shards(source, |shard| kernel.init(shard), |acc, id, e| kernel.fold(acc, id, e))
     }
 
+    /// The batch-kernel counterpart of [`PassEngine::pass_kernel`]: same
+    /// dispatch rules (external execution only for locator-addressable
+    /// sources whose full pass fits the remaining budget, optional in-process
+    /// fallback, charge only on success), with the in-process arm running
+    /// [`PassEngine::pass_batches`] over the kernel's slice fold.
+    pub fn pass_batch_kernel<S, K>(
+        &mut self,
+        source: &S,
+        kernel: &K,
+    ) -> Result<Vec<K::Acc>, PassError>
+    where
+        S: EdgeSource + ?Sized,
+        K: BatchKernel,
+    {
+        if let ExecutionMode::External { executor, fallback_in_process } = &self.mode {
+            let fits_budget = match self.budget.max_items_streamed {
+                Some(lim) => {
+                    self.tracker.items_streamed().saturating_add(source.num_edges()) <= lim
+                }
+                None => true,
+            };
+            if let (Some(locator), true) = (source.locator(), fits_budget) {
+                let executor = Arc::clone(executor);
+                let fallback = *fallback_in_process;
+                let dispatched = self
+                    .dispatch_external(
+                        source.num_shards(),
+                        locator,
+                        kernel.name(),
+                        &kernel.params(),
+                        &executor,
+                    )
+                    .and_then(|outcomes| {
+                        let mut accs = Vec::with_capacity(outcomes.len());
+                        let mut visited = 0usize;
+                        for outcome in &outcomes {
+                            accs.push(kernel.decode_acc(&outcome.acc)?);
+                            visited += outcome.visited;
+                        }
+                        Ok((accs, visited))
+                    });
+                match dispatched {
+                    Ok((accs, visited)) => {
+                        self.tracker.charge_round();
+                        self.tracker.charge_stream(visited);
+                        return Ok(accs);
+                    }
+                    Err(e @ PassError::BudgetExceeded { .. }) => return Err(e),
+                    Err(e) if !fallback => return Err(e),
+                    Err(_) => {} // fall through to the in-process fold
+                }
+            }
+        }
+        self.pass_batches(source, |shard| kernel.init(shard), |acc, b| kernel.fold_batch(acc, b))
+    }
+
     /// The external arm of [`PassEngine::pass_kernel`]: dispatch, validate
     /// shard coverage, decode in shard order, charge the ledger.
     fn run_external<S, K>(
@@ -763,17 +1218,8 @@ impl PassEngine {
         K: PassKernel,
     {
         let num_shards = source.num_shards();
-        let mut outcomes =
-            executor.run_pass(locator, kernel.name(), &kernel.params(), num_shards)?;
-        outcomes.sort_unstable_by_key(|o| o.shard);
-        let covered =
-            outcomes.len() == num_shards && outcomes.iter().enumerate().all(|(i, o)| o.shard == i);
-        if !covered {
-            let shards: Vec<usize> = outcomes.iter().map(|o| o.shard).collect();
-            return Err(PassError::Protocol {
-                reason: format!("executor covered shards {shards:?}, expected 0..{num_shards}"),
-            });
-        }
+        let outcomes =
+            self.dispatch_external(num_shards, locator, kernel.name(), &kernel.params(), executor)?;
         let mut accs = Vec::with_capacity(num_shards);
         let mut visited = 0usize;
         for outcome in &outcomes {
@@ -785,6 +1231,30 @@ impl PassEngine {
         self.tracker.charge_round();
         self.tracker.charge_stream(visited);
         Ok(accs)
+    }
+
+    /// Runs a named kernel on the executor and validates that the outcomes
+    /// cover exactly shards `0..num_shards`, returned in shard order. Shared
+    /// by the per-edge and batch kernel dispatch paths; charges nothing.
+    fn dispatch_external(
+        &self,
+        num_shards: usize,
+        locator: &Path,
+        name: &str,
+        params: &[u8],
+        executor: &Arc<dyn ShardExecutor>,
+    ) -> Result<Vec<ShardOutcome>, PassError> {
+        let mut outcomes = executor.run_pass(locator, name, params, num_shards)?;
+        outcomes.sort_unstable_by_key(|o| o.shard);
+        let covered =
+            outcomes.len() == num_shards && outcomes.iter().enumerate().all(|(i, o)| o.shard == i);
+        if !covered {
+            let shards: Vec<usize> = outcomes.iter().map(|o| o.shard).collect();
+            return Err(PassError::Protocol {
+                reason: format!("executor covered shards {shards:?}, expected 0..{num_shards}"),
+            });
+        }
+        Ok(outcomes)
     }
 
     /// An **uncharged** sharded fold over the source: same fan-out and
@@ -800,6 +1270,21 @@ impl PassEngine {
     {
         let (accs, _, _) =
             self.run_items(&EdgeItems(source), &init, &|acc, (id, e)| fold(acc, id, e), None);
+        accs
+    }
+
+    /// The batch counterpart of [`PassEngine::scan_shards`]: an **uncharged**
+    /// sharded fold over [`EdgeBatch`] slices, for refinement scans over
+    /// state already in central memory (the λ scans of the dual-primal
+    /// oracle).
+    pub fn scan_batches<S, A, I, F>(&self, source: &S, init: I, fold: F) -> Vec<A>
+    where
+        S: EdgeSource + ?Sized,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, EdgeBatch<'_>) + Sync,
+    {
+        let (accs, _, _) = self.run_batches(source, &init, &fold, None);
         accs
     }
 
@@ -944,6 +1429,86 @@ impl PassEngine {
             if since_flush > 0 {
                 streamed.fetch_add(since_flush, Ordering::Relaxed);
             }
+            results.lock().expect("pass worker panicked").push((shard, acc, visited));
+        };
+
+        if workers == 1 {
+            worker();
+        } else {
+            let worker_ref = &worker;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker_ref);
+                }
+            });
+        }
+
+        let mut results = results.into_inner().expect("pass worker panicked");
+        results.sort_unstable_by_key(|r| r.0);
+        let visited_total: usize = results.iter().map(|r| r.2).sum();
+        let tripped = exceeded.into_inner();
+        (results.into_iter().map(|(_, a, _)| a).collect(), visited_total, tripped)
+    }
+
+    /// The slice-consuming worker loop behind [`PassEngine::pass_batches`]
+    /// and [`PassEngine::scan_batches`]. Identical scheduling and accounting
+    /// to [`PassEngine::run_items`], with the budget gated at the **start of
+    /// each slice** — sources deliver slices of exactly
+    /// [`PassEngine::batch_size`] edges (short only at shard ends), so the
+    /// gates sit at the same in-shard offsets the per-edge loop checks at and
+    /// interrupts charge identical partial ledgers.
+    fn run_batches<S, A, I, F>(
+        &self,
+        source: &S,
+        init: &I,
+        fold: &F,
+        limit: Option<usize>,
+    ) -> (Vec<A>, usize, bool)
+    where
+        S: EdgeSource + ?Sized,
+        A: Send,
+        I: Fn(usize) -> A + Sync,
+        F: Fn(&mut A, EdgeBatch<'_>) + Sync,
+    {
+        let num_shards = source.num_shards();
+        let workers = if source.num_edges() < MIN_PARALLEL_ITEMS {
+            1
+        } else {
+            self.parallelism.min(num_shards).max(1)
+        };
+        let base = self.tracker.items_streamed();
+        let batch = self.batch;
+        let next = AtomicUsize::new(0);
+        let streamed = AtomicUsize::new(0);
+        let exceeded = AtomicBool::new(false);
+        let results: Mutex<Vec<(usize, A, usize)>> = Mutex::new(Vec::with_capacity(num_shards));
+
+        let worker = || loop {
+            let shard = next.fetch_add(1, Ordering::Relaxed);
+            if shard >= num_shards || exceeded.load(Ordering::Relaxed) {
+                break;
+            }
+            let mut acc = init(shard);
+            let mut visited = 0usize;
+            source.for_each_batch_in_shard(shard, batch, &mut |slice| {
+                // Gate at the START of each slice, exactly like the per-edge
+                // loop gates at the start of each batch: the budget trips
+                // only when the limit is already reached AND more edges are
+                // pending, so a pass landing exactly on the limit succeeds.
+                if exceeded.load(Ordering::Relaxed) {
+                    return false;
+                }
+                if let Some(lim) = limit {
+                    if base + streamed.load(Ordering::Relaxed) >= lim {
+                        exceeded.store(true, Ordering::Relaxed);
+                        return false;
+                    }
+                }
+                fold(&mut acc, slice);
+                visited += slice.len();
+                streamed.fetch_add(slice.len(), Ordering::Relaxed);
+                true
+            });
             results.lock().expect("pass worker panicked").push((shard, acc, visited));
         };
 
@@ -1403,5 +1968,280 @@ mod tests {
         assert!((total - g.total_weight()).abs() < 1e-9 * g.total_weight());
         assert_eq!(engine.tracker().rounds(), 0);
         assert_eq!(engine.tracker().items_streamed(), 0);
+    }
+
+    #[test]
+    fn soa_shards_match_their_source_exactly() {
+        let g = graph(700);
+        let src = GraphSource::new(&g, 6);
+        let soa = SoaShards::from_source(&src);
+        assert_eq!(soa.num_vertices(), src.num_vertices());
+        assert_eq!(soa.num_edges(), src.num_edges());
+        assert_eq!(soa.num_shards(), src.num_shards());
+        for shard in 0..src.num_shards() {
+            let mut expected: Vec<(EdgeId, u32, u32, u64)> = Vec::new();
+            src.for_each_in_shard(shard, &mut |id, e| {
+                expected.push((id, e.u, e.v, e.w.to_bits()));
+                true
+            });
+            let slice = soa.shard_slice(shard);
+            let got: Vec<(EdgeId, u32, u32, u64)> = (0..slice.len())
+                .map(|i| (slice.ids[i], slice.u[i], slice.v[i], slice.w[i]))
+                .collect();
+            assert_eq!(got, expected, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn batch_walk_concatenation_equals_per_edge_walk() {
+        // Every source's batch walk must deliver the per-edge stream exactly,
+        // in slices no longer than the requested cap, with no trailing slice
+        // after an early stop.
+        let g = graph(900);
+        let soa = SoaShards::from_source(&GraphSource::new(&g, 5));
+        let sources: [&dyn EdgeSource; 4] = [
+            &GraphSource::new(&g, 5),
+            &ShardedEdgeList::from_graph(&g, 5),
+            &SyntheticStream::with_shards(80, 900, 11, 5),
+            &soa,
+        ];
+        for (si, src) in sources.iter().enumerate() {
+            for shard in 0..src.num_shards() {
+                let mut per_edge: Vec<(EdgeId, u64)> = Vec::new();
+                src.for_each_in_shard(shard, &mut |id, e| {
+                    per_edge.push((id, e.w.to_bits()));
+                    true
+                });
+                let mut batched: Vec<(EdgeId, u64)> = Vec::new();
+                src.for_each_batch_in_shard(shard, 17, &mut |b| {
+                    assert!(b.len() <= 17 && !b.is_empty(), "source {si} shard {shard}");
+                    batched.extend(b.ids.iter().copied().zip(b.w.iter().copied()));
+                    true
+                });
+                assert_eq!(batched, per_edge, "source {si} shard {shard}");
+                let mut slices = 0usize;
+                src.for_each_batch_in_shard(shard, 17, &mut |_| {
+                    slices += 1;
+                    false
+                });
+                assert!(slices <= 1, "early stop must suppress further slices");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_pass_is_bit_identical_to_per_edge_pass() {
+        // An order-sensitive fold (the multiplier-update shape) must produce
+        // the same bits through the slice path as through the per-edge path,
+        // at every worker count.
+        let src = SyntheticStream::with_shards(500, 50_000, 21, 8);
+        let mut reference = PassEngine::new(1);
+        let expected = reference
+            .pass_shards(
+                &src,
+                |_| 0.0f64,
+                |acc, id, e| *acc = 0.5 * *acc + (e.w + (id % 13) as f64).sqrt(),
+            )
+            .unwrap();
+        let expected_bits: Vec<u64> = expected.iter().map(|s| s.to_bits()).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let mut engine = PassEngine::new(workers);
+            let accs = engine
+                .pass_batches(
+                    &src,
+                    |_| 0.0f64,
+                    |acc, b| {
+                        for i in 0..b.len() {
+                            *acc = 0.5 * *acc + (b.weight(i) + (b.ids[i] % 13) as f64).sqrt();
+                        }
+                    },
+                )
+                .unwrap();
+            let bits: Vec<u64> = accs.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(bits, expected_bits, "workers={workers}");
+            assert_eq!(engine.tracker().items_streamed(), src.num_edges());
+            assert_eq!(engine.passes(), 1);
+        }
+    }
+
+    #[test]
+    fn batch_budget_interrupt_charges_the_per_edge_ledger() {
+        // With one worker the slice gates sit at exactly the per-edge batch
+        // boundaries, so the interrupted ledgers must be *equal*, not merely
+        // both valid.
+        let src = SyntheticStream::with_shards(500, 50_000, 3, 4);
+        for limit in [0usize, 1, 9000, 9007] {
+            let budget = PassBudget { max_items_streamed: Some(limit) };
+            let mut per_edge = PassEngine::new(1).with_budget(budget).with_batch_size(16);
+            let e1 = per_edge.pass_shards(&src, |_| 0usize, |acc, _, _| *acc += 1).unwrap_err();
+            let mut batch = PassEngine::new(1).with_budget(budget).with_batch_size(16);
+            let e2 = batch.pass_batches(&src, |_| 0usize, |acc, b| *acc += b.len()).unwrap_err();
+            let used_of = |e: &PassError| match e {
+                PassError::BudgetExceeded { used, .. } => *used,
+                other => panic!("expected a budget interrupt, got {other:?}"),
+            };
+            assert_eq!(used_of(&e1), used_of(&e2), "limit={limit}");
+            assert_eq!(used_of(&e2), batch.tracker().items_streamed(), "limit={limit}");
+        }
+        // Multi-worker interrupts keep the per-edge invariants: ledger
+        // matches the error exactly, overshoot bounded by one slice/worker.
+        let limit = 9000;
+        let mut engine = PassEngine::new(2)
+            .with_budget(PassBudget { max_items_streamed: Some(limit) })
+            .with_batch_size(16);
+        let err = engine.pass_batches(&src, |_| 0usize, |acc, b| *acc += b.len()).unwrap_err();
+        match err {
+            PassError::BudgetExceeded { used, limit: l, .. } => {
+                assert_eq!(l, limit);
+                assert_eq!(used, engine.tracker().items_streamed());
+                assert!(used >= limit);
+                assert!(used <= limit + 2 * 16 + 2, "used {used} overshoots too far");
+            }
+            other => panic!("expected a budget interrupt, got {other:?}"),
+        }
+        assert_eq!(engine.passes(), 1);
+    }
+
+    #[test]
+    fn batch_consumption_exactly_at_the_limit_succeeds() {
+        let m = 2048;
+        let src = SyntheticStream::with_shards(100, m, 5, 2);
+        for workers in [1usize, 4] {
+            let mut engine =
+                PassEngine::new(workers).with_budget(PassBudget { max_items_streamed: Some(m) });
+            let counts = engine
+                .pass_batches(&src, |_| 0usize, |acc, b| *acc += b.len())
+                .unwrap_or_else(|e| panic!("workers={workers}: {e}"));
+            assert_eq!(counts.iter().sum::<usize>(), m);
+        }
+    }
+
+    #[test]
+    fn scan_batches_is_uncharged() {
+        let g = graph(300);
+        let src = GraphSource::auto(&g);
+        let engine = PassEngine::new(2);
+        let sums = engine.scan_batches(
+            &src,
+            |_| 0.0f64,
+            |acc, b| {
+                for i in 0..b.len() {
+                    *acc += b.weight(i);
+                }
+            },
+        );
+        let total: f64 = sums.iter().sum();
+        assert!((total - g.total_weight()).abs() < 1e-9 * g.total_weight());
+        assert_eq!(engine.tracker().rounds(), 0);
+        assert_eq!(engine.tracker().items_streamed(), 0);
+    }
+
+    /// The slice-consuming twin of [`SumKernel`], registered under the same
+    /// name so the mock executor (which sums per edge) stands in for it: a
+    /// left-to-right slice sum performs the same f64 additions in the same
+    /// order, so the accumulators are bit-identical.
+    struct BatchSumKernel;
+
+    impl BatchKernel for BatchSumKernel {
+        type Acc = f64;
+        fn name(&self) -> &'static str {
+            "test-sum"
+        }
+        fn params(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn init(&self, _shard: usize) -> f64 {
+            0.0
+        }
+        fn fold_batch(&self, acc: &mut f64, b: EdgeBatch<'_>) {
+            for i in 0..b.len() {
+                *acc += b.weight(i);
+            }
+        }
+        fn encode_acc(&self, acc: &f64) -> Vec<u8> {
+            acc.to_bits().to_le_bytes().to_vec()
+        }
+        fn decode_acc(&self, bytes: &[u8]) -> Result<f64, PassError> {
+            let arr: [u8; 8] = bytes
+                .try_into()
+                .map_err(|_| PassError::Protocol { reason: "bad acc length".to_string() })?;
+            Ok(f64::from_bits(u64::from_le_bytes(arr)))
+        }
+    }
+
+    #[test]
+    fn batch_kernel_in_process_matches_per_edge_kernel() {
+        let src = SyntheticStream::new(100, 20_000, 77);
+        let mut a = PassEngine::new(2);
+        let by_batch = a.pass_batch_kernel(&src, &BatchSumKernel).unwrap();
+        let mut b = PassEngine::new(2);
+        let by_edge = b.pass_kernel(&src, &SumKernel).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&by_batch), bits(&by_edge));
+        assert_eq!(a.tracker().items_streamed(), b.tracker().items_streamed());
+        assert_eq!(a.passes(), 1);
+    }
+
+    #[test]
+    fn external_batch_kernel_dispatches_falls_back_and_respects_budget() {
+        // Successful dispatch: bit-identical to in-process, charged once.
+        let src = Located(SyntheticStream::new(100, 20_000, 78));
+        let executor = Arc::new(MockExecutor {
+            stream: SyntheticStream::new(100, 20_000, 78),
+            fail_with: None,
+        });
+        let mut ext = PassEngine::new(1)
+            .with_execution_mode(ExecutionMode::External { executor, fallback_in_process: false });
+        let external = ext.pass_batch_kernel(&src, &BatchSumKernel).unwrap();
+        let mut inp = PassEngine::new(4);
+        let in_process = inp.pass_batch_kernel(&src, &BatchSumKernel).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&external), bits(&in_process));
+        assert_eq!(ext.passes(), 1);
+        assert_eq!(ext.tracker().items_streamed(), src.num_edges());
+
+        // Worker death: typed error without the fallback, clean in-process
+        // rerun (charged exactly once) with it.
+        let failing = |fallback| {
+            PassEngine::new(1).with_execution_mode(ExecutionMode::External {
+                executor: Arc::new(MockExecutor {
+                    stream: SyntheticStream::new(2, 1, 0),
+                    fail_with: Some(PassError::WorkerFailed {
+                        worker: 0,
+                        reason: "killed for the test".to_string(),
+                    }),
+                }),
+                fallback_in_process: fallback,
+            })
+        };
+        let mut strict = failing(false);
+        match strict.pass_batch_kernel(&src, &BatchSumKernel) {
+            Err(PassError::WorkerFailed { worker: 0, .. }) => {}
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+        assert_eq!(strict.passes(), 0, "a failed dispatch must not charge a round");
+        let mut lenient = failing(true);
+        let accs = lenient.pass_batch_kernel(&src, &BatchSumKernel).unwrap();
+        assert_eq!(bits(&accs), bits(&in_process));
+        assert_eq!(lenient.passes(), 1);
+
+        // A pass that could trip the stream budget stays in-process and
+        // enforces the budget exactly.
+        let mut gated = PassEngine::new(1)
+            .with_execution_mode(ExecutionMode::External {
+                executor: Arc::new(MockExecutor {
+                    stream: SyntheticStream::new(2, 1, 0),
+                    fail_with: Some(PassError::Protocol { reason: "must not be called".into() }),
+                }),
+                fallback_in_process: false,
+            })
+            .with_budget(PassBudget { max_items_streamed: Some(1000) })
+            .with_batch_size(64);
+        match gated.pass_batch_kernel(&src, &BatchSumKernel) {
+            Err(PassError::BudgetExceeded { used, limit: 1000, .. }) => {
+                assert_eq!(used, gated.tracker().items_streamed());
+            }
+            other => panic!("expected an exact in-process budget stop, got {other:?}"),
+        }
     }
 }

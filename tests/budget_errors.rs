@@ -42,6 +42,64 @@ fn engine_interrupt_leaves_an_accurate_partial_ledger() {
 }
 
 #[test]
+fn batch_passes_interrupt_with_the_per_edge_ledger_at_mid_slice_limits() {
+    // The batch path gates the budget once per slice, at the same in-shard
+    // offsets (multiples of the engine batch) where the per-edge path checks.
+    // A limit landing mid-slice must therefore interrupt both paths with the
+    // SAME charged ledger at workers=1 — the slice in flight completes, then
+    // the gate trips.
+    let g = big_graph(6);
+    let src = GraphSource::auto(&g);
+    let batch = 64usize;
+    // Limits straddling slice boundaries: mid-slice, one short of a boundary,
+    // exactly on a boundary, one past it.
+    for limit in [1usize, 37, batch - 1, batch, batch + 1, 10 * batch + 13, 2000] {
+        let run_per_edge = |workers: usize| {
+            let mut engine = PassEngine::new(workers)
+                .with_batch_size(batch)
+                .with_budget(PassBudget { max_items_streamed: Some(limit) });
+            let err = engine.pass_shards(&src, |_| 0usize, |acc, _, _| *acc += 1).unwrap_err();
+            match err {
+                PassError::BudgetExceeded { used, .. } => used,
+                other => panic!("limit {limit}: expected BudgetExceeded, got {other:?}"),
+            }
+        };
+        let run_batch = |workers: usize| {
+            let mut engine = PassEngine::new(workers)
+                .with_batch_size(batch)
+                .with_budget(PassBudget { max_items_streamed: Some(limit) });
+            let err = engine.pass_batches(&src, |_| 0usize, |acc, b| *acc += b.len()).unwrap_err();
+            match err {
+                PassError::BudgetExceeded { used, limit: reported, .. } => {
+                    assert_eq!(reported, limit);
+                    assert_eq!(
+                        used,
+                        engine.tracker().items_streamed(),
+                        "limit {limit}: error and ledger must agree exactly"
+                    );
+                    used
+                }
+                other => panic!("limit {limit}: expected BudgetExceeded, got {other:?}"),
+            }
+        };
+        assert_eq!(
+            run_per_edge(1),
+            run_batch(1),
+            "limit {limit}: per-edge and batch ledgers diverge at workers=1"
+        );
+        for workers in [2usize, 8] {
+            let used = run_batch(workers);
+            assert!(used >= limit, "workers={workers} limit {limit}: stopped early");
+            assert!(
+                used <= limit + workers * batch + workers,
+                "workers={workers} limit {limit}: used {used} overshoots more than one \
+                 slice per worker"
+            );
+        }
+    }
+}
+
+#[test]
 fn every_streaming_solver_returns_a_typed_error_not_a_panic() {
     let g = big_graph(2);
     let registry = SolverRegistry::default();

@@ -4,9 +4,12 @@
 //! across repeated runs at the same parallelism.
 
 use dual_primal_matching::engine::{ResourceBudget, SolverRegistry};
+use dual_primal_matching::external::SpillWriter;
 use dual_primal_matching::graph::generators::{self, WeightModel};
-use dual_primal_matching::graph::Graph;
+use dual_primal_matching::graph::{Edge, EdgeId, Graph};
+use dual_primal_matching::mapreduce::{EdgeBatch, GraphSource, PassEngine, SoaShards};
 use dual_primal_matching::solver::SolveReport;
+use proptest::prelude::*;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -100,6 +103,52 @@ fn pass_counts_are_independent_of_parallelism() {
                 "{name}: stream accounting changed"
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The batch (SoA slice) walk folds to exactly the bits of the per-edge
+    /// walk — over the original source, over the CSR/SoA copy, and over the
+    /// spilled on-disk form — at parallelism 1 and 4, with slice and I/O
+    /// sizes chosen to be mutually misaligned.
+    #[test]
+    fn batch_walks_are_bit_identical_to_per_edge_walks(
+        seed in 0u64..10_000,
+        n in 8usize..80,
+        deg in 2usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnm(n, n * deg, WeightModel::Uniform(0.5, 50.0), &mut rng);
+        let src = GraphSource::auto(&g);
+        let soa = SoaShards::from_source(&src);
+        let dir = std::env::temp_dir()
+            .join(format!("mwm-det-soa-{}-{seed}-{n}-{deg}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilled = SpillWriter::spill_edge_source(&dir, &src).unwrap().with_io_batch(97);
+        // Order-sensitive fold: any reordering or duplicated edge changes the bits.
+        let per_edge = |acc: &mut f64, id: EdgeId, e: Edge| {
+            *acc = 0.5 * *acc + (e.w + (id % 13) as f64).sqrt();
+        };
+        let per_batch = |acc: &mut f64, b: EdgeBatch<'_>| {
+            for i in 0..b.len() {
+                *acc = 0.5 * *acc + (b.weight(i) + (b.ids[i] % 13) as f64).sqrt();
+            }
+        };
+        let bits = |accs: Vec<f64>| accs.iter().map(|a| a.to_bits()).collect::<Vec<u64>>();
+        for workers in [1usize, 4] {
+            let engine = PassEngine::new(workers).with_batch_size(57);
+            let reference = bits(engine.scan_shards(&src, |_| 0.0f64, per_edge));
+            let from_src = bits(engine.scan_batches(&src, |_| 0.0f64, per_batch));
+            let from_soa = bits(engine.scan_batches(&soa, |_| 0.0f64, per_batch));
+            let from_disk = bits(engine.scan_batches(&spilled, |_| 0.0f64, per_batch));
+            prop_assert_eq!(&reference, &from_src, "batched source walk diverged (workers {})", workers);
+            prop_assert_eq!(&reference, &from_soa, "CSR/SoA walk diverged (workers {})", workers);
+            prop_assert_eq!(&reference, &from_disk, "spilled walk diverged (workers {})", workers);
+        }
+        spilled.check().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
