@@ -30,6 +30,19 @@
 //!    (when auditing is on) the weight drift against a certified from-scratch
 //!    recompute.
 //!
+//! **Turnstile mode** ([`IngestMode`]): deletion-heavy streams additionally
+//! maintain an [`mwm_turnstile::SketchBank`] — per-weight-class linear
+//! sketches absorbing inserts/deletes/reweights in `O(polylog)` cells per
+//! edge. Bank deltas are ingested through the same charged pass engine
+//! (sharded, merged in shard order; linearity makes the merged bank
+//! bit-identical at every worker count), the journal's dead prefix is pruned
+//! each sketch epoch so resident bytes track the *live* window instead of
+//! total stream length, and repair epochs shrink their region to the sketch
+//! recovery (spanning forest + per-class boundary samples), optionally
+//! squeezed further through `mwm-sparsify`'s deferred Benczúr–Karger pass.
+//! [`IngestMode::Auto`] switches between journal and sketch ingestion with a
+//! hysteresis on the observed delete fraction.
+//!
 //! Determinism contract: like every pass in the workspace, epochs are
 //! **bit-identical across parallelism levels** — update ingestion and repair
 //! scans merge in shard order, the warm solver inherits the pass engine's
@@ -43,10 +56,38 @@ use mwm_graph::{
     BMatching, Edge, EdgeId, Graph, GraphOverlay, GraphUpdate, Matching, OverlayState, VertexId,
 };
 use mwm_lp::DualSnapshot;
-use mwm_mapreduce::{GraphSource, PassEngine, ResourceTracker, TrackerCounters, UpdateSource};
+use mwm_mapreduce::{
+    auto_shard_count, GraphSource, ItemSource, PassEngine, ResourceTracker, TrackerCounters,
+    UpdateSource,
+};
 use mwm_matching::{greedy_b_matching, improve_matching};
+use mwm_sparsify::DeferredSparsifier;
+use mwm_turnstile::{EdgeDelta, SketchBank, SketchBankState, TurnstileConfig};
 use std::fmt;
 use std::sync::{Arc, RwLock};
+
+/// How a session journals its update stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Journal replay only — the historical behavior and the default.
+    Journal,
+    /// Maintain the turnstile sketch bank every epoch.
+    Turnstile,
+    /// Switch between the two on the observed per-epoch delete fraction,
+    /// with hysteresis: enter sketch mode at `turnstile_enter`, leave it
+    /// below `turnstile_exit`.
+    Auto,
+}
+
+impl fmt::Display for IngestMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IngestMode::Journal => "journal",
+            IngestMode::Turnstile => "turnstile",
+            IngestMode::Auto => "auto",
+        })
+    }
+}
 
 /// Configuration of a [`DynamicMatcher`] session.
 #[derive(Clone, Copy, Debug)]
@@ -73,6 +114,21 @@ pub struct DynamicConfig {
     /// certified recompute and records the weight drift in the ledger.
     /// `0` disables auditing (the default; audits are expensive by design).
     pub audit_every: usize,
+    /// Update-ingestion mode (see [`IngestMode`]; `Journal` preserves the
+    /// pre-turnstile behavior exactly).
+    pub ingest: IngestMode,
+    /// [`IngestMode::Auto`]: delete fraction at or above which an epoch
+    /// enters sketch mode.
+    pub turnstile_enter: f64,
+    /// [`IngestMode::Auto`]: delete fraction below which an active sketch
+    /// session falls back to journal mode (hysteresis: must be ≤ enter).
+    pub turnstile_exit: f64,
+    /// Weight ceiling of the turnstile lattice: the per-class samplers cover
+    /// `(1+eps)^k` classes up to this weight; heavier edges share the top
+    /// class. Raw-weight classification (`scale = 1.0`).
+    pub turnstile_max_weight: f64,
+    /// ℓ0-sampler repetitions per sketch in the bank (space dial).
+    pub turnstile_reps: usize,
 }
 
 impl Default for DynamicConfig {
@@ -86,6 +142,11 @@ impl Default for DynamicConfig {
             rebuild_threshold: 0.5,
             dual_decay: 1.0,
             audit_every: 0,
+            ingest: IngestMode::Journal,
+            turnstile_enter: 0.35,
+            turnstile_exit: 0.15,
+            turnstile_max_weight: 1e6,
+            turnstile_reps: 1,
         }
     }
 }
@@ -111,6 +172,32 @@ impl DynamicConfig {
                 param: "rebuild_threshold",
                 value: format!("{}", self.rebuild_threshold),
                 requirement: "must lie in [repair_threshold, 1]",
+            });
+        }
+        if !(self.turnstile_enter.is_finite()
+            && self.turnstile_exit.is_finite()
+            && (0.0..=1.0).contains(&self.turnstile_enter)
+            && (0.0..=1.0).contains(&self.turnstile_exit)
+            && self.turnstile_exit <= self.turnstile_enter)
+        {
+            return Err(MwmError::InvalidConfig {
+                param: "turnstile_exit",
+                value: format!("{} / {}", self.turnstile_enter, self.turnstile_exit),
+                requirement: "enter/exit fractions must lie in [0,1] with exit <= enter",
+            });
+        }
+        if !self.turnstile_max_weight.is_finite() || self.turnstile_max_weight < 1.0 {
+            return Err(MwmError::InvalidConfig {
+                param: "turnstile_max_weight",
+                value: format!("{}", self.turnstile_max_weight),
+                requirement: "must be finite and at least 1",
+            });
+        }
+        if self.turnstile_reps == 0 {
+            return Err(MwmError::InvalidConfig {
+                param: "turnstile_reps",
+                value: "0".to_string(),
+                requirement: "must be at least 1",
             });
         }
         Ok(())
@@ -189,6 +276,19 @@ pub struct EpochStats {
     pub weight: f64,
     /// Distinct edges in the maintained matching.
     pub matching_edges: usize,
+    /// Whether this epoch ingested through the turnstile sketch bank.
+    pub sketch_mode: bool,
+    /// Candidate edges recovered from the sketch bank (0 when the epoch did
+    /// not recover — journal mode, or a warm/rebuild decision).
+    pub candidate_edges: usize,
+    /// Repair-region edges actually fed to the repair pass after the
+    /// sparsifier shrink (0 outside sketch-mode repair epochs).
+    pub region_edges: usize,
+    /// Resident bytes of the journaled overlay after the epoch (post-prune in
+    /// sketch mode) — the journal side of the memory-per-session comparison.
+    pub journal_bytes: usize,
+    /// Resident bytes of the sketch bank (0 when no bank is active).
+    pub sketch_bytes: usize,
     /// When this epoch was audited: relative weight gap versus a certified
     /// cold recompute, `(oracle - weight) / oracle` (negative = we beat it),
     /// plus the recompute's feasibility verdict on our matching.
@@ -279,6 +379,12 @@ impl DamageSummary {
                 self.vertex_ops += 1
             }
             GraphUpdate::SetCapacity { .. } => self.capacity_ops += 1,
+            GraphUpdate::ExpireWindow { lo, hi } => {
+                // Counts as one delete per live edge it will tombstone, so the
+                // delete-fraction policy sees mass expiry for what it is.
+                self.deletes +=
+                    overlay.live_edge_iter().filter(|&(id, _)| id >= *lo && id < *hi).count();
+            }
         }
     }
 
@@ -289,6 +395,51 @@ impl DamageSummary {
         self.reweights += other.reweights;
         self.vertex_ops += other.vertex_ops;
         self.capacity_ops += other.capacity_ops;
+    }
+}
+
+/// [`ItemSource`] over a batch of turnstile deltas: sharded by batch length
+/// only (never by worker count), like [`UpdateSource`], so the per-shard bank
+/// partials merge in a stable order at every parallelism level.
+struct DeltaSource<'a> {
+    deltas: &'a [EdgeDelta],
+    num_shards: usize,
+}
+
+impl<'a> DeltaSource<'a> {
+    fn auto(deltas: &'a [EdgeDelta]) -> Self {
+        DeltaSource { deltas, num_shards: auto_shard_count(deltas.len()) }
+    }
+
+    fn bounds(&self, shard: usize) -> (usize, usize) {
+        let m = self.deltas.len();
+        (shard * m / self.num_shards, (shard + 1) * m / self.num_shards)
+    }
+}
+
+impl ItemSource for DeltaSource<'_> {
+    type Item = EdgeDelta;
+
+    fn num_items(&self) -> usize {
+        self.deltas.len()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    fn shard_len(&self, shard: usize) -> usize {
+        let (lo, hi) = self.bounds(shard);
+        hi - lo
+    }
+
+    fn visit_shard(&self, shard: usize, visit: &mut dyn FnMut(EdgeDelta) -> bool) {
+        let (lo, hi) = self.bounds(shard);
+        for &d in &self.deltas[lo..hi] {
+            if !visit(d) {
+                break;
+            }
+        }
     }
 }
 
@@ -320,6 +471,10 @@ pub struct SessionState {
     pub ledger: Vec<EpochStats>,
     /// The cumulative resource ledger.
     pub tracker: TrackerCounters,
+    /// The turnstile sketch bank, when the session hibernated in sketch mode.
+    /// Revives bit-identically (and carries the Auto-mode hysteresis state:
+    /// a present bank means sketch mode was active).
+    pub bank: Option<SketchBankState>,
 }
 
 /// An epoch-based incremental matching session over an evolving graph.
@@ -337,6 +492,9 @@ pub struct DynamicMatcher {
     stats: Vec<EpochStats>,
     tracker: ResourceTracker,
     bootstrapped: bool,
+    /// The turnstile sketch bank; `Some` exactly while sketch ingestion is
+    /// active (this presence is also the Auto-mode hysteresis state).
+    bank: Option<SketchBank>,
     /// The published committed-state slot behind every [`CommittedView`].
     committed: Arc<RwLock<Arc<CommittedSnapshot>>>,
 }
@@ -365,6 +523,7 @@ impl DynamicMatcher {
             stats: Vec::new(),
             tracker: ResourceTracker::new(),
             bootstrapped: false,
+            bank: None,
             committed: Arc::new(RwLock::new(initial)),
         })
     }
@@ -425,6 +584,11 @@ impl DynamicMatcher {
         self.duals.as_ref()
     }
 
+    /// The turnstile sketch bank, while sketch ingestion is active.
+    pub fn sketch_bank(&self) -> Option<&SketchBank> {
+        self.bank.as_ref()
+    }
+
     /// Exports the complete session state for persistence (`O(journal +
     /// matching + ledger)` copy). [`DynamicMatcher::import_state`] restores a
     /// session that behaves bit-identically from this point on.
@@ -438,6 +602,7 @@ impl DynamicMatcher {
             bootstrapped: self.bootstrapped,
             ledger: self.stats.clone(),
             tracker: self.tracker.counters(),
+            bank: self.bank.as_ref().map(SketchBank::to_state),
         }
     }
 
@@ -474,6 +639,12 @@ impl DynamicMatcher {
             }
             matching.add(id, e, mult);
         }
+        let bank = state
+            .bank
+            .as_ref()
+            .map(SketchBank::from_state)
+            .transpose()
+            .map_err(|e| invalid(format!("session sketch bank: {e}")))?;
         let committed = Arc::new(CommittedSnapshot {
             epoch: state.epoch as usize,
             version: overlay.version(),
@@ -491,6 +662,7 @@ impl DynamicMatcher {
             stats: state.ledger,
             tracker: ResourceTracker::from_counters(state.tracker),
             bootstrapped: state.bootstrapped,
+            bank,
             committed: Arc::new(RwLock::new(committed)),
         })
     }
@@ -588,20 +760,50 @@ impl DynamicMatcher {
         damage.touched.sort_unstable();
         damage.touched.dedup();
 
+        // ---- 1b. Ingest-mode switch on the observed delete fraction ----
+        let edge_ops = damage.inserts + damage.deletes + damage.reweights;
+        let delete_fraction =
+            if edge_ops == 0 { 0.0 } else { damage.deletes as f64 / edge_ops as f64 };
+        let sketch_mode = match self.config.ingest {
+            IngestMode::Journal => false,
+            IngestMode::Turnstile => true,
+            // Hysteresis: an active bank stays until the stream turns clearly
+            // insert-dominated; an inactive session waits for clearly
+            // delete-dominated batches. Bank presence *is* the state.
+            IngestMode::Auto => {
+                if self.bank.is_some() {
+                    delete_fraction >= self.config.turnstile_exit
+                } else {
+                    delete_fraction >= self.config.turnstile_enter
+                }
+            }
+        };
+
         // Everything past this point mutates the session and can still fail
-        // on a budget interrupt; snapshot the overlay so a failed epoch rolls
-        // back whole instead of leaving the batch half-adopted. The O(journal)
-        // clone is only paid when a limit is actually set.
-        let rollback = if budget.is_unlimited() { None } else { Some(self.overlay.clone()) };
+        // on a budget interrupt; snapshot the overlay (and sketch bank) so a
+        // failed epoch rolls back whole instead of leaving the batch
+        // half-adopted. The O(journal) clone is only paid when a limit is
+        // actually set.
+        let rollback = if budget.is_unlimited() {
+            None
+        } else {
+            Some((self.overlay.clone(), self.bank.clone()))
+        };
 
         // ---- 2. Sequential journal replay (updates take effect in order) ----
         let mut applied = 0usize;
         let mut rejected = 0usize;
         let mut removal_scans = 0usize;
+        let mut deltas: Vec<EdgeDelta> = Vec::new();
         for update in updates {
+            // Turnstile deltas need the pre-application journal (a delete's
+            // endpoints/weight), so derive them before applying — and keep
+            // them only if the update is accepted.
+            let pending = if sketch_mode { self.turnstile_deltas(update) } else { Vec::new() };
             match self.overlay.apply(update) {
                 Ok(_) => {
                     applied += 1;
+                    deltas.extend(pending);
                     if matches!(update, GraphUpdate::RemoveVertex { .. }) {
                         removal_scans += 1;
                     }
@@ -614,6 +816,15 @@ impl DynamicMatcher {
         // one-item-per-update ingestion charge.
         if removal_scans > 0 {
             engine.tracker_mut().charge_stream(removal_scans * self.overlay.next_edge_id());
+        }
+
+        // ---- 2b. Turnstile bank maintenance ----
+        if let Err(err) = self.maintain_bank(sketch_mode, &deltas, &mut engine) {
+            if let Some((overlay, bank)) = rollback {
+                self.overlay = overlay;
+                self.bank = bank;
+            }
+            return Err(err);
         }
 
         // ---- 3. Survivors: previous matching minus dead/overloaded edges ----
@@ -634,6 +845,23 @@ impl DynamicMatcher {
 
         // ---- 5. Execute the decision on the materialized live graph ----
         let (graph, back) = self.overlay.materialize();
+        // Sketch-mode repair epochs restrict their region to the bank's
+        // recovery (forest + per-class boundary samples), shrunk through the
+        // deferred sparsifier when it is large. Deterministic: recovery reads
+        // only bank state, which is worker-count invariant by linearity.
+        let mut candidate_edges = 0usize;
+        let region: Option<Vec<EdgeId>> = if sketch_mode && decision == EpochDecision::Repair {
+            let bank = self.bank.as_ref().expect("sketch mode maintains a bank");
+            let pairs = bank.recover_candidates();
+            engine.tracker_mut().charge_round();
+            engine.tracker_mut().charge_stream(graph.num_edges() + pairs.len());
+            let resolved = resolve_candidates(&graph, &pairs);
+            candidate_edges = resolved.len();
+            Some(self.shrink_region(&graph, resolved))
+        } else {
+            None
+        };
+        let region_edges = region.as_ref().map_or(0, |r| r.len());
         // The solver enforces its streamed-items limit against a fresh
         // tracker, so hand it only the session's *remaining* allowance —
         // one cumulative limit, not a fresh one per solve.
@@ -649,19 +877,29 @@ impl DynamicMatcher {
             &back,
             &damage.touched,
             &survivors,
+            region.as_deref(),
             &solver_budget,
             workers,
         );
         let (solve, solver_rounds) = match executed {
             Ok(outcome) => outcome,
             Err(err) => {
-                if let Some(previous) = rollback {
-                    self.overlay = previous;
+                if let Some((overlay, bank)) = rollback {
+                    self.overlay = overlay;
+                    self.bank = bank;
                 }
                 return Err(err);
             }
         };
         self.bootstrapped = true;
+
+        // Sketch mode keeps the journal lean: the bank already holds the
+        // cancelled history, so the dead prefix can be reclaimed every epoch
+        // (observationally invisible — ids stay stable, pruned ids answer
+        // like dead ids).
+        if sketch_mode {
+            self.overlay.prune_dead_prefix();
+        }
 
         // ---- 6. Optional audit: certified cold recompute + drift ----
         let audit = if self.config.audit_every > 0
@@ -709,6 +947,11 @@ impl DynamicMatcher {
             streamed_items: streamed,
             weight: self.matching.weight(),
             matching_edges: self.matching.num_edges(),
+            sketch_mode,
+            candidate_edges,
+            region_edges,
+            journal_bytes: self.overlay.resident_bytes(),
+            sketch_bytes: self.bank.as_ref().map_or(0, |b| b.resident_bytes()),
             audit,
         };
         self.stats.push(stats.clone());
@@ -730,12 +973,13 @@ impl DynamicMatcher {
         back: &[EdgeId],
         touched: &[VertexId],
         survivors: &BMatching,
+        region: Option<&[EdgeId]>,
         budget: &ResourceBudget,
         workers: usize,
     ) -> Result<(Option<SolveReport>, usize), MwmError> {
         match decision {
             EpochDecision::Repair => {
-                self.matching = self.repair(engine, graph, back, touched, survivors)?;
+                self.matching = self.repair(engine, graph, back, touched, survivors, region)?;
                 Ok((None, 0))
             }
             EpochDecision::WarmResolve => {
@@ -818,6 +1062,11 @@ impl DynamicMatcher {
     /// of the surviving matching. A global greedy pass provides the ½-floor
     /// safety net; the heavier candidate wins (repair on ties). Returns the
     /// repaired matching in overlay ids.
+    ///
+    /// With `region` (sketch mode) the candidate edges come from the bank's
+    /// recovery instead of a full graph scan — the region is pre-shrunk, so
+    /// the repair cost tracks the recovered set, not the live edge count.
+    #[allow(clippy::too_many_arguments)]
     fn repair(
         &self,
         engine: &mut PassEngine,
@@ -825,6 +1074,7 @@ impl DynamicMatcher {
         back: &[EdgeId],
         touched: &[VertexId],
         survivors: &BMatching,
+        region: Option<&[EdgeId]>,
     ) -> Result<BMatching, MwmError> {
         let n = graph.num_vertices();
         if graph.num_edges() == 0 {
@@ -838,19 +1088,33 @@ impl DynamicMatcher {
         }
         let is_touched = active.clone();
 
-        // Charged pass: candidate repair edges = edges incident to touched
-        // vertices (per-shard lists merged in shard order → ascending ids).
-        let source = GraphSource::auto(graph);
-        let shards = engine.pass_shards(
-            &source,
-            |_| Vec::new(),
-            |acc: &mut Vec<EdgeId>, id, e| {
-                if is_touched[e.u as usize] || is_touched[e.v as usize] {
-                    acc.push(id);
-                }
-            },
-        )?;
-        let eligible: Vec<EdgeId> = shards.into_iter().flatten().collect();
+        // Candidate repair edges incident to touched vertices: either the
+        // pre-recovered sketch region (already charged by the caller), or a
+        // charged full-graph pass (per-shard lists merged in shard order →
+        // ascending ids).
+        let eligible: Vec<EdgeId> = match region {
+            Some(mids) => mids
+                .iter()
+                .copied()
+                .filter(|&mid| {
+                    let e = graph.edge(mid);
+                    is_touched[e.u as usize] || is_touched[e.v as usize]
+                })
+                .collect(),
+            None => {
+                let source = GraphSource::auto(graph);
+                let shards = engine.pass_shards(
+                    &source,
+                    |_| Vec::new(),
+                    |acc: &mut Vec<EdgeId>, id, e| {
+                        if is_touched[e.u as usize] || is_touched[e.v as usize] {
+                            acc.push(id);
+                        }
+                    },
+                )?;
+                shards.into_iter().flatten().collect()
+            }
+        };
         for &id in &eligible {
             let e = graph.edge(id);
             active[e.u as usize] = true;
@@ -947,6 +1211,148 @@ impl DynamicMatcher {
         }
         Ok(candidate)
     }
+
+    /// The bank shape for the session's current vertex domain: solver `eps`
+    /// (class boundaries bit-identical to the batch lattice at `scale = 1`),
+    /// the configured weight ceiling and repetitions, seeded by the session
+    /// seed — a pure function of `(config, vertex slots)`, so every worker
+    /// count and every revived session builds the very same bank.
+    fn bank_config(&self) -> TurnstileConfig {
+        let mut cfg = TurnstileConfig::for_stream(
+            self.overlay.num_vertex_slots().max(2),
+            self.config.eps,
+            self.config.turnstile_max_weight,
+            self.config.seed,
+        );
+        cfg.reps = self.config.turnstile_reps;
+        cfg
+    }
+
+    /// The turnstile deltas of one update against the **pre-application**
+    /// journal (deletes need the endpoints/weight the id still resolves to).
+    /// Rejected updates must contribute nothing — the caller discards the
+    /// deltas unless the overlay accepts the update.
+    fn turnstile_deltas(&self, update: &GraphUpdate) -> Vec<EdgeDelta> {
+        match update {
+            GraphUpdate::InsertEdge { u, v, w } => vec![EdgeDelta::insert(*u, *v, *w)],
+            GraphUpdate::DeleteEdge { id } => self
+                .overlay
+                .live_edge(*id)
+                .map(|e| vec![EdgeDelta::delete(e.u, e.v, e.w)])
+                .unwrap_or_default(),
+            GraphUpdate::ReweightEdge { id, w } => self
+                .overlay
+                .live_edge(*id)
+                .map(|e| vec![EdgeDelta::delete(e.u, e.v, e.w), EdgeDelta::insert(e.u, e.v, *w)])
+                .unwrap_or_default(),
+            GraphUpdate::RemoveVertex { v } => self
+                .overlay
+                .live_edge_iter()
+                .filter(|(_, e)| e.u == *v || e.v == *v)
+                .map(|(_, e)| EdgeDelta::delete(e.u, e.v, e.w))
+                .collect(),
+            GraphUpdate::ExpireWindow { lo, hi } => self
+                .overlay
+                .live_edge_iter()
+                .filter(|&(id, _)| id >= *lo && id < *hi)
+                .map(|(_, e)| EdgeDelta::delete(e.u, e.v, e.w))
+                .collect(),
+            GraphUpdate::AddVertex { .. } | GraphUpdate::SetCapacity { .. } => Vec::new(),
+        }
+    }
+
+    /// Brings the sketch bank in line with this epoch's mode and batch:
+    /// leaving sketch mode drops the bank; entering it (or growing the vertex
+    /// domain) rebuilds it from the live edge multiset; staying in it ingests
+    /// the batch deltas through a charged sharded pass whose per-shard bank
+    /// partials merge in shard order (bit-identical at every worker count, by
+    /// linearity).
+    fn maintain_bank(
+        &mut self,
+        sketch_mode: bool,
+        deltas: &[EdgeDelta],
+        engine: &mut PassEngine,
+    ) -> Result<(), MwmError> {
+        if !sketch_mode {
+            self.bank = None;
+            return Ok(());
+        }
+        let wanted = self.bank_config();
+        let incremental = self.bank.as_ref().is_some_and(|b| *b.config() == wanted);
+        if incremental {
+            if !deltas.is_empty() {
+                let source = DeltaSource::auto(deltas);
+                let shards = engine.pass_items(
+                    &source,
+                    |_| SketchBank::new(wanted),
+                    |acc: &mut SketchBank, d: EdgeDelta| acc.apply_delta(d),
+                )?;
+                let bank = self.bank.as_mut().expect("incremental implies a live bank");
+                for shard in &shards {
+                    bank.merge(shard).expect("shard banks share the session bank config");
+                }
+            }
+        } else {
+            // (Re)build from the live multiset: one honest scan of the live
+            // edges, then the bank carries the session until the next domain
+            // growth or mode exit.
+            engine.tracker_mut().charge_round();
+            engine.tracker_mut().charge_stream(self.overlay.num_live_edges());
+            let mut bank = SketchBank::new(wanted);
+            for (_, e) in self.overlay.live_edge_iter() {
+                bank.apply_delta(EdgeDelta::insert(e.u, e.v, e.w));
+            }
+            self.bank = Some(bank);
+        }
+        Ok(())
+    }
+
+    /// Shrinks a resolved sketch-recovery region through the deferred
+    /// Benczúr–Karger sparsifier when it is large relative to the vertex
+    /// count; small regions pass through untouched. Seeded per epoch, so the
+    /// shrink is deterministic and worker-count invariant.
+    fn shrink_region(&self, graph: &Graph, candidates: Vec<EdgeId>) -> Vec<EdgeId> {
+        let n = graph.num_vertices();
+        if candidates.len() <= 2 * n.max(8) {
+            return candidates;
+        }
+        let mut sub = Graph::new(n);
+        for &mid in &candidates {
+            let e = graph.edge(mid);
+            sub.add_edge(e.u, e.v, e.w);
+        }
+        let promise = vec![1.0; sub.num_edges()];
+        let seed = self.config.seed ^ ((self.epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let sparsifier = DeferredSparsifier::build(&sub, &promise, 1.0, 0.5, seed);
+        let kept = sparsifier.reveal(|_| 1.0);
+        let mut out: Vec<EdgeId> =
+            kept.kept_edge_ids().into_iter().map(|sid| candidates[sid]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Resolves recovered `(u, v)` pairs to materialized edge ids: the heaviest
+/// live parallel edge wins, ascending id as the tie-break. Sorted ascending.
+fn resolve_candidates(graph: &Graph, pairs: &[(VertexId, VertexId)]) -> Vec<EdgeId> {
+    let mut best: std::collections::HashMap<(VertexId, VertexId), EdgeId> =
+        std::collections::HashMap::with_capacity(graph.num_edges());
+    for (mid, e) in graph.edges().iter().enumerate() {
+        best.entry(e.key())
+            .and_modify(|cur| {
+                // Ascending iteration: replace only on a strictly heavier
+                // parallel edge, so ties keep the smaller id.
+                if e.w > graph.edge(*cur).w {
+                    *cur = mid;
+                }
+            })
+            .or_insert(mid);
+    }
+    let mut out: Vec<EdgeId> = pairs.iter().filter_map(|p| best.get(p).copied()).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 /// Inverts a materialize back-map: overlay id → materialized id
@@ -1422,5 +1828,194 @@ mod tests {
         assert!(DynamicMatcher::new(&g, bad).is_err());
         let bad2 = DynamicConfig { dual_decay: 0.0, ..config() };
         assert!(DynamicMatcher::new(&g, bad2).is_err());
+        let bad3 = DynamicConfig { turnstile_enter: 0.1, turnstile_exit: 0.2, ..config() };
+        assert!(DynamicMatcher::new(&g, bad3).is_err());
+        let bad4 = DynamicConfig { turnstile_reps: 0, ..config() };
+        assert!(DynamicMatcher::new(&g, bad4).is_err());
+    }
+
+    fn turnstile_config() -> DynamicConfig {
+        DynamicConfig { ingest: IngestMode::Turnstile, turnstile_max_weight: 16.0, ..config() }
+    }
+
+    /// Deterministic delete-heavy batch: the first `deletes` live edge ids
+    /// plus `inserts` fresh random edges (no self loops).
+    fn mixed_batch(
+        dm: &DynamicMatcher,
+        n: usize,
+        seed: u64,
+        deletes: usize,
+        inserts: usize,
+    ) -> Vec<GraphUpdate> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut upd: Vec<GraphUpdate> = dm
+            .overlay()
+            .live_edge_iter()
+            .take(deletes)
+            .map(|(id, _)| GraphUpdate::DeleteEdge { id })
+            .collect();
+        for _ in 0..inserts {
+            let u = rng.gen_range(0..n as u32);
+            let mut v = rng.gen_range(0..n as u32 - 1);
+            if v >= u {
+                v += 1;
+            }
+            upd.push(GraphUpdate::InsertEdge { u, v, w: rng.gen_range(1.0..9.0) });
+        }
+        upd
+    }
+
+    #[test]
+    fn turnstile_sessions_are_bit_identical_across_parallelism() {
+        let g = base_graph(50);
+        let mut fingerprints = Vec::new();
+        for workers in [1usize, 4] {
+            let mut dm = DynamicMatcher::new(&g, turnstile_config()).unwrap();
+            let budget = ResourceBudget::unlimited().with_parallelism(workers);
+            let mut fp = Vec::new();
+            dm.apply_epoch(&[], &budget).unwrap();
+            for round in 0..4u64 {
+                let upd = mixed_batch(&dm, 40, 500 + round, 6, 6);
+                let r = dm.apply_epoch(&upd, &budget).unwrap();
+                assert!(r.stats.sketch_mode, "forced turnstile mode must report sketch ingestion");
+                fp.push((
+                    r.stats.decision,
+                    r.stats.weight.to_bits(),
+                    r.stats.candidate_edges,
+                    r.stats.region_edges,
+                ));
+            }
+            let bank = dm.sketch_bank().expect("turnstile sessions keep a bank").to_state();
+            let mut edges: Vec<(EdgeId, u64)> =
+                dm.matching().iter().map(|(id, _, m)| (id, m)).collect();
+            edges.sort_unstable();
+            fingerprints.push((fp, edges, bank));
+        }
+        assert_eq!(fingerprints[0], fingerprints[1], "parallelism changed a turnstile session");
+    }
+
+    #[test]
+    fn auto_mode_hysteresis_tracks_the_delete_fraction() {
+        let g = base_graph(52);
+        let cfg = DynamicConfig { ingest: IngestMode::Auto, ..config() };
+        let mut dm = DynamicMatcher::new(&g, cfg).unwrap();
+        let r0 = dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        assert!(!r0.stats.sketch_mode && dm.sketch_bank().is_none());
+
+        // 50% deletes clears the enter threshold (0.35) → sketch mode.
+        let upd = mixed_batch(&dm, 40, 60, 6, 6);
+        let r1 = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert!(r1.stats.sketch_mode && dm.sketch_bank().is_some());
+
+        // 20% sits between exit (0.15) and enter (0.35): hysteresis holds.
+        let upd = mixed_batch(&dm, 40, 61, 2, 8);
+        let r2 = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert!(r2.stats.sketch_mode && dm.sketch_bank().is_some());
+
+        // Insert-only falls below exit → back to journal mode, bank dropped.
+        let upd = mixed_batch(&dm, 40, 62, 0, 10);
+        let r3 = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert!(!r3.stats.sketch_mode && dm.sketch_bank().is_none());
+    }
+
+    #[test]
+    fn export_import_round_trips_an_active_sketch_bank() {
+        let g = base_graph(54);
+        let mut dm = DynamicMatcher::new(&g, turnstile_config()).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        for round in 0..3u64 {
+            let upd = mixed_batch(&dm, 40, 700 + round, 5, 7);
+            dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        }
+        let state = dm.export_state();
+        assert!(state.bank.is_some(), "turnstile sessions export their bank");
+        let mut back = DynamicMatcher::import_state(state).unwrap();
+        assert_eq!(
+            back.sketch_bank().map(SketchBank::to_state),
+            dm.sketch_bank().map(SketchBank::to_state),
+            "revived bank must be bit-identical"
+        );
+        // A second hibernation is a fixed point of the first.
+        assert_eq!(
+            back.export_state().bank,
+            dm.sketch_bank().map(SketchBank::to_state),
+            "re-export must reproduce the same bank image"
+        );
+
+        // Both sessions keep evolving identically, bank included.
+        let upd = mixed_batch(&dm, 40, 900, 5, 7);
+        let ra = dm.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        let rb = back.apply_epoch(&upd, &ResourceBudget::unlimited()).unwrap();
+        assert_eq!(ra.stats.weight.to_bits(), rb.stats.weight.to_bits());
+        assert_eq!(ra.stats.candidate_edges, rb.stats.candidate_edges);
+        assert_eq!(
+            dm.sketch_bank().unwrap().to_state(),
+            back.sketch_bank().unwrap().to_state(),
+            "post-restore epochs must keep the banks in lockstep"
+        );
+    }
+
+    #[test]
+    fn sketch_mode_memory_undercuts_the_journal_on_expiring_streams() {
+        // A sliding-window stream: each round inserts a fresh block and
+        // expires everything older. The journal session's overlay grows with
+        // the whole history; the sketch session prunes the dead prefix and
+        // keeps a bank whose size is O(n polylog n), independent of stream
+        // length — so a stream much longer than the vertex count must leave
+        // the sketch session smaller.
+        let mut rng = StdRng::seed_from_u64(56);
+        let g = generators::gnm(16, 40, WeightModel::Uniform(1.0, 9.0), &mut rng);
+        // Coarse eps keeps the 2 x 30 full re-solves cheap; both sessions use
+        // the same accuracy so the comparison stays fair.
+        let coarse = DynamicConfig { eps: 0.45, ..config() };
+        let mut journal = DynamicMatcher::new(&g, coarse).unwrap();
+        let sketch_cfg = DynamicConfig { eps: 0.45, ..turnstile_config() };
+        let mut sketch = DynamicMatcher::new(&g, sketch_cfg).unwrap();
+        let budget = ResourceBudget::unlimited();
+        journal.apply_epoch(&[], &budget).unwrap();
+        sketch.apply_epoch(&[], &budget).unwrap();
+
+        let mut prev_lo = 0usize;
+        let mut last = None;
+        let mut bank_sizes = Vec::new();
+        for round in 0..30u64 {
+            let hi = journal.overlay().next_edge_id();
+            assert_eq!(hi, sketch.overlay().next_edge_id(), "streams must stay aligned");
+            let mut upd = vec![GraphUpdate::ExpireWindow { lo: prev_lo, hi }];
+            let mut rng = StdRng::seed_from_u64(5600 + round);
+            for _ in 0..120 {
+                let u = rng.gen_range(0..16u32);
+                let mut v = rng.gen_range(0..15u32);
+                if v >= u {
+                    v += 1;
+                }
+                upd.push(GraphUpdate::InsertEdge { u, v, w: rng.gen_range(1.0..9.0) });
+            }
+            prev_lo = hi;
+            let rj = journal.apply_epoch(&upd, &budget).unwrap();
+            let rs = sketch.apply_epoch(&upd, &budget).unwrap();
+            assert!(!rj.stats.sketch_mode && rj.stats.sketch_bytes == 0);
+            assert!(rs.stats.sketch_mode && rs.stats.sketch_bytes > 0);
+            bank_sizes.push(rs.stats.sketch_bytes);
+            last = Some((rj.stats.journal_bytes, rs.stats.journal_bytes, rs.stats.sketch_bytes));
+        }
+        let (journal_bytes, pruned_journal_bytes, sketch_bytes) = last.unwrap();
+        assert!(
+            pruned_journal_bytes + sketch_bytes < journal_bytes,
+            "sketch session ({pruned_journal_bytes} + {sketch_bytes}) must undercut the \
+             journal session ({journal_bytes}) on an expiring stream"
+        );
+        assert_eq!(
+            bank_sizes.first(),
+            bank_sizes.last(),
+            "the bank footprint is fixed, independent of stream length"
+        );
+        // Both sessions still hold feasible matchings on their live graphs.
+        for dm in [&journal, &sketch] {
+            let (graph, _) = dm.overlay().materialize();
+            let fwd = forward_map(&dm.overlay().materialize().1, dm.overlay().next_edge_id());
+            let ours = to_materialized_ids(dm.matching(), &fwd, &graph);
+            assert!(ours.is_valid(&graph));
+        }
     }
 }

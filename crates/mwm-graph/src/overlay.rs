@@ -63,6 +63,18 @@ pub enum GraphUpdate {
         /// The new capacity.
         b: u64,
     },
+    /// Mass expiry: tombstones every live edge with stable id in `[lo, hi)`
+    /// in one journal scan — the sliding-window fast path, equivalent to (but
+    /// far cheaper than) one [`GraphUpdate::DeleteEdge`] per id. Ids in the
+    /// window that are already dead or were never assigned are skipped, so an
+    /// empty window is a successful no-op, and the whole window counts as a
+    /// single applied update (one version bump).
+    ExpireWindow {
+        /// First stable id of the window (inclusive).
+        lo: EdgeId,
+        /// End of the window (exclusive).
+        hi: EdgeId,
+    },
 }
 
 /// Why an update was rejected. Rejected updates leave the overlay unchanged;
@@ -115,9 +127,12 @@ pub struct AppliedUpdate {
 /// `f64` values whose bit patterns are preserved by the caller's codec).
 #[derive(Clone, Debug, PartialEq)]
 pub struct OverlayState {
-    /// All journaled edges by stable id (base edges then inserts).
+    /// Stable id of the first still-resident journal entry (ids below it were
+    /// pruned as dead; see [`GraphOverlay::prune_dead_prefix`]).
+    pub base: EdgeId,
+    /// The resident journaled edges, indexed by `stable id - base`.
     pub edges: Vec<Edge>,
-    /// Liveness per stable edge id (`edges.len()` entries).
+    /// Liveness per resident journal entry (`edges.len()` entries).
     pub alive: Vec<bool>,
     /// Capacities per vertex slot, including removed vertices.
     pub capacities: Vec<u64>,
@@ -132,9 +147,13 @@ pub struct OverlayState {
 /// A journaled, versioned delta overlay over a base [`Graph`].
 #[derive(Clone, Debug)]
 pub struct GraphOverlay {
-    /// All edges ever journaled (base edges then inserts), by stable id.
+    /// Stable id of journal slot 0: ids below `base` were pruned while dead
+    /// and behave exactly like tombstoned ids forever after.
+    base: EdgeId,
+    /// The resident journaled edges (base edges then inserts), indexed by
+    /// `stable id - base`.
     edges: Vec<Edge>,
-    /// Liveness per stable edge id.
+    /// Liveness per resident journal slot.
     alive: Vec<bool>,
     /// Capacities per vertex (including removed vertices, frozen at removal).
     capacities: Vec<u64>,
@@ -151,6 +170,7 @@ impl GraphOverlay {
     /// the overlay is self-contained.
     pub fn new(base: &Graph) -> Self {
         GraphOverlay {
+            base: 0,
             edges: base.edges().to_vec(),
             alive: vec![true; base.num_edges()],
             capacities: base.capacities().to_vec(),
@@ -196,16 +216,71 @@ impl GraphOverlay {
     /// The stable id the next [`GraphUpdate::InsertEdge`] will receive.
     /// Deterministic, so an update generator can pre-compute ids for deletes.
     pub fn next_edge_id(&self) -> EdgeId {
-        self.edges.len()
+        self.base + self.edges.len()
+    }
+
+    /// Stable id of the first still-resident journal entry; ids below it were
+    /// pruned while dead and stay dead.
+    pub fn journal_base(&self) -> EdgeId {
+        self.base
+    }
+
+    #[inline]
+    fn slot(&self, id: EdgeId) -> Option<usize> {
+        id.checked_sub(self.base).filter(|&s| s < self.edges.len())
     }
 
     /// The live edge with stable id `id`, if it exists and is alive.
     pub fn live_edge(&self, id: EdgeId) -> Option<Edge> {
-        if self.alive.get(id).copied().unwrap_or(false) {
-            Some(self.edges[id])
+        let slot = self.slot(id)?;
+        if self.alive[slot] {
+            Some(self.edges[slot])
         } else {
             None
         }
+    }
+
+    /// The journal entry for stable id `id` whether alive or tombstoned —
+    /// `None` only for unassigned ids and for entries already pruned. Lets a
+    /// delta consumer (the turnstile sketch bank) recover the endpoints and
+    /// weight of an edge that an update just tombstoned.
+    pub fn journal_edge(&self, id: EdgeId) -> Option<Edge> {
+        self.slot(id).map(|slot| self.edges[slot])
+    }
+
+    /// Iterates the live edges as `(stable id, edge)` in stable-id order.
+    pub fn live_edge_iter(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| self.alive[slot])
+            .map(|(slot, e)| (self.base + slot, *e))
+    }
+
+    /// Resident journal bytes: the edge records, liveness bitmap and vertex
+    /// tables actually held in memory. This is what pruning and compaction
+    /// reclaim — the memory-per-session metric of the turnstile experiments.
+    pub fn resident_bytes(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<Edge>()
+            + self.alive.len()
+            + self.capacities.len() * std::mem::size_of::<u64>()
+            + self.removed.len()
+    }
+
+    /// Drops the longest all-dead prefix of the journal, sliding
+    /// [`GraphOverlay::journal_base`] forward. Pruned ids behave exactly as
+    /// they did while tombstoned (dead to every lookup and update), so this
+    /// is observationally invisible — no version bump — but the resident
+    /// journal shrinks to `O(live + trailing tombstones)` instead of growing
+    /// with all updates ever. Returns the number of entries reclaimed.
+    pub fn prune_dead_prefix(&mut self) -> usize {
+        let dead = self.alive.iter().take_while(|&&a| !a).count();
+        if dead > 0 {
+            self.edges.drain(..dead);
+            self.alive.drain(..dead);
+            self.base += dead;
+        }
+        dead
     }
 
     /// True if vertex `v` exists and has not been removed.
@@ -232,14 +307,24 @@ impl GraphOverlay {
             GraphUpdate::AddVertex { .. } => vec![self.num_vertex_slots() as VertexId],
             GraphUpdate::RemoveVertex { v } => {
                 let mut touched = vec![v];
-                for (id, e) in self.edges.iter().enumerate() {
-                    if self.alive[id] && e.is_incident(v) {
+                for (slot, e) in self.edges.iter().enumerate() {
+                    if self.alive[slot] && e.is_incident(v) {
                         touched.push(e.other(v));
                     }
                 }
                 touched
             }
             GraphUpdate::SetCapacity { v, .. } => vec![v],
+            GraphUpdate::ExpireWindow { lo, hi } => {
+                let mut touched = Vec::new();
+                for (id, e) in self.live_edge_iter() {
+                    if id >= lo && id < hi {
+                        touched.push(e.u);
+                        touched.push(e.v);
+                    }
+                }
+                touched
+            }
         }
     }
 
@@ -260,7 +345,7 @@ impl GraphOverlay {
                 if !self.is_live_vertex(v) {
                     return Err(UpdateError::DeadVertex(v));
                 }
-                let id = self.edges.len();
+                let id = self.base + self.edges.len();
                 self.edges.push(Edge::new(u, v, w));
                 self.alive.push(true);
                 self.live_edges += 1;
@@ -272,7 +357,8 @@ impl GraphOverlay {
             }
             GraphUpdate::DeleteEdge { id } => {
                 let e = self.live_edge(id).ok_or(UpdateError::DeadEdge(id))?;
-                self.alive[id] = false;
+                let slot = self.slot(id).expect("live edge has a resident slot");
+                self.alive[slot] = false;
                 self.live_edges -= 1;
                 AppliedUpdate {
                     touched: vec![e.u, e.v],
@@ -285,7 +371,8 @@ impl GraphOverlay {
                     return Err(UpdateError::BadWeight(w));
                 }
                 let e = self.live_edge(id).ok_or(UpdateError::DeadEdge(id))?;
-                self.edges[id].w = w;
+                let slot = self.slot(id).expect("live edge has a resident slot");
+                self.edges[slot].w = w;
                 AppliedUpdate {
                     touched: vec![e.u, e.v],
                     deleted_edges: Vec::new(),
@@ -308,12 +395,12 @@ impl GraphOverlay {
                 }
                 let mut deleted = Vec::new();
                 let mut touched = vec![v];
-                for id in 0..self.edges.len() {
-                    if self.alive[id] && self.edges[id].is_incident(v) {
-                        self.alive[id] = false;
+                for slot in 0..self.edges.len() {
+                    if self.alive[slot] && self.edges[slot].is_incident(v) {
+                        self.alive[slot] = false;
                         self.live_edges -= 1;
-                        deleted.push(id);
-                        touched.push(self.edges[id].other(v));
+                        deleted.push(self.base + slot);
+                        touched.push(self.edges[slot].other(v));
                     }
                 }
                 self.removed[v as usize] = true;
@@ -330,6 +417,22 @@ impl GraphOverlay {
                 self.capacities[v as usize] = b;
                 AppliedUpdate { touched: vec![v], deleted_edges: Vec::new(), changed_edge: None }
             }
+            GraphUpdate::ExpireWindow { lo, hi } => {
+                let from = lo.max(self.base) - self.base;
+                let to = hi.clamp(self.base, self.base + self.edges.len()) - self.base;
+                let mut deleted = Vec::new();
+                let mut touched = Vec::new();
+                for slot in from..to.max(from) {
+                    if self.alive[slot] {
+                        self.alive[slot] = false;
+                        self.live_edges -= 1;
+                        deleted.push(self.base + slot);
+                        touched.push(self.edges[slot].u);
+                        touched.push(self.edges[slot].v);
+                    }
+                }
+                AppliedUpdate { touched, deleted_edges: deleted, changed_edge: None }
+            }
         };
         self.version += 1;
         self.applied += 1;
@@ -341,16 +444,19 @@ impl GraphOverlay {
     /// (`usize::MAX` for dead ids). This deliberately breaks the stable-id
     /// contract — callers that precompute ids (update generators, stored
     /// matchings) must consume the remap — so it is never done implicitly.
-    /// Bumps the version; vertex ids are untouched.
+    /// Bumps the version; vertex ids are untouched. The remap covers every
+    /// stable id ever assigned (pruned ids map to `usize::MAX` like any other
+    /// dead id), and the journal base resets to 0.
     pub fn compact(&mut self) -> Vec<usize> {
-        let mut remap = vec![usize::MAX; self.edges.len()];
+        let mut remap = vec![usize::MAX; self.next_edge_id()];
         let mut live = Vec::with_capacity(self.live_edges);
-        for (id, &e) in self.edges.iter().enumerate() {
-            if self.alive[id] {
-                remap[id] = live.len();
+        for (slot, &e) in self.edges.iter().enumerate() {
+            if self.alive[slot] {
+                remap[self.base + slot] = live.len();
                 live.push(e);
             }
         }
+        self.base = 0;
         self.edges = live;
         self.alive = vec![true; self.edges.len()];
         self.version += 1;
@@ -362,6 +468,7 @@ impl GraphOverlay {
     /// indistinguishable from this one.
     pub fn export_state(&self) -> OverlayState {
         OverlayState {
+            base: self.base,
             edges: self.edges.clone(),
             alive: self.alive.clone(),
             capacities: self.capacities.clone(),
@@ -402,6 +509,7 @@ impl GraphOverlay {
         let live_edges = state.alive.iter().filter(|&&a| a).count();
         let live_vertices = state.removed.iter().filter(|&&r| !r).count();
         Ok(GraphOverlay {
+            base: state.base,
             edges: state.edges,
             alive: state.alive,
             capacities: state.capacities,
@@ -427,10 +535,10 @@ impl GraphOverlay {
             .collect();
         let mut g = Graph::with_capacities(caps);
         let mut back = Vec::with_capacity(self.live_edges);
-        for (id, e) in self.edges.iter().enumerate() {
-            if self.alive[id] {
+        for (slot, e) in self.edges.iter().enumerate() {
+            if self.alive[slot] {
                 g.add_edge(e.u, e.v, e.w);
-                back.push(id);
+                back.push(self.base + slot);
             }
         }
         (g, back)
@@ -667,6 +775,94 @@ mod tests {
         let mut state = ov.export_state();
         state.capacities[0] = 0;
         assert!(GraphOverlay::from_state(state).is_err(), "live vertex with zero capacity");
+    }
+
+    #[test]
+    fn expire_window_matches_per_edge_deletes() {
+        let mut per_edge = GraphOverlay::new(&base());
+        let mut windowed = per_edge.clone();
+        for ov in [&mut per_edge, &mut windowed] {
+            ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 3, w: 4.0 }).unwrap();
+            ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 2, w: 5.0 }).unwrap();
+        }
+        per_edge.apply(&GraphUpdate::DeleteEdge { id: 1 }).unwrap();
+        per_edge.apply(&GraphUpdate::DeleteEdge { id: 2 }).unwrap();
+        per_edge.apply(&GraphUpdate::DeleteEdge { id: 3 }).unwrap();
+        let a = windowed.apply(&GraphUpdate::ExpireWindow { lo: 1, hi: 4 }).unwrap();
+        assert_eq!(a.deleted_edges, vec![1, 2, 3]);
+        assert_eq!(a.touched, vec![1, 2, 2, 3, 0, 3]);
+        assert_eq!(windowed.num_live_edges(), per_edge.num_live_edges());
+        let (g_w, back_w) = windowed.materialize();
+        let (g_p, back_p) = per_edge.materialize();
+        assert_eq!(back_w, back_p);
+        assert_eq!(g_w.total_weight().to_bits(), g_p.total_weight().to_bits());
+
+        // Re-expiring the same window is a successful no-op, one version bump.
+        let v = windowed.version();
+        let again = windowed.apply(&GraphUpdate::ExpireWindow { lo: 0, hi: 4 }).unwrap();
+        assert_eq!(again.deleted_edges, vec![0]);
+        assert_eq!(windowed.version(), v + 1);
+        // Windows past the journal end (or entirely dead) still succeed.
+        let empty = windowed.apply(&GraphUpdate::ExpireWindow { lo: 50, hi: 99 }).unwrap();
+        assert!(empty.deleted_edges.is_empty() && empty.touched.is_empty());
+    }
+
+    #[test]
+    fn prune_dead_prefix_is_observationally_invisible() {
+        let mut ov = GraphOverlay::new(&base());
+        for i in 0..6u32 {
+            ov.apply(&GraphUpdate::InsertEdge { u: i % 4, v: (i + 1) % 4, w: 1.0 + i as f64 })
+                .unwrap();
+        }
+        ov.apply(&GraphUpdate::ExpireWindow { lo: 0, hi: 6 }).unwrap();
+        let bytes_before = ov.resident_bytes();
+        let (g_before, back_before) = ov.materialize();
+        let version = ov.version();
+
+        let pruned = ov.prune_dead_prefix();
+        assert_eq!(pruned, 6);
+        assert_eq!(ov.journal_base(), 6);
+        assert!(ov.resident_bytes() < bytes_before, "pruning must reclaim journal bytes");
+        assert_eq!(ov.version(), version, "pruning is not an update");
+        assert_eq!(ov.next_edge_id(), 9, "stable ids keep counting past the pruned prefix");
+
+        // Identical observable state: materialization, lookups, rejections.
+        let (g_after, back_after) = ov.materialize();
+        assert_eq!(back_before, back_after);
+        assert_eq!(g_before.total_weight().to_bits(), g_after.total_weight().to_bits());
+        assert_eq!(ov.live_edge(2), None);
+        assert!(matches!(
+            ov.apply(&GraphUpdate::DeleteEdge { id: 2 }),
+            Err(UpdateError::DeadEdge(2))
+        ));
+        assert_eq!(ov.journal_edge(2), None, "pruned entries are gone from the journal");
+        assert!(ov.journal_edge(7).is_some());
+
+        // New inserts get the next stable id; deletes against it work.
+        let a = ov.apply(&GraphUpdate::InsertEdge { u: 0, v: 1, w: 2.0 }).unwrap();
+        assert_eq!(a.changed_edge, Some(9));
+        ov.apply(&GraphUpdate::DeleteEdge { id: 9 }).unwrap();
+
+        // Export/import round-trips the base; compact resets it.
+        let restored = GraphOverlay::from_state(ov.export_state()).unwrap();
+        assert_eq!(restored.export_state(), ov.export_state());
+        assert_eq!(restored.journal_base(), 6);
+        let remap = ov.compact();
+        assert_eq!(remap.len(), 10);
+        assert_eq!(ov.journal_base(), 0);
+        assert_eq!(remap[..6], [usize::MAX; 6]);
+    }
+
+    #[test]
+    fn live_edge_iter_yields_stable_ids() {
+        let mut ov = GraphOverlay::new(&base());
+        ov.apply(&GraphUpdate::DeleteEdge { id: 0 }).unwrap();
+        ov.prune_dead_prefix();
+        let ids: Vec<EdgeId> = ov.live_edge_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        for (id, e) in ov.live_edge_iter() {
+            assert_eq!(ov.live_edge(id).unwrap().key(), e.key());
+        }
     }
 
     #[test]

@@ -54,6 +54,34 @@ impl FixedLattice {
         FixedLattice { scale: levels.scale(), bound_keys, class_weights }
     }
 
+    /// Builds a lattice directly from parameters, with no construction graph:
+    /// the boundary loop replicates [`WeightLevels::new`] bit for bit, so a
+    /// turnstile session can pin its weight classes up front (from a weight
+    /// floor and ceiling it enforces on the stream) and classify updates
+    /// bit-identically to any solver lattice sharing `eps` and `scale`.
+    ///
+    /// `scale` is the rescale factor applied before classification and
+    /// `max_scaled` the largest scaled weight the table must cover; the
+    /// boundaries are `(1+eps)^k` for `k = 0, 1, …` until one strictly
+    /// exceeds `max_scaled`.
+    pub fn from_params(eps: f64, scale: f64, max_scaled: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive and finite");
+        assert!(max_scaled.is_finite(), "max_scaled must be finite");
+        let mut bound_keys = Vec::new();
+        let mut k = 0i32;
+        loop {
+            let b = (1.0 + eps).powi(k);
+            bound_keys.push(b.to_bits());
+            if b > max_scaled {
+                break;
+            }
+            k += 1;
+        }
+        let class_weights = (0..bound_keys.len()).map(|i| (1.0 + eps).powi(i as i32)).collect();
+        FixedLattice { scale, bound_keys, class_weights }
+    }
+
     /// The rescale factor `B / W*` the lattice classifies under.
     pub fn scale(&self) -> f64 {
         self.scale
@@ -127,6 +155,36 @@ mod tests {
                         "class weights must be the very same bits"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn from_params_matches_from_levels_bit_for_bit() {
+        for eps in [0.1, 0.25, 0.5] {
+            let g = sample_graph();
+            let levels = WeightLevels::new(&g, eps);
+            let from_levels = FixedLattice::from_levels(&levels);
+            // Reconstruct with the same parameters the level construction
+            // derived: scale = B/W*, table covering up to W* * scale.
+            let w_star = g.edges().iter().map(|e| e.w).fold(0.0f64, f64::max);
+            let from_params =
+                FixedLattice::from_params(eps, levels.scale(), w_star * levels.scale());
+            assert_eq!(from_params.num_classes(), from_levels.num_classes(), "eps={eps}");
+            assert_eq!(from_params.scale().to_bits(), from_levels.scale().to_bits());
+            for k in 0..from_levels.num_classes() {
+                assert_eq!(
+                    from_params.class_weight(k).to_bits(),
+                    from_levels.class_weight(k).to_bits()
+                );
+            }
+            for (_, e) in g.edge_iter() {
+                assert_eq!(
+                    from_params.class_of_key(weight_key(e.w)),
+                    from_levels.class_of_key(weight_key(e.w)),
+                    "eps={eps} w={}",
+                    e.w
+                );
             }
         }
     }

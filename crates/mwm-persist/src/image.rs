@@ -25,8 +25,10 @@ use crate::{fnv1a, PersistError};
 
 /// Magic bytes opening every session image.
 pub const IMAGE_MAGIC: &[u8; 8] = b"MWMSESS1";
-/// Current image format version.
-pub const IMAGE_VERSION: u32 = 1;
+/// Current image format version. Version 2 added the turnstile fields:
+/// overlay journal base, the extended config/stats columns and the optional
+/// hibernated sketch bank.
+pub const IMAGE_VERSION: u32 = 2;
 
 const HEADER_BYTES: usize = 8 + 4 + 8 + 8;
 
@@ -201,6 +203,38 @@ mod tests {
         assert_eq!(back.duals().map(|d| d.fingerprint()), dm.duals().map(|d| d.fingerprint()));
         // The image of the revived session is byte-identical: write→open→write
         // is a fixed point at the session level too.
+        assert_eq!(back.hibernate(), image);
+    }
+
+    #[test]
+    fn turnstile_sessions_hibernate_their_bank_bit_identically() {
+        let mut g = Graph::new(8);
+        g.add_edge(0, 1, 3.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 4.0);
+        g.add_edge(4, 5, 1.5);
+        let cfg = DynamicConfig {
+            ingest: mwm_dynamic::IngestMode::Turnstile,
+            turnstile_max_weight: 16.0,
+            ..DynamicConfig::default()
+        };
+        let mut dm = DynamicMatcher::new(&g, cfg).unwrap();
+        dm.apply_epoch(&[], &ResourceBudget::unlimited()).unwrap();
+        dm.apply_epoch(
+            &[GraphUpdate::InsertEdge { u: 5, v: 6, w: 7.0 }, GraphUpdate::DeleteEdge { id: 1 }],
+            &ResourceBudget::unlimited(),
+        )
+        .unwrap();
+        assert!(dm.sketch_bank().is_some(), "turnstile session must carry a bank");
+
+        let image = dm.hibernate();
+        let back = DynamicMatcher::revive(&image).unwrap();
+        assert_eq!(
+            back.sketch_bank().map(|b| b.to_state()),
+            dm.sketch_bank().map(|b| b.to_state()),
+            "revived bank must be bit-identical"
+        );
+        // Revive → hibernate is a fixed point, bank bytes included.
         assert_eq!(back.hibernate(), image);
     }
 

@@ -1,0 +1,43 @@
+//! Typed errors for sketch operations.
+//!
+//! Linear sketches are only meaningful to combine when they were built over
+//! the same domain with the same seeded randomness — merging incompatible
+//! sketches would silently produce garbage samples. The merge entry points
+//! therefore validate compatibility and surface mismatches as
+//! [`SketchError`] instead of corrupting state.
+
+use std::fmt;
+
+/// Error type for sketch construction and merge operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SketchError {
+    /// Two sketches disagree on a structural parameter and cannot be merged.
+    Incompatible {
+        /// Which parameter differs (`"domain"`, `"seed"`, `"reps"`, ...).
+        field: &'static str,
+        /// The parameter value on the receiver.
+        left: u64,
+        /// The parameter value on the argument.
+        right: u64,
+    },
+    /// A deserialized raw state does not describe a valid sketch.
+    InvalidState {
+        /// What was wrong with the state.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::Incompatible { field, left, right } => {
+                write!(f, "sketches are not mergeable: {field} mismatch ({left} vs {right})")
+            }
+            SketchError::InvalidState { what } => {
+                write!(f, "invalid sketch state: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}

@@ -11,6 +11,7 @@
 //! paper ("the sketch is computed first, and subsequently an adversary
 //! provides a cut; we then sample an edge across that cut").
 
+use crate::error::SketchError;
 use crate::l0::L0Sampler;
 use mwm_graph::{Graph, VertexId};
 
@@ -60,6 +61,15 @@ impl VertexSketch {
         VertexSketch { n, sampler: L0Sampler::new(domain, seed) }
     }
 
+    /// Like [`VertexSketch::new`] with an explicit repetition count — fewer
+    /// repetitions trade recovery probability for space (the turnstile sketch
+    /// banks run many narrow sketches instead of few wide ones).
+    pub fn with_reps(n: usize, seed: u64, reps: usize) -> Self {
+        let n = n as u64;
+        let domain = (n * (n - 1) / 2).max(1);
+        VertexSketch { n, sampler: L0Sampler::with_reps(domain, seed, reps) }
+    }
+
     /// Records that edge `{a, b}` is incident to the sketched vertex `owner`.
     pub fn add_edge(&mut self, owner: VertexId, a: VertexId, b: VertexId) {
         let (u, v) = if a < b { (a, b) } else { (b, a) };
@@ -78,10 +88,14 @@ impl VertexSketch {
     }
 
     /// Merges another vertex sketch into this one (sketch of the union of the
-    /// two incidence vectors — internal edges cancel).
-    pub fn merge(&mut self, other: &VertexSketch) {
-        assert_eq!(self.n, other.n);
-        self.sampler.merge(&other.sampler);
+    /// two incidence vectors — internal edges cancel). Sketches over different
+    /// vertex counts or with different seeded randomness are not mergeable;
+    /// the mismatch is a typed error and `self` stays untouched.
+    pub fn merge(&mut self, other: &VertexSketch) -> Result<(), SketchError> {
+        if self.n != other.n {
+            return Err(SketchError::Incompatible { field: "n", left: self.n, right: other.n });
+        }
+        self.sampler.merge(&other.sampler)
     }
 
     /// Samples an edge crossing the boundary of the set of vertices whose
@@ -96,6 +110,27 @@ impl VertexSketch {
     /// Space in sketch cells (for resource accounting).
     pub fn num_cells(&self) -> usize {
         self.sampler.num_cells()
+    }
+
+    /// The vertex count the pair encoding runs over.
+    pub fn num_vertices(&self) -> u64 {
+        self.n
+    }
+
+    /// The underlying pair-domain sampler (for bit-exact serialization).
+    pub fn sampler(&self) -> &L0Sampler {
+        &self.sampler
+    }
+
+    /// Rebuilds a vertex sketch from a deserialized sampler. The sampler's
+    /// domain must be the pair domain of `n` vertices.
+    pub fn from_raw(n: u64, sampler: L0Sampler) -> Result<Self, SketchError> {
+        if sampler.domain() != (n * n.saturating_sub(1) / 2).max(1) {
+            return Err(SketchError::InvalidState {
+                what: "sampler domain is not the pair domain of n vertices",
+            });
+        }
+        Ok(VertexSketch { n, sampler })
     }
 }
 
@@ -150,7 +185,9 @@ impl GraphSketcher {
         let first = *it.next()?;
         let mut merged = self.vertex_sketch(c, first).clone();
         for &v in it {
-            merged.merge(self.vertex_sketch(c, v));
+            merged
+                .merge(self.vertex_sketch(c, v))
+                .expect("sketches from one sketcher share config");
         }
         merged.sample_boundary_edge()
     }
@@ -217,6 +254,27 @@ mod tests {
         let sk = GraphSketcher::sketch_graph(&g, 1, 13);
         assert!(sk.sample_cut_edge(0, &[0, 1, 2]).is_none());
         assert!(sk.sample_cut_edge(0, &[3, 4]).is_none());
+    }
+
+    #[test]
+    fn merging_mismatched_vertex_sketches_is_a_typed_error() {
+        use crate::SketchError;
+        let mut a = VertexSketch::new(10, 1);
+        a.add_edge(0, 0, 3);
+        let before = a.sampler().cells().to_vec();
+
+        // Different vertex count: the pair encodings disagree.
+        let b = VertexSketch::new(12, 1);
+        assert_eq!(a.merge(&b), Err(SketchError::Incompatible { field: "n", left: 10, right: 12 }));
+        // Same n, different seed: the subsampling decisions disagree.
+        let c = VertexSketch::new(10, 2);
+        assert_eq!(
+            a.merge(&c),
+            Err(SketchError::Incompatible { field: "seed", left: 1, right: 2 })
+        );
+        // Failed merges must leave the receiver untouched and decodable.
+        assert_eq!(a.sampler().cells(), &before[..]);
+        assert_eq!(a.sample_boundary_edge(), Some(EdgeSample { u: 0, v: 3 }));
     }
 
     #[test]

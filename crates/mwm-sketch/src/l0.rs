@@ -13,6 +13,7 @@
 //! [`crate::graph_sketch`] work: the ℓ0-sampler of a sum of vectors is the sum
 //! of the samplers.
 
+use crate::error::SketchError;
 use crate::hashing::PairwiseHash;
 use crate::one_sparse::{Decode, OneSparse};
 
@@ -84,15 +85,28 @@ impl L0Sampler {
         }
     }
 
-    /// Merges another sampler into this one. Both must share domain and seed.
-    pub fn merge(&mut self, other: &L0Sampler) {
-        assert_eq!(self.domain, other.domain, "domain mismatch");
-        assert_eq!(self.seed, other.seed, "seed mismatch: sketches are not mergeable");
-        assert_eq!(self.reps, other.reps);
-        assert_eq!(self.levels, other.levels);
+    /// Merges another sampler into this one. Both must share domain, seed and
+    /// shape: samplers built with different parameters made different
+    /// subsampling decisions and their cell-wise sum is not the sketch of any
+    /// stream, so a mismatch is a typed error and `self` stays untouched.
+    pub fn merge(&mut self, other: &L0Sampler) -> Result<(), SketchError> {
+        let incompatible = |field, left, right| SketchError::Incompatible { field, left, right };
+        if self.domain != other.domain {
+            return Err(incompatible("domain", self.domain, other.domain));
+        }
+        if self.seed != other.seed {
+            return Err(incompatible("seed", self.seed, other.seed));
+        }
+        if self.reps != other.reps {
+            return Err(incompatible("reps", self.reps as u64, other.reps as u64));
+        }
+        if self.levels != other.levels {
+            return Err(incompatible("levels", self.levels as u64, other.levels as u64));
+        }
         for (a, b) in self.cells.iter_mut().zip(other.cells.iter()) {
             a.merge(b);
         }
+        Ok(())
     }
 
     /// Attempts to sample a nonzero coordinate. Returns `Some((index, value))`
@@ -115,6 +129,55 @@ impl L0Sampler {
     /// True if every cell is identically zero (the sketched vector is surely 0).
     pub fn is_zero(&self) -> bool {
         self.cells.iter().all(|c| c.is_zero())
+    }
+
+    /// The shared seed all merge partners must carry.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of independent repetitions.
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+
+    /// Number of subsampling levels per repetition.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The raw `reps × levels` cell grid, row-major by repetition — the
+    /// complete mutable state of the sampler (shape and randomness are derived
+    /// from `(domain, seed, reps)`), for bit-exact serialization.
+    pub fn cells(&self) -> &[OneSparse] {
+        &self.cells
+    }
+
+    /// Rebuilds a sampler from parameters plus a serialized cell grid. The
+    /// grid must have exactly the shape and per-repetition fingerprint bases
+    /// that `with_reps(domain, seed, reps)` derives; anything else means the
+    /// serialized state is corrupt.
+    pub fn from_raw(
+        domain: u64,
+        seed: u64,
+        reps: usize,
+        cells: Vec<OneSparse>,
+    ) -> Result<Self, SketchError> {
+        if domain < 1 || reps < 1 {
+            return Err(SketchError::InvalidState { what: "sampler domain and reps must be >= 1" });
+        }
+        let template = L0Sampler::with_reps(domain, seed, reps);
+        if cells.len() != template.cells.len() {
+            return Err(SketchError::InvalidState { what: "sampler cell count mismatch" });
+        }
+        for (got, want) in cells.iter().zip(template.cells.iter()) {
+            if got.raw_parts().3 != want.raw_parts().3 {
+                return Err(SketchError::InvalidState {
+                    what: "sampler cell fingerprint base disagrees with the seed",
+                });
+            }
+        }
+        Ok(L0Sampler { cells, ..template })
     }
 }
 
@@ -177,7 +240,7 @@ mod tests {
         a.update(20, 2);
         b.update(10, -1);
         b.update(30, 5);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         // Support of the sum is {20, 30}.
         let got = a.sample().expect("non-empty support");
         assert!(got == (20, 2) || got == (30, 5), "got {got:?}");
@@ -205,10 +268,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn merging_mismatched_seeds_panics() {
+    fn merging_mismatched_samplers_is_a_typed_error() {
+        use crate::SketchError;
         let mut a = L0Sampler::new(100, 1);
+        a.update(42, 3);
+        let before = a.clone();
+
         let b = L0Sampler::new(100, 2);
-        a.merge(&b);
+        assert_eq!(
+            a.merge(&b),
+            Err(SketchError::Incompatible { field: "seed", left: 1, right: 2 })
+        );
+        let c = L0Sampler::new(50, 1);
+        assert_eq!(
+            a.merge(&c),
+            Err(SketchError::Incompatible { field: "domain", left: 100, right: 50 })
+        );
+        let d = L0Sampler::with_reps(100, 1, 2);
+        assert_eq!(
+            a.merge(&d),
+            Err(SketchError::Incompatible { field: "reps", left: 6, right: 2 })
+        );
+        // Failed merges must leave the receiver untouched.
+        assert_eq!(a.cells(), before.cells());
+        assert_eq!(a.sample(), Some((42, 3)));
+    }
+
+    #[test]
+    fn raw_round_trip_is_bit_exact_and_validated() {
+        let mut s = L0Sampler::with_reps(1 << 12, 9, 3);
+        for i in 0..40u64 {
+            s.update(i * 11 % (1 << 12), (i % 5) as i64 - 2);
+        }
+        let back = L0Sampler::from_raw(s.domain(), s.seed(), s.reps(), s.cells().to_vec()).unwrap();
+        assert_eq!(back.cells(), s.cells());
+        assert_eq!(back.sample(), s.sample());
+
+        // Wrong shape or wrong seed-derived bases are rejected.
+        assert!(L0Sampler::from_raw(1 << 12, 9, 2, s.cells().to_vec()).is_err());
+        assert!(L0Sampler::from_raw(1 << 12, 10, 3, s.cells().to_vec()).is_err());
     }
 }

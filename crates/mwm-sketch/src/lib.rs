@@ -19,12 +19,14 @@
 //! * [`spanning_forest`]: Borůvka-style spanning forest and k-connectivity
 //!   recovery from sketches (used by sparsification and the initial solution).
 
+pub mod error;
 pub mod graph_sketch;
 pub mod hashing;
 pub mod l0;
 pub mod one_sparse;
 pub mod spanning_forest;
 
+pub use error::SketchError;
 pub use graph_sketch::{EdgeSample, GraphSketcher, VertexSketch};
 pub use l0::L0Sampler;
 pub use one_sparse::{Decode, OneSparse};

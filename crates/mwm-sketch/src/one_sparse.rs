@@ -98,6 +98,35 @@ impl OneSparse {
     pub fn is_zero(&self) -> bool {
         self.sum == 0 && self.weighted == 0 && self.fingerprint == 0
     }
+
+    /// The raw counters `(sum, weighted, fingerprint, base)` — the complete
+    /// state of the sketch, for bit-exact serialization.
+    pub fn raw_parts(&self) -> (i64, i128, u64, u64) {
+        (self.sum, self.weighted, self.fingerprint, self.r)
+    }
+
+    /// Rebuilds a sketch from counters produced by [`OneSparse::raw_parts`].
+    /// The fingerprint must lie in `[0, p)` and the base in `[2, p)` — both
+    /// hold for every sketch this type ever constructs, so a violation means
+    /// the serialized state is corrupt.
+    pub fn from_raw_parts(
+        sum: i64,
+        weighted: i128,
+        fingerprint: u64,
+        r: u64,
+    ) -> Result<Self, crate::SketchError> {
+        if fingerprint >= FP_PRIME {
+            return Err(crate::SketchError::InvalidState {
+                what: "one-sparse fingerprint out of field range",
+            });
+        }
+        if !(2..FP_PRIME).contains(&r) {
+            return Err(crate::SketchError::InvalidState {
+                what: "one-sparse fingerprint base out of range",
+            });
+        }
+        Ok(OneSparse { sum, weighted, fingerprint, r })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,152 @@
+//! Sketch-backed ingestion for deletion-heavy streams with `IngestMode`.
+//!
+//! A sliding-window stream deletes (almost) as much as it inserts, so a
+//! journal that remembers every operation grows with the *stream* while the
+//! live graph stays bounded. Turnstile mode replaces the journal with a bank
+//! of linear sketches whose size depends only on `n` and the weight range:
+//! updates become O(polylog) sketch touches, shards merge exactly (linearity),
+//! and on commit a candidate edge set is recovered from the bank, shrunk
+//! through the deferred sparsifier and repaired locally. The demo shows the
+//! memory crossover, the worker-count invariance of a sketch session, the
+//! `Auto` hysteresis switch, and a bit-identical hibernate → revive cycle.
+//!
+//! ```bash
+//! cargo run --release --example turnstile
+//! ```
+
+use dual_primal_matching::engine::{DynamicConfig, DynamicMatcher, IngestMode};
+use dual_primal_matching::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// One epoch of a sliding-window stream: expire the block inserted `window`
+/// epochs ago with a single `ExpireWindow`, then insert a fresh block. Ids
+/// are arithmetic because the session starts from an empty graph.
+fn window_epoch(
+    epoch: usize,
+    n: usize,
+    per_epoch: usize,
+    window: usize,
+    rng: &mut StdRng,
+) -> Vec<GraphUpdate> {
+    let mut batch = Vec::new();
+    if epoch >= window {
+        let lo = (epoch - window) * per_epoch;
+        batch.push(GraphUpdate::ExpireWindow { lo, hi: lo + per_epoch });
+    }
+    for _ in 0..per_epoch {
+        let u = rng.gen_range(0..n as u32);
+        let mut v = rng.gen_range(0..(n - 1) as u32);
+        if v >= u {
+            v += 1;
+        }
+        batch.push(GraphUpdate::InsertEdge { u, v, w: rng.gen_range(1.0..10.0) });
+    }
+    batch
+}
+
+fn run_stream(
+    ingest: IngestMode,
+    n: usize,
+    per_epoch: usize,
+    window: usize,
+    epochs: usize,
+    workers: usize,
+) -> Result<DynamicMatcher, MwmError> {
+    let config = DynamicConfig {
+        eps: 0.3,
+        p: 2.0,
+        seed: 9,
+        ingest,
+        turnstile_max_weight: 16.0,
+        ..Default::default()
+    };
+    let mut dm = DynamicMatcher::from_empty(n, config)?;
+    let budget = ResourceBudget::unlimited().with_parallelism(workers);
+    let mut rng = StdRng::seed_from_u64(0xBAD_CAFE);
+    dm.apply_epoch(&[], &budget)?;
+    for e in 0..epochs {
+        dm.apply_epoch(&window_epoch(e, n, per_epoch, window, &mut rng), &budget)?;
+    }
+    Ok(dm)
+}
+
+fn main() -> Result<(), MwmError> {
+    let (n, per_epoch, window, epochs) = (24, 120, 3, 60);
+    println!(
+        "sliding-window stream: n = {n}, {per_epoch} inserts/epoch, window = {window}, \
+         {epochs} epochs ({} total inserts, ~{} live edges)",
+        per_epoch * epochs,
+        per_epoch * window,
+    );
+
+    // --- 1. Journal vs sketch memory on the same stream ---
+    let journal = run_stream(IngestMode::Journal, n, per_epoch, window, epochs, 1)?;
+    let sketch = run_stream(IngestMode::Turnstile, n, per_epoch, window, epochs, 1)?;
+    let js = journal.ledger().last().expect("ledger");
+    let ss = sketch.ledger().last().expect("ledger");
+    println!("\nresident update-state after the final epoch:");
+    println!("  journal mode: {:>8} journal bytes (grows with the stream)", js.journal_bytes);
+    println!(
+        "  sketch  mode: {:>8} journal bytes + {} sketch bytes (bounded by n and the \
+         weight range)",
+        ss.journal_bytes, ss.sketch_bytes
+    );
+    assert!(
+        ss.journal_bytes + ss.sketch_bytes < js.journal_bytes,
+        "the sketch bank must undercut the journal on this stream"
+    );
+    assert_eq!(
+        journal.weight().to_bits(),
+        sketch.weight().to_bits(),
+        "both modes commit the same matching on the same stream"
+    );
+    println!("  both modes agree on the committed weight: {:.2}", sketch.weight());
+
+    // --- 2. Sketch recovery is invariant under the worker count ---
+    let par = run_stream(IngestMode::Turnstile, n, per_epoch, window, epochs, 4)?;
+    assert_eq!(par.weight().to_bits(), sketch.weight().to_bits());
+    assert_eq!(
+        par.sketch_bank().map(|b| b.to_state()),
+        sketch.sketch_bank().map(|b| b.to_state()),
+        "linearity: shard merges make the bank a pure function of the live multiset"
+    );
+    println!("\n1-worker and 4-worker sketch sessions are bit-identical (bank state included)");
+
+    // --- 3. Auto mode switches on the observed delete fraction ---
+    let auto = DynamicConfig {
+        eps: 0.3,
+        p: 2.0,
+        seed: 9,
+        ingest: IngestMode::Auto,
+        turnstile_max_weight: 16.0,
+        ..Default::default()
+    };
+    let mut dm = DynamicMatcher::from_empty(n, auto)?;
+    let budget = ResourceBudget::unlimited();
+    let mut rng = StdRng::seed_from_u64(7);
+    dm.apply_epoch(&[], &budget)?;
+    println!("\nauto hysteresis (enter ≥ {:.0}% deletes, exit < {:.0}%):", 35.0, 15.0);
+    for e in 0..6 {
+        // Insert-only warmup for two epochs, then the expiring window kicks in
+        // and the delete fraction crosses the enter threshold.
+        let batch = window_epoch(e, n, per_epoch, 2, &mut rng);
+        let r = dm.apply_epoch(&batch, &budget)?;
+        println!(
+            "  epoch {e}: {:>7} ingestion ({} sketch bytes)",
+            if r.stats.sketch_mode { "sketch" } else { "journal" },
+            r.stats.sketch_bytes,
+        );
+    }
+    assert!(dm.sketch_bank().is_some(), "the expiring phase must have entered sketch mode");
+
+    // --- 4. Hibernate → revive is a bit-identical fixed point ---
+    let image = sketch.hibernate();
+    let back = DynamicMatcher::revive(&image).expect("valid image");
+    assert_eq!(back.hibernate(), image, "revive must be a fixed point, bank bytes included");
+    println!(
+        "\nhibernated the sketch session into a {}-byte image and revived it bit-identically",
+        image.payload_len(),
+    );
+    Ok(())
+}

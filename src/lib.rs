@@ -55,6 +55,9 @@
 //! * [`graph`] — graphs, generators, weight levels, matchings ([`mwm_graph`]).
 //! * [`sketch`] — ℓ0-samplers and AGM graph sketches ([`mwm_sketch`]).
 //! * [`sparsify`] — cut sparsifiers and deferred sparsifiers ([`mwm_sparsify`]).
+//! * [`turnstile`] — per-weight-class sketch banks for deletion-heavy dynamic
+//!   streams: mergeable shard state, candidate recovery, bit-exact
+//!   hibernation ([`mwm_turnstile`]).
 //! * [`lp`] — fractional covering/packing and the dual-primal engine ([`mwm_lp`]).
 //! * [`matching`] — offline matching substrates ([`mwm_matching`]).
 //! * [`mapreduce`] — MapReduce / streaming / congested-clique simulators ([`mwm_mapreduce`]).
@@ -84,6 +87,7 @@ pub use mwm_persist as persist;
 pub use mwm_serve as serve;
 pub use mwm_sketch as sketch;
 pub use mwm_sparsify as sparsify;
+pub use mwm_turnstile as turnstile;
 
 /// The engine facade: solver selection by name plus the engine API types.
 pub mod engine {
@@ -94,6 +98,7 @@ pub mod engine {
     };
     pub use mwm_dynamic::{
         CommittedSnapshot, CommittedView, DynamicConfig, DynamicMatcher, EpochDecision, EpochStats,
+        IngestMode,
     };
     pub use mwm_persist::{Hibernate, PersistError, SessionImage, SessionStore, WalRecord};
     pub use mwm_serve::{
@@ -247,7 +252,7 @@ pub mod prelude {
     };
     pub use mwm_dynamic::{
         CommittedSnapshot, CommittedView, DynamicConfig, DynamicMatcher, EpochDecision,
-        EpochReport, EpochStats,
+        EpochReport, EpochStats, IngestMode,
     };
     pub use mwm_external::{out_of_core_matching, ProcessPool, SpillWriter, SpilledShards};
     pub use mwm_graph::{
@@ -259,6 +264,7 @@ pub mod prelude {
         MatchingService, NetClient, Request, Response, ServeError, ServiceConfig, SessionStats,
         SocketServer,
     };
+    pub use mwm_turnstile::{SketchBank, TurnstileConfig};
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use dual_primal_matching::prelude::*;
 use dual_primal_matching::sketch::L0Sampler;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Builds a random graph from a proptest-chosen seed and size.
 fn graph_from(seed: u64, n: usize, m: usize, max_w: f64) -> Graph {
@@ -144,6 +144,58 @@ proptest! {
                     prop_assert!(false, "sampler missed a 1-sparse vector");
                 }
             }
+        }
+    }
+
+    /// The mass-expiry fast path is pure sugar: `ExpireWindow { lo, hi }`
+    /// followed by compaction leaves the overlay in exactly the state that
+    /// per-edge `DeleteEdge` over every live id in `[lo, hi)` (plus the same
+    /// compaction) would — same live edges, same remap, same materialized
+    /// graph, same resident footprint.
+    #[test]
+    fn mass_expiry_equals_per_edge_deletion(
+        seed in 0u64..300,
+        n in 4usize..24,
+        inserts in 1usize..40,
+        lo in 0usize..50,
+        span in 1usize..50,
+    ) {
+        let base = graph_from(seed, n, n, 6.0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE1);
+        let mut bulk = GraphOverlay::new(&base);
+        for _ in 0..inserts {
+            let u = rng.gen_range(0..n as u32);
+            let mut v = rng.gen_range(0..(n - 1) as u32);
+            if v >= u { v += 1; }
+            let w = rng.gen_range(1.0..6.0);
+            bulk.apply(&GraphUpdate::InsertEdge { u, v, w }).unwrap();
+        }
+        let mut one_by_one = bulk.clone();
+
+        let hi = lo + span;
+        bulk.apply(&GraphUpdate::ExpireWindow { lo, hi }).unwrap();
+        for id in lo..hi.min(one_by_one.next_edge_id()) {
+            if one_by_one.live_edge(id).is_some() {
+                one_by_one.apply(&GraphUpdate::DeleteEdge { id }).unwrap();
+            }
+        }
+
+        prop_assert_eq!(bulk.num_live_edges(), one_by_one.num_live_edges());
+        let live_a: Vec<_> = bulk.live_edge_iter().map(|(id, e)| (id, e.key(), e.w.to_bits())).collect();
+        let live_b: Vec<_> = one_by_one.live_edge_iter().map(|(id, e)| (id, e.key(), e.w.to_bits())).collect();
+        prop_assert_eq!(live_a, live_b, "live edge sets diverged before compaction");
+
+        let remap_a = bulk.compact();
+        let remap_b = one_by_one.compact();
+        prop_assert_eq!(remap_a, remap_b, "compaction remaps diverged");
+        prop_assert_eq!(bulk.resident_bytes(), one_by_one.resident_bytes());
+        let (ga, backs_a) = bulk.materialize();
+        let (gb, backs_b) = one_by_one.materialize();
+        prop_assert_eq!(backs_a, backs_b);
+        prop_assert_eq!(ga.num_edges(), gb.num_edges());
+        for (ea, eb) in ga.edges().iter().zip(gb.edges().iter()) {
+            prop_assert_eq!(ea.key(), eb.key());
+            prop_assert_eq!(ea.w.to_bits(), eb.w.to_bits());
         }
     }
 }

@@ -88,7 +88,7 @@ proptest! {
             b.update(idx, delta);
             *reference.entry(idx).or_insert(0) += delta;
         }
-        a.merge(&b);
+        a.merge(&b).expect("same-seed samplers are mergeable");
         reference.retain(|_, v| *v != 0);
         match a.sample() {
             Some((idx, val)) => prop_assert_eq!(reference.get(&idx), Some(&val)),

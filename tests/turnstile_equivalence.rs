@@ -1,0 +1,164 @@
+//! Property tests for turnstile (sketch-backed) dynamic sessions: any update
+//! stream ingested through the sketch bank must (a) be bit-identical across
+//! parallelism levels — linearity makes the bank a pure function of the live
+//! multiset, and recovery is seeded — (b) end in a certified-feasible matching
+//! within the approximation floor of a from-scratch solve, and (c) survive a
+//! hibernate → revive cycle as a bit-identical fixed point that continues the
+//! stream in lockstep with the original session.
+
+use dual_primal_matching::engine::{EpochDecision, IngestMode};
+use dual_primal_matching::prelude::*;
+use dual_primal_matching::solver::certify_b_matching;
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Epoch repair bottoms out at localized 2-swap repair over a greedy safety
+/// net, so a session never drops below the local-search floor.
+const APPROX_FLOOR: f64 = 0.66;
+
+/// Decodes one proptest tuple into a valid-by-construction update. Op 4 is the
+/// turnstile-specific mass expiry: a half-open window over recent stable ids
+/// (the overlay treats already-dead ids in the window as no-ops).
+fn decode_update(overlay_edges: usize, n: usize, op: u32, a: u64, b: u64, w: f64) -> GraphUpdate {
+    match op {
+        0 | 1 => {
+            let u = (a % n as u64) as u32;
+            let mut v = (b % (n as u64 - 1)) as u32;
+            if v >= u {
+                v += 1;
+            }
+            GraphUpdate::InsertEdge { u, v, w }
+        }
+        2 => GraphUpdate::DeleteEdge { id: (a as usize) % overlay_edges.max(1) },
+        3 => GraphUpdate::ReweightEdge { id: (a as usize) % overlay_edges.max(1), w },
+        _ => {
+            let lo = (a as usize) % overlay_edges.max(1);
+            GraphUpdate::ExpireWindow { lo, hi: lo + 1 + (b as usize) % 8 }
+        }
+    }
+}
+
+fn turnstile_config() -> DynamicConfig {
+    DynamicConfig {
+        eps: 0.3,
+        p: 2.0,
+        seed: 13,
+        ingest: IngestMode::Turnstile,
+        turnstile_max_weight: 16.0,
+        ..Default::default()
+    }
+}
+
+/// Runs one full turnstile session (bootstrap + one epoch per batch) at the
+/// given parallelism and returns a complete fingerprint of its observable
+/// history, final matching and sketch-bank state.
+#[allow(clippy::type_complexity)]
+fn run_session(
+    base: &Graph,
+    batches: &[Vec<(u32, u64, u64, f64)>],
+    workers: usize,
+) -> (DynamicMatcher, Vec<(EpochDecision, u64, usize, usize)>, Vec<(usize, u64)>) {
+    let n = base.num_vertices();
+    let mut dm = DynamicMatcher::new(base, turnstile_config()).expect("valid config");
+    let budget = ResourceBudget::unlimited().with_parallelism(workers);
+    let mut history = Vec::new();
+    dm.apply_epoch(&[], &budget).expect("bootstrap epoch");
+    for raw in batches {
+        let updates: Vec<GraphUpdate> = raw
+            .iter()
+            .map(|&(op, a, b, w)| decode_update(dm.overlay().next_edge_id(), n, op, a, b, w))
+            .collect();
+        let r = dm.apply_epoch(&updates, &budget).expect("unbudgeted epoch cannot fail");
+        assert!(r.stats.sketch_mode, "forced turnstile mode must ingest through the bank");
+        history.push((
+            r.stats.decision,
+            r.stats.weight.to_bits(),
+            r.stats.candidate_edges,
+            r.stats.region_edges,
+        ));
+    }
+    let mut edges: Vec<(usize, u64)> = dm.matching().iter().map(|(id, _, m)| (id, m)).collect();
+    edges.sort_unstable();
+    (dm, history, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The acceptance property of the turnstile subsystem, all three clauses
+    /// on one random stream per case.
+    #[test]
+    fn turnstile_sessions_are_invariant_feasible_and_revivable(
+        graph_seed in 0u64..200,
+        raw_updates in proptest::collection::vec((0u32..5, 0u64..100_000, 0u64..100_000, 1.0f64..9.0), 4..24),
+    ) {
+        let mut rng = StdRng::seed_from_u64(graph_seed);
+        let base = generators::gnm(20, 50, generators::WeightModel::Uniform(1.0, 9.0), &mut rng);
+        let batches: Vec<Vec<(u32, u64, u64, f64)>> =
+            raw_updates.chunks(6).map(|c| c.to_vec()).collect();
+
+        // (a) Parallelism is invisible, sketch-bank state included.
+        let (dm, history_1, edges_1) = run_session(&base, &batches, 1);
+        let (dm4, history_4, edges_4) = run_session(&base, &batches, 4);
+        prop_assert_eq!(&history_1, &history_4, "epoch history diverged across parallelism");
+        prop_assert_eq!(&edges_1, &edges_4, "final matching diverged across parallelism");
+        prop_assert_eq!(
+            dm.sketch_bank().map(|b| b.to_state()),
+            dm4.sketch_bank().map(|b| b.to_state()),
+            "sketch banks diverged across parallelism"
+        );
+
+        // (b) Certified feasibility + approximation floor on the final graph.
+        let (final_graph, back) = dm.overlay().materialize();
+        let mut fwd = vec![usize::MAX; dm.overlay().next_edge_id()];
+        for (mid, &oid) in back.iter().enumerate() {
+            fwd[oid] = mid;
+        }
+        let mut ours = BMatching::new();
+        for (oid, _, mult) in dm.matching().iter() {
+            prop_assert!(fwd[oid] != usize::MAX, "matching references a dead edge");
+            ours.add(fwd[oid], final_graph.edge(fwd[oid]), mult);
+        }
+        let cert = certify_b_matching(&final_graph, &ours);
+        prop_assert!(cert.feasible, "final matching failed the feasibility certificate");
+        let cold = DualPrimalSolver::new(
+            DualPrimalConfig { eps: 0.3, p: 2.0, seed: 13, ..Default::default() },
+        )
+        .unwrap()
+        .solve(&final_graph, &ResourceBudget::unlimited())
+        .unwrap();
+        prop_assert!(
+            dm.weight() >= APPROX_FLOOR * cold.weight - 1e-9,
+            "turnstile weight {} below {} of cold weight {}",
+            dm.weight(),
+            APPROX_FLOOR,
+            cold.weight
+        );
+
+        // (c) Hibernate → revive is a fixed point that continues in lockstep.
+        let image = dm.hibernate();
+        let mut revived = DynamicMatcher::revive(&image).expect("valid image");
+        prop_assert_eq!(revived.hibernate(), image, "revive must be a bit-identical fixed point");
+        let mut original = dm;
+        let next: Vec<GraphUpdate> = batches
+            .last()
+            .expect("at least one batch")
+            .iter()
+            .map(|&(op, a, b, w)| decode_update(original.overlay().next_edge_id(), 20, op, a, b, w))
+            .collect();
+        let budget = ResourceBudget::unlimited();
+        let ra = original.apply_epoch(&next, &budget).expect("epoch on original");
+        let rb = revived.apply_epoch(&next, &budget).expect("epoch on revived");
+        prop_assert_eq!(
+            ra.stats.weight.to_bits(),
+            rb.stats.weight.to_bits(),
+            "revived session diverged from the original on the next epoch"
+        );
+        prop_assert_eq!(
+            original.sketch_bank().map(|b| b.to_state()),
+            revived.sketch_bank().map(|b| b.to_state()),
+            "revived bank diverged from the original on the next epoch"
+        );
+    }
+}
