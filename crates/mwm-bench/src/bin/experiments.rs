@@ -9,7 +9,10 @@
 //!
 //! `--exp` takes a single id, a comma-separated list, or `all`; `--json`
 //! additionally writes every report as a flat machine-readable metrics file
-//! (see `mwm_bench::json`) for the CI regression comparison.
+//! (see `mwm_bench::json`) for the CI regression comparison. `--obs-dump`
+//! enables the global metrics registry (and the recording span subscriber)
+//! for the run and prints its text rendering after the tables — the same
+//! counters a served deployment exposes through the `Metrics` wire request.
 //!
 //! Exit codes: 0 on success, 1 when an experiment fails, 2 on bad arguments
 //! or an unknown experiment id.
@@ -22,9 +25,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut exp = "all".to_string();
     let mut json_path: Option<PathBuf> = None;
+    let mut obs_dump = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--obs-dump" => {
+                obs_dump = true;
+            }
             "--exp" => {
                 if i + 1 < args.len() {
                     exp = args[i + 1].clone();
@@ -44,7 +51,9 @@ fn main() {
                 }
             }
             "--help" | "-h" => {
-                println!("usage: experiments [--exp e1..e15|e1,e2,...|all] [--json <path>]");
+                println!(
+                    "usage: experiments [--exp e1..e15|e1,e2,...|all] [--json <path>] [--obs-dump]"
+                );
                 return;
             }
             other => {
@@ -53,6 +62,11 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if obs_dump {
+        mwm_obs::set_enabled(true);
+        mwm_obs::install_recording_subscriber();
     }
 
     let mut reports: Vec<ExperimentReport> = Vec::new();
@@ -86,5 +100,9 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote {} metrics to {}", json::metrics_for(&reports).len(), path.display());
+    }
+    if obs_dump {
+        println!("== observability dump ==");
+        print!("{}", mwm_obs::snapshot().render_text());
     }
 }

@@ -1371,6 +1371,40 @@ mod tests {
     }
 
     #[test]
+    fn observability_does_not_change_experiment_checksums() {
+        // The hard requirement of the metrics layer: every tap is
+        // write-only, so enabling the registry (plus the recording span
+        // subscriber) must not change a single output bit. E11 exercises
+        // the pass engine, E12 the dynamic session (damage passes, repairs,
+        // warm re-solves), E13 the full serving tier.
+        fn checksums(rep: &ExperimentReport) -> Vec<String> {
+            (0..rep.rows.len())
+                .map(|row| rep.cell(row, "checksum").expect("checksum column").to_string())
+                .collect()
+        }
+        fn run_all() -> Vec<String> {
+            let mut out = checksums(&e11_pass_throughput().unwrap());
+            out.extend(checksums(&e12_dynamic_stream().unwrap()));
+            out.extend(checksums(&e13_with(2, 60, 10, 2, 4).unwrap()));
+            out
+        }
+        mwm_obs::set_enabled(false);
+        let disabled = run_all();
+        mwm_obs::set_enabled(true);
+        mwm_obs::install_recording_subscriber();
+        let enabled = run_all();
+        mwm_obs::set_enabled(false);
+        assert!(!disabled.is_empty());
+        assert_eq!(
+            disabled, enabled,
+            "enabling the metrics registry changed an experiment checksum"
+        );
+        // The enabled run must actually have recorded engine activity.
+        let snap = mwm_obs::snapshot();
+        assert!(snap.counter_family("pass_total") > 0, "enabled run recorded no passes");
+    }
+
+    #[test]
     fn e11_is_bit_identical_across_worker_counts_and_scales_with_cores() {
         let mut best = e11_best_speedup();
         // Wall-clock speedup needs actual spare cores; on multi-core hosts

@@ -376,6 +376,7 @@ impl DualPrimalSolver {
         let cfg = &self.config;
         let eps = cfg.eps;
         let n = graph.num_vertices();
+        let _span = mwm_obs::span!("solve", vertices = n, edges = graph.num_edges());
         let levels = WeightLevels::new(graph, eps);
         let sim_cfg = MapReduceConfig {
             p: cfg.p,
@@ -551,6 +552,7 @@ impl DualPrimalSolver {
         tracker.merge(&engine.into_tracker());
 
         if let Some(PassError::BudgetExceeded { resource, .. }) = pass_error {
+            mwm_obs::counter!("solver_budget_aborts_total").inc();
             // The partial ledger is accurate — `used` counts exactly the
             // items streamed before the interrupt — and no matching is
             // returned, so a caller can never observe a torn result.
@@ -560,6 +562,16 @@ impl DualPrimalSolver {
                 limit: budget.max_streamed_items().unwrap_or(usize::MAX),
             });
         }
+
+        // Write-only taps: nothing read back, so outputs are bit-identical
+        // with the registry enabled or disabled.
+        if warm_started {
+            mwm_obs::counter!("solver_solves_total{warm=true}").inc();
+        } else {
+            mwm_obs::counter!("solver_solves_total{warm=false}").inc();
+        }
+        mwm_obs::counter!("solver_rounds_total").add(tracker.rounds() as u64);
+        mwm_obs::counter!("solver_oracle_iterations_total").add(ledger.oracle_iterations() as u64);
 
         let weight = best.weight();
         let final_duals = dual.snapshot(&levels);

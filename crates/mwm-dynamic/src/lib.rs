@@ -739,6 +739,7 @@ impl DynamicMatcher {
         updates: &[GraphUpdate],
         budget: &ResourceBudget,
     ) -> Result<EpochReport, MwmError> {
+        let _span = mwm_obs::span!("epoch", updates = updates.len());
         let workers = budget.parallelism().unwrap_or(self.config.parallelism).max(1);
         let mut engine =
             PassEngine::new(workers).with_budget(budget.pass_budget(self.tracker.items_streamed()));
@@ -954,10 +955,32 @@ impl DynamicMatcher {
             sketch_bytes: self.bank.as_ref().map_or(0, |b| b.resident_bytes()),
             audit,
         };
+        self.record_epoch_metrics(&stats);
         self.stats.push(stats.clone());
         self.epoch += 1;
         self.publish();
         Ok(EpochReport { stats, solve })
+    }
+
+    /// Folds one epoch's ledger row into the global metrics registry.
+    /// Write-only taps — nothing is read back into the repair/warm/rebuild
+    /// policy, so epoch outputs are bit-identical with metrics on or off.
+    fn record_epoch_metrics(&self, stats: &EpochStats) {
+        match stats.decision {
+            EpochDecision::Repair => mwm_obs::counter!("dynamic_epochs_total{decision=repair}"),
+            EpochDecision::WarmResolve => {
+                mwm_obs::counter!("dynamic_epochs_total{decision=warm}")
+            }
+            EpochDecision::Rebuild => mwm_obs::counter!("dynamic_epochs_total{decision=rebuild}"),
+        }
+        .inc();
+        mwm_obs::counter!("dynamic_updates_applied_total").add(stats.updates_applied as u64);
+        mwm_obs::counter!("dynamic_updates_rejected_total").add(stats.updates_rejected as u64);
+        mwm_obs::counter!("dynamic_solver_rounds_total").add(stats.solver_rounds as u64);
+        mwm_obs::histogram!("dynamic_region_edges", &mwm_obs::SIZE_BOUNDS)
+            .observe(stats.region_edges as f64);
+        mwm_obs::gauge!("dynamic_journal_bytes").set(stats.journal_bytes as i64);
+        mwm_obs::gauge!("dynamic_sketch_bytes").set(stats.sketch_bytes as i64);
     }
 
     /// Runs the fallible core of an epoch (repair pass or solver call) and
@@ -1330,6 +1353,23 @@ impl DynamicMatcher {
         out.sort_unstable();
         out.dedup();
         out
+    }
+}
+
+/// On-demand publication of the session's levels (the per-epoch counters
+/// record themselves as epochs commit).
+impl mwm_obs::Observable for DynamicMatcher {
+    fn obs_scope(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn publish_metrics(&self, registry: &mwm_obs::Registry) {
+        registry.gauge("dynamic_epochs").set(self.epochs() as i64);
+        registry.gauge("dynamic_journal_bytes").set(self.overlay().resident_bytes() as i64);
+        registry
+            .gauge("dynamic_sketch_bytes")
+            .set(self.sketch_bank().map_or(0, |b| b.resident_bytes()) as i64);
+        registry.gauge("dynamic_matching_edges").set(self.matching().num_edges() as i64);
     }
 }
 

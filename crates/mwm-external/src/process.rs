@@ -472,8 +472,12 @@ impl ShardExecutor for ProcessPool {
             for handle in pool.drain(..) {
                 handle.kill();
             }
+            mwm_obs::counter!("external_worker_failures_total").inc();
             return Err(err);
         }
+        // One round-trip per worker that had shards assigned this pass.
+        let active = assignments.iter().filter(|a| !a.is_empty()).count();
+        mwm_obs::counter!("external_worker_round_trips_total").add(active as u64);
         Ok(outcomes)
     }
 }

@@ -169,7 +169,9 @@ impl SpillWriter {
         }
         fs::write(&manifest_path, &manifest)
             .map_err(|e| SpillError::io(format!("write {}", manifest_path.display()), e))?;
-        SpilledShards::open(dir)
+        let spilled = SpilledShards::open(dir)?;
+        mwm_obs::counter!("external_spill_bytes_total").add(spilled.bytes_on_disk());
+        Ok(spilled)
     }
 
     /// Spills a whole [`EdgeSource`], **preserving its shard structure** (same
@@ -391,6 +393,7 @@ impl SpilledShards {
                     SpillError::io(format!("read {take} records from {}", path.display()), e)
                 })?;
                 self.io.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+                mwm_obs::counter!("external_readback_bytes_total").add(bytes as u64);
                 for chunk in buf[..bytes].chunks_exact(EDGE_RECORD_BYTES) {
                     let record: &[u8; EDGE_RECORD_BYTES] = chunk.try_into().expect("exact chunk");
                     let (id, e) = decode_edge_record(record);
@@ -441,6 +444,7 @@ impl SpilledShards {
                     SpillError::io(format!("read {take} records from {}", path.display()), e)
                 })?;
                 self.io.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+                mwm_obs::counter!("external_readback_bytes_total").add(bytes as u64);
                 for chunk in buf[..bytes].chunks_exact(EDGE_RECORD_BYTES) {
                     let record: &[u8; EDGE_RECORD_BYTES] = chunk.try_into().expect("exact chunk");
                     let (id, e) = decode_edge_record(record);

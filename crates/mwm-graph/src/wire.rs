@@ -25,7 +25,19 @@ pub const MAX_FRAME_BYTES: usize = 1 << 28;
 /// Shared by the multi-process shard protocol (`mwm-external`), the session
 /// image / write-ahead journal format (`mwm-persist`), and the socket front
 /// door (`mwm-serve`), so all on-disk and on-wire framing stays identical.
+///
+/// Payloads over [`MAX_FRAME_BYTES`] are rejected with `InvalidInput`
+/// *before* anything is written: the length prefix is a `u32`, so an
+/// unchecked `len as u32` would silently truncate and the peer would then
+/// misframe every subsequent byte of the stream. Since the cap is well
+/// below `u32::MAX`, the check also makes the narrowing cast lossless.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} exceeds cap {MAX_FRAME_BYTES}", payload.len()),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)
 }
@@ -119,6 +131,22 @@ mod tests {
         let torn = [5u8, 0, 0, 0, b'x'];
         let err = read_frame(&mut &torn[..]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "mid-frame EOF is an error");
+    }
+
+    #[test]
+    fn write_frame_rejects_oversize_payload_before_writing() {
+        // An unchecked `len as u32` would write a truncated header here and
+        // desynchronize the peer; the writer must refuse instead.
+        let oversize = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &oversize).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "nothing may reach the stream on rejection");
+
+        // The cap itself is still a legal frame.
+        let mut header_only = Vec::new();
+        write_frame(&mut header_only, &[]).unwrap();
+        assert_eq!(header_only, 0u32.to_le_bytes());
     }
 
     #[test]

@@ -1026,9 +1026,11 @@ impl PassEngine {
         F: Fn(&mut A, S::Item) + Sync,
     {
         self.tracker.charge_round();
+        let _span = mwm_obs::span!("pass", shards = source.num_shards());
         let limit = self.budget.max_items_streamed;
         let (accs, visited, exceeded) = self.run_items(source, &init, &fold, limit);
         self.tracker.charge_stream(visited);
+        Self::record_pass("items", visited, exceeded);
         if exceeded {
             // limit is Some whenever the exceeded flag can be set.
             let limit = limit.unwrap_or(usize::MAX);
@@ -1039,6 +1041,23 @@ impl PassEngine {
             });
         }
         Ok(accs)
+    }
+
+    /// Records one pass into the global metrics registry. Write-only taps:
+    /// nothing here feeds back into scheduling or accounting, so solver
+    /// outputs are bit-identical with the registry enabled or disabled.
+    fn record_pass(kind: &'static str, visited: usize, interrupted: bool) {
+        match kind {
+            "items" => mwm_obs::counter!("pass_total{kind=items}").inc(),
+            "batches" => mwm_obs::counter!("pass_total{kind=batches}").inc(),
+            "sequential" => mwm_obs::counter!("pass_total{kind=sequential}").inc(),
+            _ => mwm_obs::counter!("pass_total{kind=external}").inc(),
+        }
+        mwm_obs::counter!("pass_edges_total").add(visited as u64);
+        mwm_obs::histogram!("pass_edges", &mwm_obs::SIZE_BOUNDS).observe(visited as f64);
+        if interrupted {
+            mwm_obs::counter!("pass_budget_interrupts_total").inc();
+        }
     }
 
     /// Like [`PassEngine::pass_shards`] but merges the per-shard accumulators
@@ -1089,9 +1108,11 @@ impl PassEngine {
         F: Fn(&mut A, EdgeBatch<'_>) + Sync,
     {
         self.tracker.charge_round();
+        let _span = mwm_obs::span!("pass", shards = source.num_shards());
         let limit = self.budget.max_items_streamed;
         let (accs, visited, exceeded) = self.run_batches(source, &init, &fold, limit);
         self.tracker.charge_stream(visited);
+        Self::record_pass("batches", visited, exceeded);
         if exceeded {
             // limit is Some whenever the exceeded flag can be set.
             let limit = limit.unwrap_or(usize::MAX);
@@ -1193,6 +1214,7 @@ impl PassEngine {
                     Ok((accs, visited)) => {
                         self.tracker.charge_round();
                         self.tracker.charge_stream(visited);
+                        Self::record_pass("external", visited, false);
                         return Ok(accs);
                     }
                     Err(e @ PassError::BudgetExceeded { .. }) => return Err(e),
@@ -1230,6 +1252,7 @@ impl PassEngine {
         // a failed dispatch does not double-charge the ledger.
         self.tracker.charge_round();
         self.tracker.charge_stream(visited);
+        Self::record_pass("external", visited, false);
         Ok(accs)
     }
 
@@ -1333,6 +1356,7 @@ impl PassEngine {
                 break;
             }
         }
+        Self::record_pass("sequential", visited, exceeded);
         if exceeded {
             self.tracker.charge_stream(visited);
             return Err(PassError::BudgetExceeded {
@@ -1528,6 +1552,22 @@ impl PassEngine {
         let visited_total: usize = results.iter().map(|r| r.2).sum();
         let tripped = exceeded.into_inner();
         (results.into_iter().map(|(_, a, _)| a).collect(), visited_total, tripped)
+    }
+}
+
+/// On-demand publication of the engine's resource ledger (the per-pass
+/// counters record themselves as passes run).
+impl mwm_obs::Observable for PassEngine {
+    fn obs_scope(&self) -> &'static str {
+        "pass_engine"
+    }
+
+    fn publish_metrics(&self, registry: &mwm_obs::Registry) {
+        let t = self.tracker();
+        registry.gauge("pass_engine_rounds").set(t.rounds() as i64);
+        registry.gauge("pass_engine_items_streamed").set(t.items_streamed() as i64);
+        registry.gauge("pass_engine_peak_central_space").set(t.peak_central_space() as i64);
+        registry.gauge("pass_engine_shuffle_volume").set(t.shuffle_volume() as i64);
     }
 }
 

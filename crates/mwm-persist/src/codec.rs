@@ -9,6 +9,7 @@
 //! come back as descriptive `Err(String)`s for the caller to wrap in its own
 //! error type.
 
+use crate::PersistError;
 use mwm_dynamic::{DynamicConfig, EpochAudit, EpochDecision, EpochStats, IngestMode, SessionState};
 use mwm_graph::{Edge, Graph, GraphUpdate, OverlayState};
 use mwm_lp::{DualSnapshot, OddSetDual, VertexDual};
@@ -72,17 +73,32 @@ impl ByteWriter {
         self.u8(u8::from(v));
     }
 
-    /// Appends a string as `len: u32` + UTF-8 bytes.
-    pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+    /// Appends a string as `len: u32` + UTF-8 bytes. Fails if the string
+    /// is too long for the `u32` length prefix.
+    pub fn str(&mut self, s: &str) -> Result<(), PersistError> {
+        self.u32(u32_len(s.len(), "string")?);
         self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 
-    /// Appends raw bytes as `len: u32` + bytes.
-    pub fn bytes(&mut self, b: &[u8]) {
-        self.u32(b.len() as u32);
+    /// Appends raw bytes as `len: u32` + bytes. Fails if the slice is too
+    /// long for the `u32` length prefix.
+    pub fn bytes(&mut self, b: &[u8]) -> Result<(), PersistError> {
+        self.u32(u32_len(b.len(), "byte slice")?);
         self.buf.extend_from_slice(b);
+        Ok(())
     }
+}
+
+/// Checked narrowing of a collection length to the codec's `u32` count
+/// prefix. An unchecked `len() as u32` would wrap for collections over
+/// `u32::MAX` entries and encode an image whose count prefixes disagree
+/// with the payload — corruption the decoder cannot distinguish from bit
+/// rot. Every count-prefix encode site must go through this helper.
+pub fn u32_len(len: usize, what: &str) -> Result<u32, PersistError> {
+    u32::try_from(len).map_err(|_| {
+        PersistError::corrupt(format!("{what} length {len} exceeds the u32 count prefix"))
+    })
 }
 
 /// A cursor over encoded bytes whose typed take methods fail with a
@@ -262,11 +278,12 @@ pub fn decode_update(r: &mut ByteReader<'_>) -> Result<GraphUpdate, String> {
 }
 
 /// Encodes a batch of updates with a count prefix.
-pub fn encode_updates(w: &mut ByteWriter, updates: &[GraphUpdate]) {
-    w.u32(updates.len() as u32);
+pub fn encode_updates(w: &mut ByteWriter, updates: &[GraphUpdate]) -> Result<(), PersistError> {
+    w.u32(u32_len(updates.len(), "update batch")?);
     for u in updates {
         encode_update(w, u);
     }
+    Ok(())
 }
 
 /// Decodes a count-prefixed batch of updates.
@@ -337,27 +354,28 @@ pub fn decode_config(r: &mut ByteReader<'_>) -> Result<DynamicConfig, String> {
 // ---- dual snapshots ------------------------------------------------------
 
 /// Encodes a [`DualSnapshot`] field by field (bit-exact floats).
-pub fn encode_duals(w: &mut ByteWriter, d: &DualSnapshot) {
+pub fn encode_duals(w: &mut ByteWriter, d: &DualSnapshot) -> Result<(), PersistError> {
     w.f64(d.eps);
     w.f64(d.scale);
     w.u64(d.num_levels as u64);
-    w.u32(d.vertex_duals.len() as u32);
+    w.u32(u32_len(d.vertex_duals.len(), "vertex-dual list")?);
     for vd in &d.vertex_duals {
         w.u32(vd.vertex);
         w.u64(vd.level as u64);
         w.f64(vd.level_weight);
         w.f64(vd.value);
     }
-    w.u32(d.odd_sets.len() as u32);
+    w.u32(u32_len(d.odd_sets.len(), "odd-set list")?);
     for os in &d.odd_sets {
         w.u64(os.level as u64);
         w.f64(os.level_weight);
-        w.u32(os.members.len() as u32);
+        w.u32(u32_len(os.members.len(), "odd-set members")?);
         for &m in &os.members {
             w.u32(m);
         }
         w.f64(os.value);
     }
+    Ok(())
 }
 
 /// Decodes a [`DualSnapshot`].
@@ -485,17 +503,18 @@ pub fn decode_stats(r: &mut ByteReader<'_>) -> Result<EpochStats, String> {
 // ---- graphs --------------------------------------------------------------
 
 /// Encodes a [`Graph`] as capacities + edges (bit-exact weights).
-pub fn encode_graph(w: &mut ByteWriter, g: &Graph) {
-    w.u32(g.num_vertices() as u32);
+pub fn encode_graph(w: &mut ByteWriter, g: &Graph) -> Result<(), PersistError> {
+    w.u32(u32_len(g.num_vertices(), "graph vertices")?);
     for v in 0..g.num_vertices() {
         w.u64(g.b(v as u32));
     }
-    w.u32(g.num_edges() as u32);
+    w.u32(u32_len(g.num_edges(), "graph edges")?);
     for e in g.edges() {
         w.u32(e.u);
         w.u32(e.v);
         w.f64(e.w);
     }
+    Ok(())
 }
 
 /// Decodes a [`Graph`] written by [`encode_graph`].
@@ -527,9 +546,9 @@ pub fn decode_graph(r: &mut ByteReader<'_>) -> Result<Graph, String> {
 
 // ---- full session state --------------------------------------------------
 
-fn encode_overlay(w: &mut ByteWriter, o: &OverlayState) {
+fn encode_overlay(w: &mut ByteWriter, o: &OverlayState) -> Result<(), PersistError> {
     w.u64(o.base as u64);
-    w.u32(o.edges.len() as u32);
+    w.u32(u32_len(o.edges.len(), "overlay edges")?);
     for e in &o.edges {
         w.u32(e.u);
         w.u32(e.v);
@@ -538,7 +557,7 @@ fn encode_overlay(w: &mut ByteWriter, o: &OverlayState) {
     for &a in &o.alive {
         w.bool(a);
     }
-    w.u32(o.capacities.len() as u32);
+    w.u32(u32_len(o.capacities.len(), "overlay capacities")?);
     for &b in &o.capacities {
         w.u64(b);
     }
@@ -547,6 +566,7 @@ fn encode_overlay(w: &mut ByteWriter, o: &OverlayState) {
     }
     w.u64(o.version);
     w.u64(o.applied);
+    Ok(())
 }
 
 fn decode_overlay(r: &mut ByteReader<'_>) -> Result<OverlayState, String> {
@@ -589,7 +609,7 @@ fn decode_overlay(r: &mut ByteReader<'_>) -> Result<OverlayState, String> {
 // ---- sketch banks --------------------------------------------------------
 
 /// Encodes a [`SketchBankState`] (the hibernated turnstile sketch bank).
-pub fn encode_bank(w: &mut ByteWriter, b: &SketchBankState) {
+pub fn encode_bank(w: &mut ByteWriter, b: &SketchBankState) -> Result<(), PersistError> {
     w.u64(b.num_vertices);
     w.u64(b.eps_bits);
     w.u64(b.scale_bits);
@@ -597,14 +617,15 @@ pub fn encode_bank(w: &mut ByteWriter, b: &SketchBankState) {
     w.u64(b.forest_copies);
     w.u64(b.reps);
     w.u64(b.seed);
-    w.u32(b.class_support.len() as u32);
+    w.u32(u32_len(b.class_support.len(), "bank class support")?);
     for &s in &b.class_support {
         w.u64(s as u64);
     }
-    w.u32(b.cell_words.len() as u32);
+    w.u32(u32_len(b.cell_words.len(), "bank cell words")?);
     for &word in &b.cell_words {
         w.u64(word);
     }
+    Ok(())
 }
 
 /// Decodes a [`SketchBankState`]. Structural errors only — shape validation
@@ -641,10 +662,10 @@ pub fn decode_bank(r: &mut ByteReader<'_>) -> Result<SketchBankState, String> {
 }
 
 /// Encodes a complete [`SessionState`].
-pub fn encode_session_state(w: &mut ByteWriter, s: &SessionState) {
+pub fn encode_session_state(w: &mut ByteWriter, s: &SessionState) -> Result<(), PersistError> {
     encode_config(w, &s.config);
-    encode_overlay(w, &s.overlay);
-    w.u32(s.matching.len() as u32);
+    encode_overlay(w, &s.overlay)?;
+    w.u32(u32_len(s.matching.len(), "matching entries")?);
     for &(id, e, mult) in &s.matching {
         w.u64(id as u64);
         w.u32(e.u);
@@ -656,12 +677,12 @@ pub fn encode_session_state(w: &mut ByteWriter, s: &SessionState) {
         None => w.u8(0),
         Some(d) => {
             w.u8(1);
-            encode_duals(w, d);
+            encode_duals(w, d)?;
         }
     }
     w.u64(s.epoch);
     w.bool(s.bootstrapped);
-    w.u32(s.ledger.len() as u32);
+    w.u32(u32_len(s.ledger.len(), "ledger rows")?);
     for row in &s.ledger {
         encode_stats(w, row);
     }
@@ -676,9 +697,10 @@ pub fn encode_session_state(w: &mut ByteWriter, s: &SessionState) {
         None => w.u8(0),
         Some(b) => {
             w.u8(1);
-            encode_bank(w, b);
+            encode_bank(w, b)?;
         }
     }
+    Ok(())
 }
 
 /// Decodes a complete [`SessionState`]. Structural errors only — semantic
@@ -753,7 +775,7 @@ mod tests {
             GraphUpdate::ExpireWindow { lo: 3, hi: 11 },
         ];
         let mut w = ByteWriter::new();
-        encode_updates(&mut w, &updates);
+        encode_updates(&mut w, &updates).unwrap();
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         let back = decode_updates(&mut r).unwrap();
@@ -776,7 +798,7 @@ mod tests {
             }],
         };
         let mut w = ByteWriter::new();
-        encode_duals(&mut w, &d);
+        encode_duals(&mut w, &d).unwrap();
         let bytes = w.into_bytes();
         let back = decode_duals(&mut ByteReader::new(&bytes)).unwrap();
         assert_eq!(back.fingerprint(), d.fingerprint(), "bit-exact round trip");
@@ -788,7 +810,7 @@ mod tests {
         g.add_edge(0, 1, 1.25);
         g.add_edge(1, 2, 3.5);
         let mut w = ByteWriter::new();
-        encode_graph(&mut w, &g);
+        encode_graph(&mut w, &g).unwrap();
         let bytes = w.into_bytes();
         let back = decode_graph(&mut ByteReader::new(&bytes)).unwrap();
         assert_eq!(back.num_vertices(), 3);
@@ -816,6 +838,20 @@ mod tests {
         for cut in 0..bytes.len() {
             let mut r = ByteReader::new(&bytes[..cut]);
             assert!(decode_update(&mut r).is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn u32_len_accepts_u32_range_and_rejects_overflow() {
+        assert_eq!(u32_len(0, "x").unwrap(), 0);
+        assert_eq!(u32_len(u32::MAX as usize, "x").unwrap(), u32::MAX);
+        let err = u32_len(u32::MAX as usize + 1, "widget list").unwrap_err();
+        match err {
+            PersistError::Corrupt { context } => {
+                assert!(context.contains("widget list"), "context names the field: {context}");
+                assert!(context.contains("u32"), "context names the prefix: {context}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
         }
     }
 

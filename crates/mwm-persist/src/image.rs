@@ -33,8 +33,9 @@ pub const IMAGE_VERSION: u32 = 2;
 const HEADER_BYTES: usize = 8 + 4 + 8 + 8;
 
 /// A validated, immutable session image (the encoded payload plus its
-/// checksum). Constructing one from a session is infallible; every decoding
-/// path is typed.
+/// checksum). Encoding and every decoding path are typed-fallible: a
+/// session whose collections overflow the codec's `u32` count prefixes
+/// surfaces as [`PersistError::Corrupt`] instead of a corrupt image.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SessionImage {
     payload: Vec<u8>,
@@ -43,12 +44,12 @@ pub struct SessionImage {
 
 impl SessionImage {
     /// Serializes a session into an image (`O(journal + ledger)`).
-    pub fn from_session(dm: &DynamicMatcher) -> SessionImage {
+    pub fn from_session(dm: &DynamicMatcher) -> Result<SessionImage, PersistError> {
         let mut w = ByteWriter::new();
-        encode_session_state(&mut w, &dm.export_state());
+        encode_session_state(&mut w, &dm.export_state())?;
         let payload = w.into_bytes();
         let checksum = fnv1a(&payload);
-        SessionImage { payload, checksum }
+        Ok(SessionImage { payload, checksum })
     }
 
     /// Decodes and revalidates the image into a live session. The decoded
@@ -153,14 +154,15 @@ impl SessionImage {
 /// `mwm-dynamic` depending on this crate. Import the trait and write
 /// `dm.hibernate()` / `DynamicMatcher::revive(&image)`.
 pub trait Hibernate: Sized {
-    /// Serializes the session into a portable image.
-    fn hibernate(&self) -> SessionImage;
+    /// Serializes the session into a portable image. Fails only if the
+    /// session's collections overflow the codec's `u32` count prefixes.
+    fn hibernate(&self) -> Result<SessionImage, PersistError>;
     /// Restores a session from an image, bit-identical to the hibernated one.
     fn revive(image: &SessionImage) -> Result<Self, PersistError>;
 }
 
 impl Hibernate for DynamicMatcher {
-    fn hibernate(&self) -> SessionImage {
+    fn hibernate(&self) -> Result<SessionImage, PersistError> {
         SessionImage::from_session(self)
     }
 
@@ -195,7 +197,7 @@ mod tests {
     #[test]
     fn hibernate_revive_is_bit_identical() {
         let dm = session();
-        let image = dm.hibernate();
+        let image = dm.hibernate().unwrap();
         let back = DynamicMatcher::revive(&image).unwrap();
         assert_eq!(back.weight().to_bits(), dm.weight().to_bits());
         assert_eq!(back.epochs(), dm.epochs());
@@ -203,7 +205,7 @@ mod tests {
         assert_eq!(back.duals().map(|d| d.fingerprint()), dm.duals().map(|d| d.fingerprint()));
         // The image of the revived session is byte-identical: write→open→write
         // is a fixed point at the session level too.
-        assert_eq!(back.hibernate(), image);
+        assert_eq!(back.hibernate().unwrap(), image);
     }
 
     #[test]
@@ -227,7 +229,7 @@ mod tests {
         .unwrap();
         assert!(dm.sketch_bank().is_some(), "turnstile session must carry a bank");
 
-        let image = dm.hibernate();
+        let image = dm.hibernate().unwrap();
         let back = DynamicMatcher::revive(&image).unwrap();
         assert_eq!(
             back.sketch_bank().map(|b| b.to_state()),
@@ -235,7 +237,7 @@ mod tests {
             "revived bank must be bit-identical"
         );
         // Revive → hibernate is a fixed point, bank bytes included.
-        assert_eq!(back.hibernate(), image);
+        assert_eq!(back.hibernate().unwrap(), image);
     }
 
     #[test]
@@ -243,7 +245,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("mwm-image-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("s.img");
-        let image = session().hibernate();
+        let image = session().hibernate().unwrap();
         image.write(&path).unwrap();
         assert_eq!(SessionImage::open(&path).unwrap(), image);
 

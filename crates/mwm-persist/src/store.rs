@@ -29,7 +29,7 @@ use mwm_core::ResourceBudget;
 use mwm_dynamic::DynamicMatcher;
 use mwm_graph::{read_frame, write_frame, GraphUpdate};
 
-use crate::codec::{decode_updates, encode_updates, ByteReader, ByteWriter};
+use crate::codec::{self, decode_updates, encode_updates, ByteReader, ByteWriter};
 use crate::image::SessionImage;
 use crate::{fnv1a, PersistError};
 
@@ -61,20 +61,20 @@ pub enum WalRecord {
     },
 }
 
-fn encode_wal_record(rec: &WalRecord) -> Vec<u8> {
+fn encode_wal_record(rec: &WalRecord) -> Result<Vec<u8>, PersistError> {
     let mut w = ByteWriter::new();
     match rec {
         WalRecord::Batch { epoch, updates } => {
             w.u8(WAL_TAG_BATCH);
             w.u64(*epoch);
-            encode_updates(&mut w, updates);
+            encode_updates(&mut w, updates)?;
         }
         WalRecord::Compact { version } => {
             w.u8(WAL_TAG_COMPACT);
             w.u64(*version);
         }
     }
-    w.into_bytes()
+    Ok(w.into_bytes())
 }
 
 fn decode_wal_record(payload: &[u8]) -> Result<WalRecord, String> {
@@ -219,10 +219,10 @@ impl SessionStore {
 
     fn write_manifest(&self) -> Result<(), PersistError> {
         let mut w = ByteWriter::new();
-        w.u32(self.manifest.len() as u32);
+        w.u32(codec::u32_len(self.manifest.len(), "manifest entries")?);
         for (name, stem) in &self.manifest {
-            w.str(name);
-            w.str(stem);
+            w.str(name)?;
+            w.str(stem)?;
         }
         let payload = w.into_bytes();
         let mut out = Vec::with_capacity(28 + payload.len());
@@ -252,7 +252,7 @@ impl SessionStore {
                 stem
             }
         };
-        SessionImage::from_session(dm).write(&self.image_path(&stem))?;
+        SessionImage::from_session(dm)?.write(&self.image_path(&stem))?;
         // An absent journal is the common case; removal failure only means a
         // few already-applied records get skipped on the next load.
         fs::remove_file(self.wal_path(&stem)).ok();
@@ -275,7 +275,10 @@ impl SessionStore {
         if fresh {
             buf.extend_from_slice(WAL_MAGIC);
         }
-        write_frame(&mut buf, &encode_wal_record(record)).expect("vec write is infallible");
+        // The frame cap guards the record size too: an oversized batch is a
+        // typed error here, never a truncated length header on disk.
+        write_frame(&mut buf, &encode_wal_record(record)?)
+            .map_err(|e| PersistError::io(ctx("framing record for"), e))?;
         f.write_all(&buf).map_err(|e| PersistError::io(ctx("appending to"), e))?;
         f.flush().map_err(|e| PersistError::io(ctx("flushing"), e))
     }
@@ -458,6 +461,7 @@ mod tests {
 
         // Simulate the torn checkpoint: write the image but keep the journal.
         SessionImage::from_session(&dm)
+            .unwrap()
             .write(&store.image_path(store.stem_of("s").unwrap()))
             .unwrap();
         let (recovered, replayed) = store.load("s").unwrap();
@@ -522,7 +526,7 @@ mod tests {
             WalRecord::Batch { epoch: 0, updates: vec![] },
             WalRecord::Compact { version: 99 },
         ] {
-            assert_eq!(decode_wal_record(&encode_wal_record(&rec)).unwrap(), rec);
+            assert_eq!(decode_wal_record(&encode_wal_record(&rec).unwrap()).unwrap(), rec);
         }
         assert!(decode_wal_record(&[9, 9]).is_err());
     }

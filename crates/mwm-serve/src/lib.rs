@@ -525,6 +525,9 @@ struct Shard {
     queue: Mutex<ShardQueue>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// `serve_queue_depth{worker=i}` — set after every push and pop, so a
+    /// live scrape sees each worker's backlog.
+    depth_gauge: Arc<mwm_obs::Gauge>,
 }
 
 struct ShardQueue {
@@ -533,11 +536,13 @@ struct ShardQueue {
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new(index: usize) -> Self {
         Shard {
             queue: Mutex::new(ShardQueue { jobs: VecDeque::new(), closed: false }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            depth_gauge: mwm_obs::global()
+                .gauge_with("serve_queue_depth", &[("worker", &index.to_string())]),
         }
     }
 }
@@ -580,10 +585,12 @@ impl Pool {
     fn reserve(&self) -> Result<usize, ServeError> {
         let mut st = self.state.lock().expect("pool lock poisoned");
         if st.used >= self.limit {
+            mwm_obs::counter!("serve_admission_denied_total").inc();
             return Err(ServeError::AdmissionDenied { used: st.used, limit: self.limit });
         }
         let grant = self.limit - st.used - st.reserved.min(self.limit - st.used);
         st.reserved += grant;
+        mwm_obs::counter!("serve_pool_reservations_total").inc();
         Ok(grant)
     }
 
@@ -599,6 +606,8 @@ impl Pool {
             None => consumed,
         };
         st.used += charge;
+        mwm_obs::counter!("serve_pool_refunds_total").inc();
+        mwm_obs::gauge!("serve_pool_used").set(st.used as i64);
     }
 
     fn used(&self) -> usize {
@@ -681,7 +690,7 @@ impl MatchingService {
                 }))
             }
         };
-        let shards: Arc<Vec<Shard>> = Arc::new((0..config.workers).map(|_| Shard::new()).collect());
+        let shards: Arc<Vec<Shard>> = Arc::new((0..config.workers).map(Shard::new).collect());
         let views = Arc::new(Mutex::new(HashMap::new()));
         let pool = config
             .max_streamed_items
@@ -768,9 +777,11 @@ impl MatchingService {
             q = shard.not_full.wait(q).expect("submission queue lock poisoned");
         }
         q.jobs.push_back(Job { request, completer });
+        shard.depth_gauge.set(q.jobs.len() as i64);
         drop(q);
         shard.not_empty.notify_one();
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        mwm_obs::counter!("serve_requests_total").inc();
         Ok(ticket)
     }
 
@@ -947,6 +958,21 @@ impl Drop for MatchingService {
     }
 }
 
+/// On-demand publication of the service's levels (event-time counters like
+/// `serve_requests_total` record themselves as requests flow).
+impl mwm_obs::Observable for MatchingService {
+    fn obs_scope(&self) -> &'static str {
+        "serve"
+    }
+
+    fn publish_metrics(&self, registry: &mwm_obs::Registry) {
+        registry.gauge("serve_sessions").set(self.sessions().len() as i64);
+        registry.gauge("serve_pool_used").set(self.pool_used() as i64);
+        registry.gauge("serve_requests_submitted").set(self.requests_submitted() as i64);
+        registry.gauge("serve_requests_served").set(self.requests_served() as i64);
+    }
+}
+
 /// One worker: drains its shard's queue in FIFO order, owning every session
 /// hashed to it (no locks around session state — a session is touched by
 /// exactly one thread for its whole life, resident or hibernated). With
@@ -959,6 +985,7 @@ fn worker_loop(shard: &Shard, ctx: &WorkerCtx) {
             let mut q = shard.queue.lock().expect("submission queue lock poisoned");
             loop {
                 if let Some(job) = q.jobs.pop_front() {
+                    shard.depth_gauge.set(q.jobs.len() as i64);
                     break Some(job);
                 }
                 if q.closed {
@@ -1007,8 +1034,12 @@ fn resolve<'a>(
             }
             store.load(name)?
         };
-        let elapsed_ms = clock.elapsed().as_secs_f64() * 1e3;
+        let elapsed = clock.elapsed();
+        let elapsed_ms = elapsed.as_secs_f64() * 1e3;
         persist.revive_ms.lock().expect("latency ledger poisoned").push(elapsed_ms);
+        mwm_obs::counter!("serve_revives_total").inc();
+        mwm_obs::histogram!("serve_revive_seconds", &mwm_obs::LATENCY_SECONDS_BOUNDS)
+            .observe_duration(elapsed);
         *sessions.revives.entry(name.to_string()).or_insert(0) += 1;
         ctx.views
             .lock()
@@ -1026,9 +1057,13 @@ fn resolve<'a>(
 /// losing state, and the next sweep retries.
 fn hibernate_one(name: &str, sessions: &mut WorkerSessions, persist: &PersistCtx) -> bool {
     let Some(res) = sessions.resident.get(name) else { return false };
+    let clock = Instant::now();
     let saved = persist.store.lock().expect("store lock poisoned").save(name, &res.dm);
     match saved {
         Ok(()) => {
+            mwm_obs::counter!("serve_hibernates_total").inc();
+            mwm_obs::histogram!("serve_hibernate_seconds", &mwm_obs::LATENCY_SECONDS_BOUNDS)
+                .observe_duration(clock.elapsed());
             sessions.resident.remove(name);
             true
         }

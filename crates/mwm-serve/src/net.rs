@@ -16,6 +16,7 @@
 //!             5 QueryWeight     body = —
 //!             6 SnapshotStats   body = —
 //!             7 CompactSession  body = —
+//!             8 Metrics         body = —   (session must be empty)
 //! response  0x80+tag on success (same numbering), body per variant
 //!           0xFF on error: code u8 | a u64 | b u64 | msg str
 //!             1 UnknownSession        msg = session
@@ -38,6 +39,10 @@
 //! deadline or fails as [`ServeError::Timeout`] (the request itself may
 //! still commit — the deadline bounds the wait, not the work).
 //!
+//! `Metrics` is served by the connection thread itself from the process-wide
+//! `mwm_obs` registry — it never enters the service queue, so a scrape
+//! works even when every worker is busy or the admission pool is exhausted.
+//!
 //! One thread per connection, requests on a connection processed strictly
 //! in order (pipelining is the service's job — open more connections for
 //! parallelism). Malformed frames are answered with a typed `Corrupt` error
@@ -55,10 +60,12 @@ use std::time::Duration;
 use mwm_core::MwmError;
 use mwm_dynamic::{DynamicConfig, EpochStats};
 use mwm_graph::{read_frame, write_frame, Edge, Graph, GraphUpdate};
+use mwm_obs::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
 use mwm_persist::codec::{
     decode_config, decode_graph, decode_stats, decode_updates, encode_config, encode_graph,
-    encode_stats, encode_updates, ByteReader, ByteWriter,
+    encode_stats, encode_updates, u32_len, ByteReader, ByteWriter,
 };
+use mwm_persist::PersistError;
 
 use crate::{MatchingService, Request, Response, ServeError, SessionStats};
 
@@ -69,6 +76,7 @@ const REQ_MATCHING: u8 = 4;
 const REQ_WEIGHT: u8 = 5;
 const REQ_STATS: u8 = 6;
 const REQ_COMPACT: u8 = 7;
+const REQ_METRICS: u8 = 8;
 const RESP_OK_BASE: u8 = 0x80;
 const RESP_ERR: u8 = 0xFF;
 
@@ -90,6 +98,7 @@ enum WireRequest {
     Weight { session: String },
     Stats { session: String },
     Compact { session: String },
+    Metrics,
 }
 
 fn decode_request(payload: &[u8]) -> Result<WireRequest, String> {
@@ -119,14 +128,20 @@ fn decode_request(payload: &[u8]) -> Result<WireRequest, String> {
         REQ_WEIGHT => WireRequest::Weight { session },
         REQ_STATS => WireRequest::Stats { session },
         REQ_COMPACT => WireRequest::Compact { session },
+        REQ_METRICS => {
+            if !session.is_empty() {
+                return Err(format!("metrics request names a session ({session:?})"));
+            }
+            WireRequest::Metrics
+        }
         tag => return Err(format!("unknown request tag {tag}")),
     };
     r.finish("wire request")?;
     Ok(req)
 }
 
-fn encode_session_stats(w: &mut ByteWriter, s: &SessionStats) {
-    w.str(&s.session);
+fn encode_session_stats(w: &mut ByteWriter, s: &SessionStats) -> Result<(), PersistError> {
+    w.str(&s.session)?;
     w.u64(s.epochs as u64);
     w.u64(s.version);
     w.f64(s.weight);
@@ -139,6 +154,7 @@ fn encode_session_stats(w: &mut ByteWriter, s: &SessionStats) {
     w.u64(s.rebuilds as u64);
     w.u64(s.revives as u64);
     w.u64(s.duals_checksum);
+    Ok(())
 }
 
 fn decode_session_stats(r: &mut ByteReader<'_>) -> Result<SessionStats, String> {
@@ -159,7 +175,7 @@ fn decode_session_stats(r: &mut ByteReader<'_>) -> Result<SessionStats, String> 
     })
 }
 
-fn encode_error(w: &mut ByteWriter, e: &ServeError) {
+fn encode_error(w: &mut ByteWriter, e: &ServeError) -> Result<(), PersistError> {
     w.u8(RESP_ERR);
     let (code, a, b, msg): (u8, u64, u64, String) = match e {
         ServeError::UnknownSession { session } => (1, 0, 0, session.clone()),
@@ -179,7 +195,8 @@ fn encode_error(w: &mut ByteWriter, e: &ServeError) {
     w.u8(code);
     w.u64(a);
     w.u64(b);
-    w.str(&msg);
+    w.str(&msg)?;
+    Ok(())
 }
 
 fn decode_error(r: &mut ByteReader<'_>) -> Result<ServeError, String> {
@@ -205,7 +222,7 @@ fn decode_error(r: &mut ByteReader<'_>) -> Result<ServeError, String> {
     })
 }
 
-fn encode_response(result: &Result<Response, ServeError>) -> Vec<u8> {
+fn encode_response(result: &Result<Response, ServeError>) -> Result<Vec<u8>, PersistError> {
     let mut w = ByteWriter::new();
     match result {
         Ok(Response::Created) => w.u8(RESP_OK_BASE + REQ_CREATE),
@@ -223,7 +240,7 @@ fn encode_response(result: &Result<Response, ServeError>) -> Vec<u8> {
             w.u64(snapshot.version);
             w.f64(snapshot.weight);
             let entries: Vec<_> = snapshot.matching.iter().collect();
-            w.u32(entries.len() as u32);
+            w.u32(u32_len(entries.len(), "matching entries")?);
             for (id, e, mult) in entries {
                 w.u64(id as u64);
                 w.u32(e.u);
@@ -240,15 +257,106 @@ fn encode_response(result: &Result<Response, ServeError>) -> Vec<u8> {
         }
         Ok(Response::Stats { stats }) => {
             w.u8(RESP_OK_BASE + REQ_STATS);
-            encode_session_stats(&mut w, stats);
+            encode_session_stats(&mut w, stats)?;
         }
         Ok(Response::Compacted { reclaimed }) => {
             w.u8(RESP_OK_BASE + REQ_COMPACT);
             w.u64(*reclaimed as u64);
         }
-        Err(e) => encode_error(&mut w, e),
+        Err(e) => encode_error(&mut w, e)?,
     }
-    w.into_bytes()
+    Ok(w.into_bytes())
+}
+
+/// Encodes a reply frame, falling back to a short typed error frame if the
+/// real reply does not fit the codec (e.g. a string over the `u32` length
+/// prefix). The fallback is a few hundred bytes at most, so its own encode
+/// cannot fail.
+fn encode_response_or_fallback(result: &Result<Response, ServeError>) -> Vec<u8> {
+    encode_response(result).unwrap_or_else(|e| {
+        let mut context = format!("encoding response: {e}");
+        context.truncate(256);
+        encode_response(&Err(ServeError::Corrupt { context }))
+            .expect("bounded fallback frame encodes")
+    })
+}
+
+// ---- metrics snapshot codec ----------------------------------------------
+
+const METRIC_COUNTER: u8 = 1;
+const METRIC_GAUGE: u8 = 2;
+const METRIC_HISTOGRAM: u8 = 3;
+
+/// Encodes a `Metrics` success frame: count-prefixed `(name, kind, value)`
+/// entries in the snapshot's (sorted) order.
+fn encode_metrics_frame(snapshot: &MetricsSnapshot) -> Result<Vec<u8>, PersistError> {
+    let mut w = ByteWriter::new();
+    w.u8(RESP_OK_BASE + REQ_METRICS);
+    w.u32(u32_len(snapshot.entries.len(), "metric entries")?);
+    for entry in &snapshot.entries {
+        w.str(&entry.name)?;
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                w.u8(METRIC_COUNTER);
+                w.u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                w.u8(METRIC_GAUGE);
+                w.u64(*v as u64);
+            }
+            MetricValue::Histogram(h) => {
+                w.u8(METRIC_HISTOGRAM);
+                w.u32(u32_len(h.bounds.len(), "histogram bounds")?);
+                for &b in &h.bounds {
+                    w.f64(b);
+                }
+                for &c in &h.buckets {
+                    w.u64(c);
+                }
+                w.u64(h.count);
+                w.f64(h.sum);
+            }
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+fn decode_metrics_body(r: &mut ByteReader<'_>) -> Result<MetricsSnapshot, String> {
+    let n = r.u32("metric count")? as usize;
+    if n > 1 << 20 {
+        return Err(format!("metric count {n} over sanity cap"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str("metric name")?.to_string();
+        let value = match r.u8("metric kind")? {
+            METRIC_COUNTER => MetricValue::Counter(r.u64("counter value")?),
+            METRIC_GAUGE => MetricValue::Gauge(r.u64("gauge value")? as i64),
+            METRIC_HISTOGRAM => {
+                let bn = r.u32("histogram bound count")? as usize;
+                if bn > 1 << 16 {
+                    return Err(format!("histogram bound count {bn} over sanity cap"));
+                }
+                let mut bounds = Vec::with_capacity(bn);
+                for _ in 0..bn {
+                    bounds.push(r.f64("histogram bound")?);
+                }
+                let mut buckets = Vec::with_capacity(bn + 1);
+                for _ in 0..bn + 1 {
+                    buckets.push(r.u64("histogram bucket")?);
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    bounds,
+                    buckets,
+                    count: r.u64("histogram count")?,
+                    sum: r.f64("histogram sum")?,
+                })
+            }
+            kind => return Err(format!("unknown metric kind {kind}")),
+        };
+        entries.push(MetricEntry { name, value });
+    }
+    Ok(MetricsSnapshot { entries })
 }
 
 /// A committed matching as decoded from the wire (the remote analogue of
@@ -275,6 +383,7 @@ enum WireResponse {
     Weight { epoch: usize, version: u64, weight: f64 },
     Stats { stats: SessionStats },
     Compacted { reclaimed: usize },
+    Metrics(MetricsSnapshot),
 }
 
 fn decode_response(payload: &[u8]) -> Result<WireResponse, ServeError> {
@@ -319,6 +428,7 @@ fn decode_response(payload: &[u8]) -> Result<WireResponse, ServeError> {
         REQ_COMPACT => WireResponse::Compacted {
             reclaimed: r.u64("compacted count").map_err(corrupt)? as usize,
         },
+        REQ_METRICS => WireResponse::Metrics(decode_metrics_body(&mut r).map_err(corrupt)?),
         _ => return Err(corrupt(format!("unknown response tag {tag:#04x}"))),
     };
     r.finish("wire response").map_err(corrupt)?;
@@ -503,12 +613,25 @@ fn serve_conn(
         match read_frame(&mut reader) {
             Ok(None) => break,
             Ok(Some(payload)) => {
-                let reply = match decode_request(&payload) {
-                    Ok(req) => dispatch(service, req, timeout),
-                    Err(e) => Err(ServeError::Corrupt { context: format!("wire request: {e}") }),
+                mwm_obs::counter!("net_requests_total").inc();
+                let frame = match decode_request(&payload) {
+                    // Metrics is answered right here from the global registry,
+                    // bypassing the service queue: a scrape must succeed even
+                    // when workers are saturated.
+                    Ok(WireRequest::Metrics) => encode_metrics_frame(&mwm_obs::snapshot())
+                        .unwrap_or_else(|e| encode_response_or_fallback(&Err(ServeError::from(e)))),
+                    Ok(req) => {
+                        let reply = dispatch(service, req, timeout);
+                        if matches!(reply, Err(ServeError::Timeout { .. })) {
+                            mwm_obs::counter!("net_timeouts_total").inc();
+                        }
+                        encode_response_or_fallback(&reply)
+                    }
+                    Err(e) => encode_response_or_fallback(&Err(ServeError::Corrupt {
+                        context: format!("wire request: {e}"),
+                    })),
                 };
-                let sent = write_frame(&mut writer, &encode_response(&reply))
-                    .and_then(|()| writer.flush());
+                let sent = write_frame(&mut writer, &frame).and_then(|()| writer.flush());
                 if sent.is_err() {
                     break;
                 }
@@ -540,10 +663,23 @@ fn dispatch(
         WireRequest::Weight { session } => (false, Request::QueryWeight { session }),
         WireRequest::Stats { session } => (false, Request::SnapshotStats { session }),
         WireRequest::Compact { session } => (false, Request::CompactSession { session }),
+        // Never queued: serve_conn answers Metrics before calling dispatch.
+        WireRequest::Metrics => {
+            return Err(ServeError::Protocol { expected: "Metrics handled at connection layer" })
+        }
     };
     let ticket = if no_wait { service.try_submit(request)? } else { service.submit(request)? };
     match ticket.wait_timeout(timeout) {
         Ok(result) => result,
+        // Abandoning the ticket here is safe by construction: the queued work
+        // still runs to completion on its worker, and the admission-pool
+        // reserve/settle pair both happen inside the worker's
+        // `handle_request`, so the reservation is refunded exactly once
+        // whether or not anyone is still waiting. The late result lands in
+        // the ticket's one-shot slot and is dropped with it — it can never be
+        // written to the connection, because this thread is the only writer
+        // and it has already answered this request with `Timeout` (see the
+        // timeout-then-reuse regression test).
         Err(_still_pending) => Err(ServeError::Timeout { after_ms: timeout.as_millis() as u64 }),
     }
 }
@@ -587,11 +723,11 @@ impl NetClient {
         }
     }
 
-    fn header(tag: u8, session: &str) -> ByteWriter {
+    fn header(tag: u8, session: &str) -> Result<ByteWriter, ServeError> {
         let mut w = ByteWriter::new();
         w.u8(tag);
-        w.str(session);
-        w
+        w.str(session)?;
+        Ok(w)
     }
 
     /// Creates a session with the server's default configuration.
@@ -606,8 +742,8 @@ impl NetClient {
         base: &Graph,
         config: Option<DynamicConfig>,
     ) -> Result<(), ServeError> {
-        let mut w = Self::header(REQ_CREATE, session);
-        encode_graph(&mut w, base);
+        let mut w = Self::header(REQ_CREATE, session)?;
+        encode_graph(&mut w, base)?;
         match &config {
             None => w.u8(0),
             Some(c) => {
@@ -623,7 +759,7 @@ impl NetClient {
 
     /// Drops a session; returns its committed epoch count.
     pub fn drop_session(&mut self, session: &str) -> Result<usize, ServeError> {
-        match self.call(&Self::header(REQ_DROP, session).into_bytes())? {
+        match self.call(&Self::header(REQ_DROP, session)?.into_bytes())? {
             WireResponse::Dropped { epochs } => Ok(epochs),
             _ => Err(ServeError::Protocol { expected: "Dropped" }),
         }
@@ -635,9 +771,9 @@ impl NetClient {
         updates: &[GraphUpdate],
         no_wait: bool,
     ) -> Result<EpochStats, ServeError> {
-        let mut w = Self::header(REQ_SUBMIT, session);
+        let mut w = Self::header(REQ_SUBMIT, session)?;
         w.u8(u8::from(no_wait));
-        encode_updates(&mut w, updates);
+        encode_updates(&mut w, updates)?;
         match self.call(&w.into_bytes())? {
             WireResponse::EpochApplied { stats } => Ok(stats),
             _ => Err(ServeError::Protocol { expected: "EpochApplied" }),
@@ -665,7 +801,7 @@ impl NetClient {
 
     /// The session's last committed matching.
     pub fn matching(&mut self, session: &str) -> Result<RemoteMatching, ServeError> {
-        match self.call(&Self::header(REQ_MATCHING, session).into_bytes())? {
+        match self.call(&Self::header(REQ_MATCHING, session)?.into_bytes())? {
             WireResponse::Matching(m) => Ok(m),
             _ => Err(ServeError::Protocol { expected: "Matching" }),
         }
@@ -673,7 +809,7 @@ impl NetClient {
 
     /// The session's committed weight with its epoch/version coordinates.
     pub fn weight(&mut self, session: &str) -> Result<(usize, u64, f64), ServeError> {
-        match self.call(&Self::header(REQ_WEIGHT, session).into_bytes())? {
+        match self.call(&Self::header(REQ_WEIGHT, session)?.into_bytes())? {
             WireResponse::Weight { epoch, version, weight } => Ok((epoch, version, weight)),
             _ => Err(ServeError::Protocol { expected: "Weight" }),
         }
@@ -681,7 +817,7 @@ impl NetClient {
 
     /// The session's summary statistics.
     pub fn session_stats(&mut self, session: &str) -> Result<SessionStats, ServeError> {
-        match self.call(&Self::header(REQ_STATS, session).into_bytes())? {
+        match self.call(&Self::header(REQ_STATS, session)?.into_bytes())? {
             WireResponse::Stats { stats } => Ok(stats),
             _ => Err(ServeError::Protocol { expected: "Stats" }),
         }
@@ -689,9 +825,18 @@ impl NetClient {
 
     /// Compacts the session's journal; returns the reclaimed edge count.
     pub fn compact_session(&mut self, session: &str) -> Result<usize, ServeError> {
-        match self.call(&Self::header(REQ_COMPACT, session).into_bytes())? {
+        match self.call(&Self::header(REQ_COMPACT, session)?.into_bytes())? {
             WireResponse::Compacted { reclaimed } => Ok(reclaimed),
             _ => Err(ServeError::Protocol { expected: "Compacted" }),
+        }
+    }
+
+    /// Scrapes the server's process-wide metrics registry. Served by the
+    /// connection thread, so it succeeds even when the service queue is full.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        match self.call(&Self::header(REQ_METRICS, "")?.into_bytes())? {
+            WireResponse::Metrics(snapshot) => Ok(snapshot),
+            _ => Err(ServeError::Protocol { expected: "Metrics" }),
         }
     }
 }
@@ -925,11 +1070,127 @@ mod tests {
             ServeError::Wire { context: "reset".into() },
         ];
         for err in errors {
-            let frame = encode_response(&Err(err.clone()));
+            let frame = encode_response(&Err(err.clone())).unwrap();
             match decode_response(&frame) {
                 Err(back) => assert_eq!(back, err),
                 Ok(_) => panic!("error frame decoded as success"),
             }
         }
+    }
+
+    #[test]
+    fn metrics_request_round_trips_over_a_live_socket() {
+        mwm_obs::set_enabled(true);
+        let service = service();
+        let server = SocketServer::bind_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut client = NetClient::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+        client.create_session("obs", &small_graph()).unwrap();
+        client.submit_batch("obs", &[]).unwrap();
+        mwm_obs::Observable::publish_metrics(&*service, mwm_obs::global());
+
+        let snap = client.metrics().unwrap();
+        assert!(
+            snap.counter("net_requests_total") > 0,
+            "live traffic must show up in the wire snapshot"
+        );
+        assert!(snap.counter("serve_requests_total") > 0);
+        assert!(snap.counter_family("pass_total") > 0, "the bootstrap epoch ran engine passes");
+        assert_eq!(snap.gauge("serve_sessions"), 1);
+        assert!(!snap.render_text().is_empty());
+
+        // A Metrics request naming a session is malformed.
+        let frame = NetClient::header(REQ_METRICS, "not-empty").unwrap().into_bytes();
+        match client.call(&frame) {
+            Err(ServeError::Corrupt { .. }) => {}
+            Err(other) => panic!("expected Corrupt for a non-empty Metrics session, got {other}"),
+            Ok(_) => panic!("a malformed Metrics request decoded as success"),
+        }
+        // ... and the connection survives it.
+        let (epoch, _, _) = client.weight("obs").unwrap();
+        assert_eq!(epoch, 1);
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn timeout_then_reuse_of_a_connection_is_safe() {
+        let mk = || {
+            Arc::new(
+                MatchingService::start(ServiceConfig {
+                    workers: 1,
+                    max_streamed_items: Some(100_000),
+                    session_defaults: DynamicConfig { eps: 0.25, seed: 7, ..Default::default() },
+                    ..Default::default()
+                })
+                .unwrap(),
+            )
+        };
+        let traffic: [(&str, Vec<GraphUpdate>); 2] =
+            [("t", vec![]), ("t", vec![GraphUpdate::InsertEdge { u: 0, v: 7, w: 9.0 }])];
+
+        // Reference run under a generous deadline: the pool accounting the
+        // timed-out run must reproduce exactly.
+        let reference = mk();
+        {
+            let server = SocketServer::bind_tcp(Arc::clone(&reference), "127.0.0.1:0").unwrap();
+            let mut c = NetClient::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+            c.create_session("t", &small_graph()).unwrap();
+            for (session, updates) in &traffic {
+                c.submit_batch(session, updates).unwrap();
+            }
+            drop(c);
+            server.shutdown();
+        }
+
+        // Zero deadline: every queued request answers Timeout while its work
+        // still commits worker-side. The abandoned tickets' late results
+        // must never reach the connection, and each reservation must be
+        // settled exactly once.
+        let service = mk();
+        let server =
+            SocketServer::bind_tcp_with(Arc::clone(&service), "127.0.0.1:0", Duration::ZERO)
+                .unwrap();
+        let mut client = NetClient::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+        let mut timeouts = 0;
+        let mut check = |r: Result<EpochStats, ServeError>| match r {
+            Err(ServeError::Timeout { .. }) => timeouts += 1,
+            Ok(_) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        };
+        match client.create_session("t", &small_graph()) {
+            Ok(()) | Err(ServeError::Timeout { .. }) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+        for (session, updates) in &traffic {
+            check(client.submit_batch(session, updates));
+        }
+        assert!(timeouts > 0, "a zero deadline must actually time out");
+
+        // The in-process convenience wrappers queue behind the abandoned
+        // jobs on the same worker, so this blocks until all of them have
+        // committed — FIFO order per session shard.
+        let local = service.matching("t").unwrap();
+        assert!(local.weight > 0.0, "abandoned work must still commit");
+
+        // Exactly-once settlement: abandoning the wait changed nothing
+        // about what the epochs charged to the admission pool.
+        assert_eq!(service.pool_used(), reference.pool_used());
+        assert!(service.pool_used() > 0);
+
+        // The connection survives its timed-out requests: a Metrics request
+        // (answered at the connection layer, no ticket) round-trips, and a
+        // further queued request gets a fresh, well-typed reply — never a
+        // stale late response from an abandoned ticket.
+        client.metrics().unwrap();
+        match client.weight("t") {
+            Ok((epoch, _version, weight)) => {
+                assert_eq!(epoch, 3);
+                assert!(weight > 0.0);
+            }
+            Err(ServeError::Timeout { .. }) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+        drop(client);
+        server.shutdown();
     }
 }

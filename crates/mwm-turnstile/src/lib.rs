@@ -204,6 +204,9 @@ impl SketchBank {
         let idx = encode_pair(n as u64, a as u64, b as u64);
         self.class_samplers[slot].update(idx, d.sign);
         self.class_support[slot] += d.sign;
+        // One relaxed atomic add (one relaxed load when metrics are off);
+        // a write-only tap, so ingestion stays bit-identical either way.
+        mwm_obs::counter!("turnstile_deltas_total").inc();
     }
 
     /// Merges another bank into this one. By linearity the result is the bank
@@ -239,6 +242,7 @@ impl SketchBank {
         for (mine, theirs) in self.class_support.iter_mut().zip(other.class_support.iter()) {
             *mine += *theirs;
         }
+        mwm_obs::counter!("turnstile_merges_total").inc();
         Ok(())
     }
 
@@ -291,6 +295,9 @@ impl SketchBank {
         }
         pairs.sort_unstable();
         pairs.dedup();
+        mwm_obs::counter!("turnstile_recoveries_total").inc();
+        mwm_obs::histogram!("turnstile_recovered_edges", &mwm_obs::SIZE_BOUNDS)
+            .observe(pairs.len() as f64);
         pairs
     }
 
@@ -370,6 +377,19 @@ impl SketchBank {
         }
         bank.class_support.copy_from_slice(&state.class_support);
         Ok(bank)
+    }
+}
+
+/// On-demand publication of the bank's resident footprint (the delta,
+/// merge and recovery counters record themselves as the bank is used).
+impl mwm_obs::Observable for SketchBank {
+    fn obs_scope(&self) -> &'static str {
+        "turnstile"
+    }
+
+    fn publish_metrics(&self, registry: &mwm_obs::Registry) {
+        registry.gauge("turnstile_resident_bytes").set(self.resident_bytes() as i64);
+        registry.gauge("turnstile_classes").set(self.class_samplers.len() as i64);
     }
 }
 

@@ -58,7 +58,7 @@ fn main() {
     for round in 0..4 {
         dm.apply_epoch(&batch(0, round), &ResourceBudget::unlimited()).expect("epoch");
     }
-    let image = dm.hibernate();
+    let image = dm.hibernate().expect("session fits the image codec");
     println!(
         "session image: {} payload bytes, checksum {:016x}",
         image.payload_len(),

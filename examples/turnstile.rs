@@ -141,9 +141,13 @@ fn main() -> Result<(), MwmError> {
     assert!(dm.sketch_bank().is_some(), "the expiring phase must have entered sketch mode");
 
     // --- 4. Hibernate → revive is a bit-identical fixed point ---
-    let image = sketch.hibernate();
+    let image = sketch.hibernate().expect("session fits the image codec");
     let back = DynamicMatcher::revive(&image).expect("valid image");
-    assert_eq!(back.hibernate(), image, "revive must be a fixed point, bank bytes included");
+    assert_eq!(
+        back.hibernate().expect("session fits the image codec"),
+        image,
+        "revive must be a fixed point, bank bytes included"
+    );
     println!(
         "\nhibernated the sketch session into a {}-byte image and revived it bit-identically",
         image.payload_len(),

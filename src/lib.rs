@@ -83,6 +83,7 @@ pub use mwm_graph as graph;
 pub use mwm_lp as lp;
 pub use mwm_mapreduce as mapreduce;
 pub use mwm_matching as matching;
+pub use mwm_obs as obs;
 pub use mwm_persist as persist;
 pub use mwm_serve as serve;
 pub use mwm_sketch as sketch;
@@ -100,6 +101,7 @@ pub mod engine {
         CommittedSnapshot, CommittedView, DynamicConfig, DynamicMatcher, EpochDecision, EpochStats,
         IngestMode,
     };
+    pub use mwm_obs::{MetricsSnapshot, Observable, Registry};
     pub use mwm_persist::{Hibernate, PersistError, SessionImage, SessionStore, WalRecord};
     pub use mwm_serve::{
         MatchingService, NetClient, Request, Response, ServeError, ServiceConfig, SessionStats,
@@ -259,6 +261,7 @@ pub mod prelude {
         generators, BMatching, Edge, Graph, GraphOverlay, GraphUpdate, Matching, WeightLevels,
     };
     pub use mwm_mapreduce::{ExecutionMode, ResourceTracker};
+    pub use mwm_obs::{MetricsSnapshot, Observable, Registry};
     pub use mwm_persist::{Hibernate, SessionImage, SessionStore};
     pub use mwm_serve::{
         MatchingService, NetClient, Request, Response, ServeError, ServiceConfig, SessionStats,

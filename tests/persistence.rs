@@ -104,7 +104,7 @@ proptest! {
             dm.apply_epoch(&batch, &ResourceBudget::unlimited()).unwrap();
         }
 
-        let image = dm.hibernate();
+        let image = dm.hibernate().unwrap();
         let bytes = image.to_bytes();
         let reread = SessionImage::from_bytes(&bytes).unwrap();
         prop_assert_eq!(&bytes, &reread.to_bytes(), "from_bytes -> to_bytes drifted");
@@ -137,7 +137,7 @@ proptest! {
             resident.apply_epoch(batch, &ResourceBudget::unlimited()).unwrap();
         }
 
-        let mut revived = DynamicMatcher::revive(&resident.hibernate()).unwrap();
+        let mut revived = DynamicMatcher::revive(&resident.hibernate().unwrap()).unwrap();
         for batch in &batches[cut..] {
             resident.apply_epoch(batch, &ResourceBudget::unlimited()).unwrap();
             revived.apply_epoch(batch, &ResourceBudget::unlimited()).unwrap();

@@ -137,9 +137,9 @@ proptest! {
         );
 
         // (c) Hibernate → revive is a fixed point that continues in lockstep.
-        let image = dm.hibernate();
+        let image = dm.hibernate().unwrap();
         let mut revived = DynamicMatcher::revive(&image).expect("valid image");
-        prop_assert_eq!(revived.hibernate(), image, "revive must be a bit-identical fixed point");
+        prop_assert_eq!(revived.hibernate().unwrap(), image, "revive must be a bit-identical fixed point");
         let mut original = dm;
         let next: Vec<GraphUpdate> = batches
             .last()
